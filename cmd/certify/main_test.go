@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunInitialCertificationOnly(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"11 FCMs", "initial certification: 11 FCMs, 5 interfaces"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunModificationSequence(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-modify", "kalman,blit"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"modify kalman", "retest FCMs {guidance, kalman}",
+		"kalman<->waypoint", "savings:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunEmitExample(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-emit-example"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"flight-control-hierarchy"`) {
+		t.Errorf("emitted spec wrong:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownModification(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-modify", "ghost"}, &out); err == nil {
+		t.Error("unknown FCM accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunComparesStrategies(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-trials", "2000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"H1", "criticality", "escape-rate"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCommFaultFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-trials", "1000", "-comm", "0.5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "comm-fraction=0.5") {
+		t.Errorf("output missing comm fraction:\n%s", out.String())
+	}
+}
+
+func TestRunBadSpecPath(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-spec", "/nope.json"}, &out); err == nil {
+		t.Error("missing spec accepted")
+	}
+}

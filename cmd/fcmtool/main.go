@@ -1,0 +1,128 @@
+// Command fcmtool runs the dependability-driven integration pipeline on a
+// system specification and prints the resulting mapping and goodness
+// report.
+//
+// Usage:
+//
+//	fcmtool [-spec system.json] [-strategy h1|h1pair|h2|h2st|h3|crit|timing|sep]
+//	        [-approach importance|lex|fcr] [-refine N] [-compare]
+//	        [-dot initial|expanded|condensed] [-emit-example] [-v]
+//
+// With -emit-example the tool writes the paper's worked example as JSON to
+// stdout (a starting point for custom specifications) and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/graph"
+	"repro/internal/spec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "fcmtool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fcmtool", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	specPath := fs.String("spec", "", "path to a system specification JSON (default: built-in paper example)")
+	strategy := fs.String("strategy", "h1", "condensation strategy: h1, h1pair, h2, h2st, h3, crit, timing, sep")
+	approach := fs.String("approach", "importance", "assignment approach: importance, lex, fcr")
+	emit := fs.Bool("emit-example", false, "write the built-in paper example as JSON and exit")
+	verbose := fs.Bool("v", false, "print the reduction trace")
+	refine := fs.Int("refine", 0, "dilation-refinement move budget (0 disables)")
+	compare := fs.Bool("compare", false, "run every strategy and print the comparison table")
+	dot := fs.String("dot", "", "write the influence graph in Graphviz DOT to stdout: initial, expanded, condensed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *emit {
+		return depint.PaperExample().Encode(stdout)
+	}
+
+	sys := depint.PaperExample()
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sys, err = spec.Decode(f)
+		if err != nil {
+			return err
+		}
+	}
+
+	strategies := map[string]depint.Strategy{
+		"h1": depint.H1, "h1pair": depint.H1PairAll, "h2": depint.H2,
+		"h3": depint.H3, "crit": depint.Criticality, "timing": depint.TimingOrder,
+		"sep": depint.SeparationGuided, "h2st": depint.H2SourceTarget,
+	}
+	s, ok := strategies[strings.ToLower(*strategy)]
+	if !ok {
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	approaches := map[string]depint.Approach{
+		"importance": depint.ByImportance, "lex": depint.Lexicographic,
+		"fcr": depint.FCRAware,
+	}
+	a, ok := approaches[strings.ToLower(*approach)]
+	if !ok {
+		return fmt.Errorf("unknown approach %q", *approach)
+	}
+
+	if *compare {
+		cmp, err := depint.CompareStrategies(sys, depint.CompareConfig{
+			InjectTrials: 20000, Seed: 7,
+			Options: []depint.Option{depint.WithApproach(a)},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, cmp.Table())
+		if best := cmp.Best(); best != nil {
+			fmt.Fprintf(stdout, "\nbest containment: %s (%.3f)\n",
+				best.Strategy, best.Result.Report.Containment)
+		}
+		return nil
+	}
+
+	opts := []depint.Option{depint.WithStrategy(s), depint.WithApproach(a)}
+	if *refine != 0 {
+		opts = append(opts, depint.WithRefinement(*refine))
+	}
+	res, err := depint.Integrate(sys, opts...)
+	if err != nil {
+		return err
+	}
+	if *dot != "" {
+		var target *graph.Graph
+		switch strings.ToLower(*dot) {
+		case "initial":
+			target = res.Initial
+		case "expanded":
+			target = res.Expanded
+		case "condensed":
+			target = res.Condensed
+		default:
+			return fmt.Errorf("unknown -dot target %q", *dot)
+		}
+		return target.WriteDOT(stdout, sys.Name)
+	}
+	if !*verbose {
+		// Trim the trace from the dossier for the terse view.
+		res.Trace = nil
+	}
+	fmt.Fprint(stdout, res.Summary())
+	return nil
+}

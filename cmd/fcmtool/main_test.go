@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultDossier(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"icdcs98-worked-example", "mapping (HW node <- members):",
+		"constraints satisfied:    true",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunVerboseIncludesTrace(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-v"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "p1a + p2a (mutual 1.2)") {
+		t.Errorf("verbose output missing trace:\n%s", out.String())
+	}
+}
+
+func TestRunEmitExampleRoundTrips(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-emit-example"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"hw_nodes": 6`) {
+		t.Errorf("emitted spec missing hw_nodes:\n%s", out.String())
+	}
+}
+
+func TestRunStrategyAndApproachSelection(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-strategy", "crit", "-approach", "lex"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "p1a, p8") {
+		t.Errorf("criticality clusters missing:\n%s", out.String())
+	}
+}
+
+func TestRunDOTOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dot", "condensed"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph") {
+		t.Errorf("missing DOT output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-strategy", "bogus"}, &out); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if err := run([]string{"-approach", "bogus"}, &out); err == nil {
+		t.Error("unknown approach accepted")
+	}
+	if err := run([]string{"-dot", "bogus"}, &out); err == nil {
+		t.Error("unknown dot target accepted")
+	}
+	if err := run([]string{"-spec", "/nonexistent.json"}, &out); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}

@@ -1,0 +1,110 @@
+// Command paperrepro regenerates every table and figure of the worked
+// example of "A Framework for Dependability Driven Software Integration"
+// (ICDCS 1998) and runs the quantitative extension experiments E1–E15
+// indexed in DESIGN.md.
+//
+// Usage:
+//
+//	paperrepro            # everything
+//	paperrepro -only fig6 # one artifact: table1, fig1..fig8, e1..e15
+//	paperrepro -trials N  # Monte-Carlo trial count (default 20000)
+//	paperrepro -seed S    # campaign seed (default 1998)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("paperrepro", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	only := fs.String("only", "", "regenerate a single artifact (table1, fig1..fig8, e1..e15)")
+	trials := fs.Int("trials", 20000, "Monte-Carlo trials for injection experiments")
+	seed := fs.Uint64("seed", 1998, "seed for randomized experiments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	type artifact struct {
+		name string
+		run  func() (string, error)
+	}
+	artifacts := []artifact{
+		{"table1", experiments.Table1},
+		{"fig1", func() (string, error) { r, err := experiments.Fig1(); return r.Text, err }},
+		{"fig2", func() (string, error) { r, err := experiments.Fig2(); return r.Text, err }},
+		{"fig3", experiments.Fig3},
+		{"fig4", func() (string, error) { r, err := experiments.Fig4(); return r.Text, err }},
+		{"fig5", func() (string, error) {
+			r, err := experiments.Fig5()
+			if err != nil {
+				return "", err
+			}
+			if err := experiments.CheckFig5(r); err != nil {
+				return "", err
+			}
+			return r.Text, nil
+		}},
+		{"fig6", func() (string, error) { r, err := experiments.Fig6(); return r.Text, err }},
+		{"fig7", func() (string, error) { r, err := experiments.Fig7(); return r.Text, err }},
+		{"fig8", func() (string, error) { r, err := experiments.Fig8(); return r.Text, err }},
+		{"e1", func() (string, error) { r, err := experiments.E1(); return r.Text, err }},
+		{"e2", func() (string, error) {
+			r, err := experiments.E2([]int{12, 24, 48}, *seed)
+			return r.Text, err
+		}},
+		{"e3", func() (string, error) {
+			r, err := experiments.E3(*trials, *seed)
+			return r.Text, err
+		}},
+		{"e4", func() (string, error) { r, err := experiments.E4(8); return r.Text, err }},
+		{"e5", func() (string, error) {
+			r, err := experiments.E5(*trials/2, *seed)
+			return r.Text, err
+		}},
+		{"e6", func() (string, error) { r, err := experiments.E6(4, 3, 4, 25, *seed); return r.Text, err }},
+		{"e7", func() (string, error) { r, err := experiments.E7(*trials, *seed); return r.Text, err }},
+		{"e8", func() (string, error) { r, err := experiments.E8(); return r.Text, err }},
+		{"e9", func() (string, error) { r, err := experiments.E9(); return r.Text, err }},
+		{"e10", func() (string, error) {
+			r, err := experiments.E10([]int{500, 2000, 10000, 50000}, *seed)
+			return r.Text, err
+		}},
+		{"e11", func() (string, error) { r, err := experiments.E11(); return r.Text, err }},
+		{"e12", func() (string, error) { r, err := experiments.E12(200, *seed); return r.Text, err }},
+		{"e13", func() (string, error) { r, err := experiments.E13(*trials, *seed); return r.Text, err }},
+		{"e14", func() (string, error) { r, err := experiments.E14(24, *seed); return r.Text, err }},
+		{"e15", func() (string, error) { r, err := experiments.E15(5e5, *seed); return r.Text, err }},
+	}
+
+	ran := 0
+	for _, a := range artifacts {
+		if *only != "" && !strings.EqualFold(*only, a.name) {
+			continue
+		}
+		text, err := a.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.name, err)
+		}
+		fmt.Fprintf(stdout, "==== %s %s\n%s\n", strings.ToUpper(a.name),
+			strings.Repeat("=", 66-len(a.name)), text)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown artifact %q", *only)
+	}
+	return nil
+}

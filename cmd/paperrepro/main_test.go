@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleArtifact(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "fig7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "{p1a,p8}") {
+		t.Errorf("fig7 output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "p1        15   3    0   20   5") {
+		t.Errorf("table1 output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "fig99"}, &out); err == nil {
+		t.Error("unknown artifact accepted")
+	}
+}
+
+func TestRunAllArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration is slow")
+	}
+	var out strings.Builder
+	if err := run([]string{"-trials", "4000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Every section header present.
+	for _, want := range []string{
+		"==== TABLE1", "==== FIG1", "==== FIG5", "==== FIG8",
+		"==== E1 ", "==== E5 ", "==== E10", "==== E15",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing section %q", want)
+		}
+	}
+	// The two exact values appear somewhere in the full dump.
+	for _, want := range []string{"0.76", "0.37"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing golden value %q", want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package depint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StrategyOutcome summarises one strategy's run in a comparison.
+type StrategyOutcome struct {
+	Strategy Strategy
+	// Err is non-nil when the strategy could not produce a feasible
+	// integration for the system.
+	Err error
+	// Result is nil when Err is non-nil.
+	Result *Result
+	// Escape is the fault-injection escape rate (present when injection
+	// was requested).
+	Escape float64
+}
+
+// Comparison holds the outcomes of running several strategies on one
+// system.
+type Comparison struct {
+	Outcomes []StrategyOutcome
+}
+
+// Best returns the successful outcome with the highest containment,
+// breaking ties by lower criticality concentration. Nil when every
+// strategy failed.
+func (c Comparison) Best() *StrategyOutcome {
+	var best *StrategyOutcome
+	for i := range c.Outcomes {
+		o := &c.Outcomes[i]
+		if o.Err != nil {
+			continue
+		}
+		if best == nil ||
+			o.Result.Report.Containment > best.Result.Report.Containment ||
+			(o.Result.Report.Containment == best.Result.Report.Containment &&
+				o.Result.Report.MaxNodeCriticality < best.Result.Report.MaxNodeCriticality) {
+			best = o
+		}
+	}
+	return best
+}
+
+// Table renders the comparison as fixed-width text.
+func (c Comparison) Table() string {
+	var b strings.Builder
+	b.WriteString("strategy          containment  max-crit  crit-pairs  comm-cost  escape\n")
+	for _, o := range c.Outcomes {
+		if o.Err != nil {
+			fmt.Fprintf(&b, "%-16s  failed: %v\n", o.Strategy, o.Err)
+			continue
+		}
+		r := o.Result.Report
+		escape := "-"
+		if o.Escape > 0 {
+			escape = fmt.Sprintf("%.4f", o.Escape)
+		}
+		fmt.Fprintf(&b, "%-16s  %11.3f  %8.1f  %10d  %9.3f  %s\n",
+			o.Strategy, r.Containment, r.MaxNodeCriticality,
+			r.CriticalPairsColocated, r.CommCost, escape)
+	}
+	return b.String()
+}
+
+// CompareConfig parameterises CompareStrategies.
+type CompareConfig struct {
+	// Strategies to run; empty means all of them.
+	Strategies []Strategy
+	// InjectTrials, when positive, runs a fault-injection campaign per
+	// successful strategy and records the escape rate.
+	InjectTrials int
+	// Seed drives the injection campaigns.
+	Seed uint64
+	// Options are applied to every Integrate call (WithStrategy is set by
+	// the comparison itself).
+	Options []Option
+}
+
+// CompareStrategies integrates one system under several condensation
+// strategies and collects the §5.3 goodness reports side by side — the
+// "ascertaining and quantifying trade-offs involved in the integration
+// process" the paper's introduction promises.
+func CompareStrategies(sys *System, cfg CompareConfig) (Comparison, error) {
+	if sys == nil {
+		return Comparison{}, ErrNilSystem
+	}
+	strategies := cfg.Strategies
+	if len(strategies) == 0 {
+		strategies = []Strategy{
+			H1, H1PairAll, H2, H2SourceTarget, H3,
+			Criticality, TimingOrder, SeparationGuided,
+		}
+	}
+	sort.Slice(strategies, func(i, j int) bool { return strategies[i] < strategies[j] })
+	var cmp Comparison
+	for _, s := range strategies {
+		opts := append(append([]Option(nil), cfg.Options...), WithStrategy(s))
+		out := StrategyOutcome{Strategy: s}
+		res, err := Integrate(sys, opts...)
+		if err != nil {
+			out.Err = err
+			cmp.Outcomes = append(cmp.Outcomes, out)
+			continue
+		}
+		out.Result = res
+		if cfg.InjectTrials > 0 {
+			inj, ierr := res.InjectFaults(cfg.InjectTrials, cfg.Seed)
+			if ierr != nil {
+				return cmp, fmt.Errorf("depint: compare: %w", ierr)
+			}
+			out.Escape = inj.EscapeRate()
+		}
+		cmp.Outcomes = append(cmp.Outcomes, out)
+	}
+	return cmp, nil
+}

@@ -1,0 +1,443 @@
+// Package depint is the public facade of the dependability-driven software
+// integration framework (reproduction of Suri, Ghosh, Marlowe, ICDCS 1998).
+//
+// The framework takes a set of software functions with dependability
+// attributes (criticality, fault-tolerance degree, timing constraints) and
+// an influence graph quantifying how faults propagate between them, and
+// produces an allocation onto a hardware platform that contains faults,
+// separates replicas and critical functions, and satisfies timing
+// constraints.
+//
+// The pipeline stages mirror the paper:
+//
+//  1. Partition   — the system specification names the process-level FCMs.
+//  2. Influence   — the directed influence graph (Eq. 1–2) between FCMs.
+//  3. Replicate   — fault-tolerance expansion (FT = k ⇒ k replicas linked
+//     by weight-0 edges that forbid colocation).
+//  4. Condense    — graph reduction to the HW node count using heuristic
+//     H1, H2 or H3, criticality pairing, or timing ordering.
+//  5. Map         — cluster-to-processor assignment (Approach A or B).
+//  6. Evaluate    — the §5.3 goodness report: constraints, containment,
+//     criticality dispersion, communication dilation.
+//
+// A minimal use:
+//
+//	sys := depint.PaperExample()
+//	res, err := depint.Integrate(sys)
+//	if err != nil { ... }
+//	fmt.Println(res.Assignment, res.Report.Containment)
+package depint
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/attrs"
+	"repro/internal/cluster"
+	"repro/internal/faultsim"
+	"repro/internal/graph"
+	"repro/internal/hw"
+	"repro/internal/influence"
+	"repro/internal/mapping"
+	"repro/internal/metrics"
+	"repro/internal/spec"
+)
+
+// Re-exported spec types: callers describe systems with these.
+type (
+	// System is a complete integration problem specification.
+	System = spec.System
+	// Process is one process-level FCM with Table-1 style attributes.
+	Process = spec.Process
+	// Influence is one directed influence edge.
+	Influence = spec.Influence
+	// Assignment maps SW clusters to HW node names.
+	Assignment = mapping.Assignment
+	// Report is the §5.3 goodness report for a mapping.
+	Report = mapping.Report
+	// Step is one recorded combination step of the reduction trace.
+	Step = cluster.Step
+)
+
+// PaperExample returns the reconstructed ICDCS'98 worked example
+// (Table 1 + Fig. 3).
+func PaperExample() *System { return spec.PaperExample() }
+
+// FlightControl returns the flight-control integration example from the
+// paper's introduction.
+func FlightControl() *System { return spec.FlightControl() }
+
+// BrakeByWire returns an automotive brake-by-wire example system.
+func BrakeByWire() *System { return spec.BrakeByWire() }
+
+// IndustrialControl returns a process-automation example system with a
+// TMR safety interlock.
+func IndustrialControl() *System { return spec.IndustrialControl() }
+
+// Strategy selects the condensation heuristic for stage 4.
+type Strategy int
+
+// Condensation strategies.
+const (
+	// H1 combines the pair with the highest mutual influence repeatedly
+	// (§5.4 H1; §6.1 "Approach A").
+	H1 Strategy = iota + 1
+	// H1PairAll is the H1 variation pairing all nodes per round.
+	H1PairAll
+	// H2 recursively bisects the graph along minimum cuts (§5.4 H2).
+	H2
+	// H3 grows spheres of influence around the most important nodes
+	// (§5.4 H3).
+	H3
+	// Criticality pairs the most critical node with the least critical
+	// (§6.2 "Approach B").
+	Criticality
+	// TimingOrder groups nodes adjacent in timing order (Fig. 8).
+	TimingOrder
+	// SeparationGuided combines the pair with the lowest Eq. (3)
+	// separation — H1's transitive-coupling variant (§4.2.4 ablation).
+	SeparationGuided
+	// H2SourceTarget is the H2 variation cutting along minimum s–t cuts
+	// between the two most important nodes of each part.
+	H2SourceTarget
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case H1:
+		return "H1"
+	case H1PairAll:
+		return "H1-pair-all"
+	case H2:
+		return "H2-min-cut"
+	case H3:
+		return "H3-spheres"
+	case Criticality:
+		return "criticality"
+	case TimingOrder:
+		return "timing-order"
+	case SeparationGuided:
+		return "separation"
+	case H2SourceTarget:
+		return "H2-source-target"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Approach selects the cluster-to-processor assignment heuristic (§5.4).
+type Approach int
+
+// Assignment approaches.
+const (
+	// ByImportance is Approach A: most important node placed first.
+	ByImportance Approach = iota + 1
+	// Lexicographic is Approach B: attributes in decreasing importance,
+	// criticality first.
+	Lexicographic
+	// FCRAware orders by criticality and keeps critical clusters in
+	// distinct hardware fault containment regions (§5.3's criticality
+	// criterion at region granularity).
+	FCRAware
+)
+
+// options collects pipeline configuration.
+type options struct {
+	strategy          Strategy
+	approach          Approach
+	platform          *hw.Platform
+	weights           attrs.Weights
+	lexKinds          []attrs.Kind
+	requirements      mapping.Requirements
+	criticalThreshold float64
+	separationOrder   int
+	refineMoves       int
+}
+
+// Option configures Integrate.
+type Option func(*options)
+
+// WithStrategy selects the condensation heuristic (default H1).
+func WithStrategy(s Strategy) Option { return func(o *options) { o.strategy = s } }
+
+// WithApproach selects the assignment approach (default ByImportance).
+func WithApproach(a Approach) Option { return func(o *options) { o.approach = a } }
+
+// WithPlatform supplies a custom hardware platform; by default a complete
+// (strongly connected) platform with the system's HWNodes processors is
+// built.
+func WithPlatform(p *hw.Platform) Option { return func(o *options) { o.platform = p } }
+
+// WithWeights overrides the importance weights.
+func WithWeights(w attrs.Weights) Option { return func(o *options) { o.weights = w } }
+
+// WithLexicographicKinds orders the attribute kinds for Approach B.
+func WithLexicographicKinds(kinds ...attrs.Kind) Option {
+	return func(o *options) { o.lexKinds = kinds }
+}
+
+// WithRequirements declares per-process HW resource requirements.
+func WithRequirements(req map[string][]string) Option {
+	return func(o *options) { o.requirements = req }
+}
+
+// WithCriticalThreshold sets the criticality at or above which a process
+// counts as critical in the goodness report (default 10).
+func WithCriticalThreshold(t float64) Option {
+	return func(o *options) { o.criticalThreshold = t }
+}
+
+// WithSeparationOrder sets the truncation order of the Eq. (3) separation
+// series (default influence.DefaultMaxOrder).
+func WithSeparationOrder(k int) Option { return func(o *options) { o.separationOrder = k } }
+
+// WithRefinement enables the post-assignment dilation refinement pass
+// (§6: "dilation of the mapping may be considered to address
+// performance") with the given move budget; 0 disables it (the default),
+// a negative budget uses the refiner's default.
+func WithRefinement(maxMoves int) Option { return func(o *options) { o.refineMoves = maxMoves } }
+
+// Result is the complete output of an integration run.
+type Result struct {
+	// System echoes the input specification.
+	System *System
+	// Initial is the process-level influence graph (Fig. 3).
+	Initial *graph.Graph
+	// Expanded is the replicated graph (Fig. 4).
+	Expanded *graph.Graph
+	// Condensed is the reduced cluster graph (Figs. 5–8).
+	Condensed *graph.Graph
+	// Trace records the combination steps of the reduction.
+	Trace []Step
+	// Assignment maps clusters to HW nodes.
+	Assignment Assignment
+	// Report is the §5.3 goodness evaluation.
+	Report Report
+	// Separation holds the Eq. (3) separation matrix over the initial
+	// process graph, indexed by SeparationIndex.
+	Separation      [][]float64
+	SeparationIndex []string
+	// Reliability is the analytic dependability summary.
+	Reliability metrics.SystemReport
+	// RefinementMoves counts dilation-refinement moves applied (0 when
+	// refinement was disabled or unnecessary).
+	RefinementMoves int
+	// Strategy and ApproachUsed echo the configuration.
+	Strategy     Strategy
+	ApproachUsed Approach
+}
+
+// ErrNilSystem is returned when Integrate receives a nil specification.
+var ErrNilSystem = errors.New("depint: nil system")
+
+// Integrate runs the full pipeline on a system specification.
+func Integrate(sys *System, opts ...Option) (*Result, error) {
+	if sys == nil {
+		return nil, ErrNilSystem
+	}
+	o := options{
+		strategy:          H1,
+		approach:          ByImportance,
+		weights:           attrs.DefaultWeights(),
+		criticalThreshold: 10,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("depint: %w", err)
+	}
+
+	// Stages 1–2: partition + influence graph.
+	initial, err := sys.Graph()
+	if err != nil {
+		return nil, fmt.Errorf("depint: %w", err)
+	}
+	res := &Result{
+		System:       sys,
+		Initial:      initial,
+		Strategy:     o.strategy,
+		ApproachUsed: o.approach,
+	}
+
+	// Separation analysis over the process graph.
+	p, idx := initial.Matrix()
+	sep, err := influence.SeparationMatrix(p, o.separationOrder)
+	if err != nil {
+		return nil, fmt.Errorf("depint: separation: %w", err)
+	}
+	res.Separation, res.SeparationIndex = sep, idx
+
+	// Stage 3: replication expansion.
+	exp, err := cluster.Expand(initial, sys.Jobs())
+	if err != nil {
+		return nil, fmt.Errorf("depint: %w", err)
+	}
+	res.Expanded = exp.Graph.Clone()
+
+	// Stage 4: condensation.
+	cond := cluster.NewCondenser(exp.Graph, exp.Jobs)
+	target := sys.HWNodes
+	switch o.strategy {
+	case H1:
+		err = cond.ReduceByInfluence(target)
+	case H1PairAll:
+		err = cond.ReduceByInfluencePairAll(target)
+	case H2:
+		err = cond.ReduceByMinCut(target)
+	case H3:
+		err = cond.ReduceBySpheres(target, o.weights)
+	case Criticality:
+		err = cond.ReduceByCriticality(target)
+	case TimingOrder:
+		err = cond.ReduceByTiming(target)
+	case SeparationGuided:
+		err = cond.ReduceBySeparation(target, o.separationOrder)
+	case H2SourceTarget:
+		err = cond.ReduceByMinCutST(target, o.weights)
+	default:
+		err = fmt.Errorf("depint: unknown strategy %d", int(o.strategy))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("depint: condense (%s): %w", o.strategy, err)
+	}
+	res.Condensed = cond.G
+	res.Trace = cond.Trace
+
+	// Stage 5: mapping.
+	platform := o.platform
+	if platform == nil {
+		platform, err = hw.Complete(sys.HWNodes)
+		if err != nil {
+			return nil, fmt.Errorf("depint: platform: %w", err)
+		}
+		// The paper's HW model: homogeneous processors "with access to
+		// equivalent sets of resources" — the default platform offers
+		// every resource the specification mentions, on every node.
+		for _, nodeName := range platform.Nodes() {
+			node, nerr := platform.Node(nodeName)
+			if nerr != nil {
+				return nil, fmt.Errorf("depint: platform: %w", nerr)
+			}
+			for _, p := range sys.Processes {
+				for _, res := range p.Resources {
+					node.Resources[res] = true
+				}
+			}
+		}
+	}
+	req := o.requirements
+	if req == nil {
+		req = requirementsFromSpec(sys, exp)
+	}
+	switch o.approach {
+	case ByImportance:
+		res.Assignment, err = mapping.AssignByImportance(cond.G, platform, o.weights, req)
+	case Lexicographic:
+		res.Assignment, err = mapping.AssignLexicographic(cond.G, platform, o.lexKinds, req)
+	case FCRAware:
+		res.Assignment, err = mapping.AssignCriticalityAware(cond.G, platform, req, o.criticalThreshold)
+	default:
+		err = fmt.Errorf("depint: unknown approach %d", int(o.approach))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("depint: map: %w", err)
+	}
+
+	// Optional dilation-refinement pass over the assignment.
+	if o.refineMoves != 0 {
+		budget := o.refineMoves
+		if budget < 0 {
+			budget = 0 // refiner default
+		}
+		refined, moves, rerr := mapping.Refine(res.Assignment, res.Expanded, platform, req, budget)
+		if rerr != nil {
+			return nil, fmt.Errorf("depint: refine: %w", rerr)
+		}
+		res.Assignment = refined
+		res.RefinementMoves = moves
+	}
+
+	// Stage 6: evaluation.
+	res.Report = mapping.Evaluate(res.Expanded, res.Assignment, platform, mapping.EvalConfig{
+		CriticalThreshold: o.criticalThreshold,
+		Requirements:      req,
+	})
+
+	// Analytic reliability (intrinsic fault probability defaults to a
+	// uniform placeholder; see Reliability option on faultsim for the
+	// measured path).
+	mods := make([]metrics.ModuleSpec, 0, len(sys.Processes))
+	for _, proc := range sys.Processes {
+		mods = append(mods, metrics.ModuleSpec{
+			Name:      proc.Name,
+			FaultProb: 0.1,
+			Replicas:  proc.FT,
+			Majority:  proc.FT >= 3,
+		})
+	}
+	res.Reliability, err = metrics.SystemReliability(mods)
+	if err != nil {
+		return nil, fmt.Errorf("depint: reliability: %w", err)
+	}
+	return res, nil
+}
+
+// requirementsFromSpec expands per-process resource requirements onto
+// replica names.
+func requirementsFromSpec(sys *System, exp *cluster.Expansion) mapping.Requirements {
+	req := mapping.Requirements{}
+	for _, p := range sys.Processes {
+		if len(p.Resources) == 0 {
+			continue
+		}
+		for _, rep := range exp.ReplicasOf[p.Name] {
+			req[rep] = append([]string(nil), p.Resources...)
+		}
+	}
+	return req
+}
+
+// HWOf flattens the assignment into a base-replica → HW-node map, the form
+// the fault-injection campaign consumes.
+func (r *Result) HWOf() map[string]string {
+	out := map[string]string{}
+	for clusterID, node := range r.Assignment {
+		for _, m := range graph.Members(clusterID) {
+			out[m] = node
+		}
+	}
+	return out
+}
+
+// InjectFaults runs a seeded Monte-Carlo fault-injection campaign over the
+// integrated system's expanded graph and mapping (experiment E3's
+// machinery), returning propagation and containment statistics.
+func (r *Result) InjectFaults(trials int, seed uint64) (faultsim.Result, error) {
+	return faultsim.Run(faultsim.Campaign{
+		Graph:             r.Expanded,
+		HWOf:              r.HWOf(),
+		Trials:            trials,
+		Seed:              seed,
+		CriticalThreshold: 10,
+	})
+}
+
+// SeparationOf returns the Eq. (3) separation between two processes of the
+// initial graph.
+func (r *Result) SeparationOf(a, b string) (float64, error) {
+	ia, ib := -1, -1
+	for i, id := range r.SeparationIndex {
+		switch id {
+		case a:
+			ia = i
+		case b:
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 {
+		return 0, fmt.Errorf("depint: unknown process in separation query: %q/%q", a, b)
+	}
+	return r.Separation[ia][ib], nil
+}

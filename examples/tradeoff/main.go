@@ -1,0 +1,74 @@
+// Tradeoff investigates the paper's closing question — "Is there a limit
+// to the level of integration one should design for?" — by sweeping the
+// number of target HW nodes downward and watching three quantities:
+//
+//   - containment (cross-node influence): improves with more integration;
+//   - schedulability: eventually breaks (timing windows overfill);
+//   - replica separation: sets a hard floor (FT=3 needs >= 3 nodes).
+//
+// Run with: go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+)
+
+func main() {
+	fmt.Println("== integration-level sweep on the worked example ==")
+	r, err := experiments.E5(10000, 1998)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(r.Text)
+	fmt.Printf("integration floor found at %d HW nodes\n\n", r.Floor)
+
+	// The same sweep through the public analyzer, with its knee-based
+	// recommendation (the "later study" the paper defers).
+	fmt.Println("== public tradeoff analyzer ==")
+	ta, err := depint.AnalyzeTradeoff(depint.PaperExample(), depint.TradeoffConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ta.Table())
+	fmt.Println()
+
+	// The same sweep through the public API, on the flight-control suite,
+	// including the HW-resource complication the paper mentions: the
+	// framebuffer exists on a single processor.
+	fmt.Println("== flight-control suite, framebuffer on one processor only ==")
+	sys := depint.FlightControl()
+	for nodes := 7; nodes >= 2; nodes-- {
+		sys.HWNodes = nodes
+		platform, err := hw.Complete(nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The framebuffer exists on hw1 only, the radio on hw2 only.
+		fb, err := platform.Node("hw1")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fb.Resources["framebuffer"] = true
+		radio, err := platform.Node("hw2")
+		if err != nil {
+			log.Fatal(err)
+		}
+		radio.Resources["radio"] = true
+
+		res, err := depint.Integrate(sys, depint.WithPlatform(platform))
+		if err != nil {
+			fmt.Printf("  %d nodes: infeasible — %v\n", nodes, err)
+			continue
+		}
+		fmt.Printf("  %d nodes: OK   containment %.3f, comm cost %.2f\n",
+			nodes, res.Report.Containment, res.Report.CommCost)
+	}
+	fmt.Println("\nthe sweep shows the tradeoff: every removed processor buys")
+	fmt.Println("containment until replica separation, timing windows, or a")
+	fmt.Println("singleton resource make the next integration step impossible.")
+}

@@ -1,0 +1,50 @@
+package depint
+
+import (
+	"repro/internal/core"
+	"repro/internal/verify"
+)
+
+// The composition-rules half of the framework (§3–§4): building the FCM
+// hierarchy, composing under rules R1–R5, and running the certification
+// workflow. These aliases export the internal implementations as part of
+// the public API.
+type (
+	// Hierarchy is a forest of FCM trees with the composition rules
+	// enforced structurally.
+	Hierarchy = core.Hierarchy
+	// FCM is one fault containment module.
+	FCM = core.FCM
+	// Certifier tracks certification state and applies R5's
+	// parent-only recertification.
+	Certifier = verify.Certifier
+	// Check is an executable verification test attached to an FCM or a
+	// sibling interface.
+	Check = verify.Check
+)
+
+// Hierarchy levels (Fig. 1).
+const (
+	ProcedureLevel = core.ProcedureLevel
+	TaskLevel      = core.TaskLevel
+	ProcessLevel   = core.ProcessLevel
+)
+
+// Rule-violation errors, re-exported so callers can errors.Is against
+// them without reaching into internal packages.
+var (
+	ErrRuleR1       = core.ErrRuleR1
+	ErrRuleR2       = core.ErrRuleR2
+	ErrRuleR3       = core.ErrRuleR3
+	ErrRuleR4       = core.ErrRuleR4
+	ErrNotStateless = core.ErrNotStateless
+	ErrStaleCert    = verify.ErrStale
+	ErrNotCertified = verify.ErrNotCertified
+	ErrCheckFailed  = verify.ErrCheckFailed
+)
+
+// NewHierarchy returns an empty FCM hierarchy.
+func NewHierarchy() *Hierarchy { return core.NewHierarchy() }
+
+// NewCertifier builds a certification ledger over a hierarchy.
+func NewCertifier(h *Hierarchy) *Certifier { return verify.NewCertifier(h) }

@@ -1,0 +1,373 @@
+package attrs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{Criticality, "C"},
+		{FaultTolerance, "FT"},
+		{EarliestStart, "EST"},
+		{Deadline, "TCD"},
+		{ComputeTime, "CT"},
+		{Throughput, "TP"},
+		{CommRate, "CR"},
+		{Security, "SEC"},
+		{Memory, "MEM"},
+		{Kind(99), "Kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(tt.kind), got, tt.want)
+		}
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	for k := Criticality; k <= Memory; k++ {
+		if !k.Valid() {
+			t.Errorf("kind %s should be valid", k)
+		}
+	}
+	if Kind(0).Valid() {
+		t.Error("Kind(0) should be invalid")
+	}
+	if Kind(100).Valid() {
+		t.Error("Kind(100) should be invalid")
+	}
+}
+
+func TestPolicyFor(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want Policy
+	}{
+		{Criticality, Max},
+		{FaultTolerance, Max},
+		{Security, Max},
+		{EarliestStart, Min},
+		{Deadline, Min},
+		{ComputeTime, Sum},
+		{Throughput, Sum},
+		{CommRate, Sum},
+		{Memory, Sum},
+	}
+	for _, tt := range tests {
+		if got := PolicyFor(tt.kind); got != tt.want {
+			t.Errorf("PolicyFor(%s) = %s, want %s", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestPolicyCombine(t *testing.T) {
+	tests := []struct {
+		policy Policy
+		a, b   float64
+		want   float64
+	}{
+		{Max, 3, 7, 7},
+		{Max, 7, 3, 7},
+		{Min, 3, 7, 3},
+		{Sum, 3, 7, 10},
+		{Policy(0), 3, 7, 7}, // unknown policy defaults to max
+	}
+	for _, tt := range tests {
+		if got := tt.policy.Combine(tt.a, tt.b); got != tt.want {
+			t.Errorf("%s.Combine(%g,%g) = %g, want %g", tt.policy, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Max.String() != "max" || Min.String() != "min" || Sum.String() != "sum" {
+		t.Error("policy names wrong")
+	}
+	if Policy(42).String() != "Policy(42)" {
+		t.Errorf("unknown policy string: %s", Policy(42))
+	}
+}
+
+func TestZeroValueSet(t *testing.T) {
+	var s Set
+	if s.Len() != 0 {
+		t.Errorf("zero set Len = %d, want 0", s.Len())
+	}
+	if s.Has(Criticality) {
+		t.Error("zero set should not have Criticality")
+	}
+	if v := s.Value(Criticality); v != 0 {
+		t.Errorf("zero set Value = %g, want 0", v)
+	}
+	// Setting on a zero set must work (zero value is useful).
+	s2 := s.Set(Criticality, 5)
+	if v := s2.Value(Criticality); v != 5 {
+		t.Errorf("after Set, Value = %g, want 5", v)
+	}
+	if s.Has(Criticality) {
+		t.Error("Set must not mutate the receiver")
+	}
+}
+
+func TestTimingConstructor(t *testing.T) {
+	s := Timing(15, 3, 0, 20, 5)
+	checks := map[Kind]float64{
+		Criticality:    15,
+		FaultTolerance: 3,
+		EarliestStart:  0,
+		Deadline:       20,
+		ComputeTime:    5,
+	}
+	for k, want := range checks {
+		got, ok := s.Get(k)
+		if !ok || got != want {
+			t.Errorf("Timing() %s = %g (present=%v), want %g", k, got, ok, want)
+		}
+	}
+	if s.Len() != 5 {
+		t.Errorf("Timing() Len = %d, want 5", s.Len())
+	}
+}
+
+func TestCombineStandardPolicies(t *testing.T) {
+	a := Timing(15, 3, 0, 20, 5)
+	b := Timing(10, 2, 8, 16, 5)
+	c := Combine(a, b)
+
+	tests := []struct {
+		kind Kind
+		want float64
+	}{
+		{Criticality, 15},   // max
+		{FaultTolerance, 3}, // max
+		{EarliestStart, 0},  // min
+		{Deadline, 16},      // min
+		{ComputeTime, 10},   // sum
+	}
+	for _, tt := range tests {
+		if got := c.Value(tt.kind); got != tt.want {
+			t.Errorf("Combine %s = %g, want %g", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestCombineDisjointKindsCarriedThrough(t *testing.T) {
+	a := New(map[Kind]float64{Criticality: 5})
+	b := New(map[Kind]float64{Memory: 128})
+	c := Combine(a, b)
+	if c.Value(Criticality) != 5 || c.Value(Memory) != 128 {
+		t.Errorf("disjoint combine lost values: %s", c)
+	}
+	if c.Len() != 2 {
+		t.Errorf("combined Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCombineAll(t *testing.T) {
+	sets := []Set{
+		Timing(15, 3, 0, 20, 5),
+		Timing(10, 2, 8, 16, 5),
+		Timing(3, 1, 0, 10, 3),
+	}
+	c := CombineAll(sets...)
+	if got := c.Value(Criticality); got != 15 {
+		t.Errorf("C = %g, want 15", got)
+	}
+	if got := c.Value(Deadline); got != 10 {
+		t.Errorf("TCD = %g, want 10", got)
+	}
+	if got := c.Value(ComputeTime); got != 13 {
+		t.Errorf("CT = %g, want 13", got)
+	}
+
+	if empty := CombineAll(); empty.Len() != 0 {
+		t.Errorf("CombineAll() = %s, want empty", empty)
+	}
+
+	one := CombineAll(sets[0])
+	if !one.Equal(sets[0]) {
+		t.Errorf("CombineAll(x) = %s, want %s", one, sets[0])
+	}
+}
+
+func TestCombineAllDoesNotAliasInput(t *testing.T) {
+	a := Timing(15, 3, 0, 20, 5)
+	out := CombineAll(a)
+	_ = out.Set(Criticality, 99) // Set copies, but guard Clone in CombineAll too
+	mutated := CombineAll(a)
+	mutated.vals[Criticality] = 99
+	if a.Value(Criticality) != 15 {
+		t.Error("CombineAll aliased its input set")
+	}
+}
+
+func TestCombineCommutative(t *testing.T) {
+	f := func(c1, c2, d1, d2 float64) bool {
+		a := New(map[Kind]float64{Criticality: c1, Deadline: d1})
+		b := New(map[Kind]float64{Criticality: c2, Deadline: d2})
+		return Combine(a, b).Equal(Combine(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombineAssociativeForMaxMin(t *testing.T) {
+	// Sum is trivially associative for exact halves; restrict to max/min
+	// kinds plus small integers to avoid float-rounding noise on Sum.
+	f := func(a8, b8, c8 int8) bool {
+		mk := func(v int8) Set {
+			return New(map[Kind]float64{
+				Criticality: float64(v),
+				Deadline:    float64(v) * 2,
+				ComputeTime: float64(v),
+			})
+		}
+		a, b, c := mk(a8), mk(b8), mk(c8)
+		l := Combine(Combine(a, b), c)
+		r := Combine(a, Combine(b, c))
+		return l.Equal(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombineIdempotentForStringency(t *testing.T) {
+	// Combining a set with itself must leave max/min kinds unchanged and
+	// double Sum kinds.
+	s := Timing(15, 3, 0, 20, 5)
+	c := Combine(s, s)
+	if c.Value(Criticality) != 15 || c.Value(Deadline) != 20 {
+		t.Errorf("self-combine changed stringency kinds: %s", c)
+	}
+	if c.Value(ComputeTime) != 10 {
+		t.Errorf("self-combine CT = %g, want 10", c.Value(ComputeTime))
+	}
+}
+
+func TestKindsSorted(t *testing.T) {
+	s := Timing(15, 3, 0, 20, 5)
+	ks := s.Kinds()
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Fatalf("Kinds() not sorted: %v", ks)
+		}
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := New(map[Kind]float64{Criticality: 15, FaultTolerance: 3})
+	if got := s.String(); got != "C=15 FT=3" {
+		t.Errorf("String() = %q, want %q", got, "C=15 FT=3")
+	}
+	var empty Set
+	if got := empty.String(); got != "" {
+		t.Errorf("empty String() = %q, want empty", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Timing(15, 3, 0, 20, 5)
+	b := Timing(15, 3, 0, 20, 5)
+	c := Timing(15, 3, 0, 20, 6)
+	if !a.Equal(b) {
+		t.Error("identical sets not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different sets Equal")
+	}
+	d := New(map[Kind]float64{Criticality: 15})
+	if a.Equal(d) {
+		t.Error("different-size sets Equal")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Timing(15, 3, 0, 20, 5)
+	b := a.Clone()
+	b.vals[Criticality] = 1
+	if a.Value(Criticality) != 15 {
+		t.Error("Clone shares storage with original")
+	}
+	var zero Set
+	zc := zero.Clone()
+	if zc.Len() != 0 {
+		t.Error("Clone of zero set not empty")
+	}
+}
+
+func TestNewWeightsRejectsNegative(t *testing.T) {
+	_, err := NewWeights(map[Kind]float64{Criticality: -1})
+	if err == nil {
+		t.Fatal("NewWeights accepted a negative weight")
+	}
+}
+
+func TestImportanceWeightedSum(t *testing.T) {
+	w, err := NewWeights(map[Kind]float64{Criticality: 1, FaultTolerance: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Timing(10, 2, 0, 20, 5)
+	// 1*10 + 0.5*2 = 11; EST/TCD/CT have no weight.
+	if got := w.Importance(s); got != 11 {
+		t.Errorf("Importance = %g, want 11", got)
+	}
+}
+
+func TestDefaultWeightsOrderCriticalityFirst(t *testing.T) {
+	w := DefaultWeights()
+	hi := Timing(15, 3, 0, 20, 5)
+	lo := Timing(1, 1, 12, 20, 3)
+	if w.Importance(hi) <= w.Importance(lo) {
+		t.Errorf("importance ordering broken: hi=%g lo=%g",
+			w.Importance(hi), w.Importance(lo))
+	}
+	if w.Weight(Criticality) != 1.0 {
+		t.Errorf("default criticality weight = %g, want 1", w.Weight(Criticality))
+	}
+}
+
+func TestImportanceMonotoneInCriticality(t *testing.T) {
+	w := DefaultWeights()
+	f := func(c1, c2 uint8) bool {
+		a := New(map[Kind]float64{Criticality: float64(c1)})
+		b := New(map[Kind]float64{Criticality: float64(c2)})
+		if c1 <= c2 {
+			return w.Importance(a) <= w.Importance(b)
+		}
+		return w.Importance(a) >= w.Importance(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombinePreservesStringencyProperty(t *testing.T) {
+	// Property: combined criticality >= each component; combined deadline
+	// <= each component.
+	f := func(c1, c2 uint8, d1, d2 uint8) bool {
+		a := New(map[Kind]float64{Criticality: float64(c1), Deadline: float64(d1)})
+		b := New(map[Kind]float64{Criticality: float64(c2), Deadline: float64(d2)})
+		c := Combine(a, b)
+		return c.Value(Criticality) >= math.Max(0, float64(max8(c1, c2))-0.5) &&
+			c.Value(Criticality) == math.Max(float64(c1), float64(c2)) &&
+			c.Value(Deadline) == math.Min(float64(d1), float64(d2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func max8(a, b uint8) uint8 {
+	if a > b {
+		return a
+	}
+	return b
+}

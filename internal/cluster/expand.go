@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/attrs"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// Expansion is the result of replicating a SW graph per fault-tolerance
+// requirements (§5.4, Fig. 4).
+type Expansion struct {
+	// Graph is the replicated influence graph.
+	Graph *graph.Graph
+	// ReplicasOf maps each original node id to its replica ids (a node
+	// with FT=1 maps to itself).
+	ReplicasOf map[string][]string
+	// BaseOf maps each replica id back to its original node id.
+	BaseOf map[string]string
+	// Jobs are the scheduling jobs of all replica nodes.
+	Jobs []sched.Job
+}
+
+// replicaName derives the i-th replica id of base ("p1" -> "p1a").
+func replicaName(base string, i, ft int) string {
+	if ft <= 1 {
+		return base
+	}
+	if i < 26 {
+		return fmt.Sprintf("%s%c", base, 'a'+i)
+	}
+	return fmt.Sprintf("%s_r%d", base, i+1)
+}
+
+// Expand performs the paper's replication expansion: each node with
+// fault-tolerance degree FT ≥ 2 becomes FT replica nodes with identical
+// attributes; replicas are linked pairwise by weight-0 replica edges; and
+// every influence edge of the original node is duplicated to/from every
+// replica ("edges with neighbors are also replicated"). Jobs for replicas
+// copy the base node's timing from the supplied job table.
+//
+// The input graph is not modified.
+func Expand(g *graph.Graph, jobs []sched.Job) (*Expansion, error) {
+	jm := make(map[string]sched.Job, len(jobs))
+	for _, j := range jobs {
+		jm[j.Name] = j
+	}
+	out := &Expansion{
+		Graph:      graph.New(),
+		ReplicasOf: make(map[string][]string, g.NumNodes()),
+		BaseOf:     map[string]string{},
+	}
+	for _, id := range g.Nodes() {
+		a := g.Attrs(id)
+		ft := int(a.Value(attrs.FaultTolerance))
+		if ft < 1 {
+			ft = 1
+		}
+		names := make([]string, 0, ft)
+		for i := 0; i < ft; i++ {
+			name := replicaName(id, i, ft)
+			if err := out.Graph.AddNode(name, a.Clone()); err != nil {
+				return nil, fmt.Errorf("cluster: expand: %w", err)
+			}
+			names = append(names, name)
+			out.BaseOf[name] = id
+			if j, ok := jm[id]; ok {
+				j.Name = name
+				out.Jobs = append(out.Jobs, j)
+			}
+		}
+		out.ReplicasOf[id] = names
+		for i := range names {
+			for k := i + 1; k < len(names); k++ {
+				if err := out.Graph.AddReplicaEdge(names[i], names[k]); err != nil {
+					return nil, fmt.Errorf("cluster: expand: %w", err)
+				}
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.Replica {
+			continue
+		}
+		for _, from := range out.ReplicasOf[e.From] {
+			for _, to := range out.ReplicasOf[e.To] {
+				if err := out.Graph.SetEdge(from, to, e.Weight, e.Factors...); err != nil {
+					return nil, fmt.Errorf("cluster: expand: %w", err)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Condenser builds a Condenser over the expanded graph and its jobs.
+func (e *Expansion) Condenser() *Condenser {
+	return NewCondenser(e.Graph, e.Jobs)
+}

@@ -1,0 +1,101 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Gantt renders an ASCII timeline of the run: one row per task, grouped
+// by processor, with '#' for execution between start and finish, '.' for
+// released-but-waiting time, and 'X' marking a missed deadline. width
+// columns cover [0, makespan] (default 60).
+//
+// The rendering approximates preempted tasks as busy across [start,
+// finish] — the simulator does not retain per-slice history — which is
+// sufficient for eyeballing orderings and misses.
+func (r *Report) Gantt(width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	span := r.Makespan
+	for _, o := range r.Outcomes {
+		if o.Finished && o.Finish > span {
+			span = o.Finish
+		}
+		if o.Task != "" && o.Missed {
+			// Deadline markers can sit past the makespan.
+			continue
+		}
+	}
+	if span <= 0 {
+		span = 1
+	}
+	col := func(t float64) int {
+		c := int(t / span * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	type row struct {
+		proc, task string
+		o          *Outcome
+	}
+	var rows []row
+	for name, o := range r.Outcomes {
+		rows = append(rows, row{proc: procOf(r, name), task: name, o: o})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].proc != rows[j].proc {
+			return rows[i].proc < rows[j].proc
+		}
+		return rows[i].task < rows[j].task
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "gantt [0, %.4g] (%d cols)\n", span, width)
+	lastProc := ""
+	for _, rw := range rows {
+		if rw.proc != lastProc {
+			fmt.Fprintf(&b, "%s:\n", rw.proc)
+			lastProc = rw.proc
+		}
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		o := rw.o
+		if o.Started {
+			end := o.Finish
+			if !o.Finished || math.IsInf(end, 1) {
+				end = span
+			}
+			for i := col(o.Start); i <= col(end); i++ {
+				line[i] = '#'
+			}
+		}
+		mark := " "
+		if o.Missed {
+			mark = "X"
+		}
+		fmt.Fprintf(&b, "  %-12s |%s| %s\n", rw.task, string(line), mark)
+	}
+	return b.String()
+}
+
+// procOf finds the processor of a task from the outcome's process field is
+// not enough; the Report does not retain the task table, so the processor
+// is recovered from the trace's "started on" events.
+func procOf(r *Report, task string) string {
+	needle := task + " started on "
+	for _, line := range r.Trace {
+		if idx := strings.Index(line, needle); idx >= 0 {
+			return strings.TrimSpace(line[idx+len(needle):])
+		}
+	}
+	return "(never started)"
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/faultsim"
+	"repro/internal/graph"
+	"repro/internal/spec"
+)
+
+// E13Row is one communication-fault measurement.
+type E13Row struct {
+	CommFraction float64
+	H1Escape     float64
+	CritEscape   float64
+}
+
+// E13Result carries the communication-fault sweep.
+type E13Result struct {
+	Rows []E13Row
+	Text string
+}
+
+// E13 exercises the second half of the paper's fault model ("faults occur
+// in single FCMs, or in communication between a pair of FCMs"): the
+// fraction of faults injected into communication edges is swept from 0 to
+// 1, and containment compared between the influence-driven (H1) and
+// criticality-driven mappings. Expected shape: escape rates rise with the
+// communication-fault share (a corrupted message starts life on an edge,
+// which crosses a boundary more often than a node fault does), and H1
+// stays below the criticality-driven mapping throughout, because H1
+// colocates exactly the heavily communicating pairs.
+func E13(trials int, seed uint64) (E13Result, error) {
+	if trials <= 0 {
+		trials = 20000
+	}
+	sys := spec.PaperExample()
+	g, err := sys.Graph()
+	if err != nil {
+		return E13Result{}, err
+	}
+	exp, err := cluster.Expand(g, sys.Jobs())
+	if err != nil {
+		return E13Result{}, err
+	}
+	full := exp.Graph
+
+	mkHW := func(reduce func(c *cluster.Condenser) error) (map[string]string, error) {
+		c := cluster.NewCondenser(full.Clone(), exp.Jobs)
+		if err := reduce(c); err != nil {
+			return nil, err
+		}
+		hwOf := map[string]string{}
+		for _, id := range c.G.Nodes() {
+			for _, m := range graph.Members(id) {
+				hwOf[m] = id
+			}
+		}
+		return hwOf, nil
+	}
+	h1HW, err := mkHW(func(c *cluster.Condenser) error { return c.ReduceByInfluence(6) })
+	if err != nil {
+		return E13Result{}, err
+	}
+	critHW, err := mkHW(func(c *cluster.Condenser) error { return c.ReduceByCriticality(6) })
+	if err != nil {
+		return E13Result{}, err
+	}
+
+	var res E13Result
+	var b strings.Builder
+	b.WriteString("E13: communication faults (paper fault model, second clause)\n")
+	fmt.Fprintf(&b, "  trials=%d seed=%d\n", trials, seed)
+	b.WriteString("  comm-fraction  H1-escape  criticality-escape\n")
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		run := func(hwOf map[string]string) (float64, error) {
+			r, err := faultsim.Run(faultsim.Campaign{
+				Graph: full, HWOf: hwOf, Trials: trials, Seed: seed,
+				CommFaultFraction: frac,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return r.EscapeRate(), nil
+		}
+		h1, err := run(h1HW)
+		if err != nil {
+			return res, err
+		}
+		crit, err := run(critHW)
+		if err != nil {
+			return res, err
+		}
+		row := E13Row{CommFraction: frac, H1Escape: h1, CritEscape: crit}
+		res.Rows = append(res.Rows, row)
+		fmt.Fprintf(&b, "  %13.2f  %9.4f  %18.4f\n", frac, h1, crit)
+	}
+	res.Text = b.String()
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"repro/internal/hierarchy"
+)
+
+// E12Row is one hierarchy-depth measurement.
+type E12Row struct {
+	Scheme string
+	Depth  int
+	// TotalFCMs is the structural overhead (all FCMs for the same leaves).
+	TotalFCMs int
+	// Leaves is the number of leaf procedures (held constant).
+	Leaves int
+	// MeanRetest is the mean per-modification retest cost (FCMs +
+	// interfaces) under rule R5'.
+	MeanRetest float64
+}
+
+// E12Result carries the depth ablation.
+type E12Result struct {
+	Rows []E12Row
+	Text string
+}
+
+// E12 ablates the paper's deliberate three-level choice: the same 64 leaf
+// procedures arranged in 2-, 3- and 4-level hierarchies, measuring the R5
+// retest cost of random leaf modifications against the structural
+// overhead. Deeper schemes localise retests (fewer siblings per parent)
+// at the price of more intermediate FCMs — the tradeoff that makes three
+// levels a sensible default.
+func E12(mods int, seed uint64) (E12Result, error) {
+	if mods <= 0 {
+		mods = 200
+	}
+	type shape struct {
+		name      string
+		scheme    hierarchy.Scheme
+		branching []int
+	}
+	two, err := hierarchy.NewScheme("procedure", "process")
+	if err != nil {
+		return E12Result{}, err
+	}
+	shapes := []shape{
+		// 64 leaves in every shape.
+		{"2-level (64 per process)", two, []int{64}},
+		{"3-level (8x8)", hierarchy.ThreeLevel(), []int{8, 8}},
+		{"4-level (4x4x4)", hierarchy.WithObjects(), []int{4, 4, 4}},
+	}
+	var res E12Result
+	var b strings.Builder
+	b.WriteString("E12: hierarchy-depth ablation (64 leaf procedures, R5 retest cost)\n")
+	fmt.Fprintf(&b, "  modifications per shape: %d\n", mods)
+	b.WriteString("  scheme                     depth  total-FCMs  mean-retest-cost\n")
+	for _, sh := range shapes {
+		tree, leaves, err := hierarchy.BuildUniform(sh.scheme, sh.branching)
+		if err != nil {
+			return res, fmt.Errorf("experiments: E12 %s: %w", sh.name, err)
+		}
+		rng := rand.New(rand.NewPCG(seed, seed^uint64(sh.scheme.Depth())))
+		total := 0
+		for i := 0; i < mods; i++ {
+			leaf := leaves[rng.IntN(len(leaves))]
+			fcms, interfaces, err := tree.RetestSet(leaf)
+			if err != nil {
+				return res, err
+			}
+			total += len(fcms) + len(interfaces)
+			tree.ClearModified()
+		}
+		row := E12Row{
+			Scheme:     sh.name,
+			Depth:      sh.scheme.Depth(),
+			TotalFCMs:  tree.Len(),
+			Leaves:     len(leaves),
+			MeanRetest: float64(total) / float64(mods),
+		}
+		res.Rows = append(res.Rows, row)
+		fmt.Fprintf(&b, "  %-25s  %5d  %10d  %16.2f\n",
+			row.Scheme, row.Depth, row.TotalFCMs, row.MeanRetest)
+	}
+	res.Text = b.String()
+	return res, nil
+}

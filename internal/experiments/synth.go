@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/spec"
+)
+
+// SynthConfig parameterises the synthetic workload generator used by the
+// heuristic-comparison and tradeoff experiments.
+type SynthConfig struct {
+	// Processes is the number of process FCMs before replication.
+	Processes int
+	// EdgesPerNode is the mean out-degree of the influence graph.
+	EdgesPerNode float64
+	// ReplicatedFraction of processes get FT=2 (and 1 in 3 of those FT=3).
+	ReplicatedFraction float64
+	// Seed drives the deterministic generator.
+	Seed uint64
+	// HWNodes is the reduction target recorded in the spec.
+	HWNodes int
+}
+
+// Synthesize generates a random-but-reproducible integration problem. The
+// timing triples are drawn loosely (windows about 4x compute time within a
+// long frame) so that moderate clustering is feasible but dense clustering
+// eventually hits the schedulability wall — the regime where the paper's
+// integration-level tradeoff question is interesting.
+func Synthesize(cfg SynthConfig) (*spec.System, error) {
+	if cfg.Processes < 2 {
+		return nil, fmt.Errorf("experiments: need at least 2 processes, got %d", cfg.Processes)
+	}
+	if cfg.HWNodes < 1 {
+		cfg.HWNodes = cfg.Processes / 2
+		if cfg.HWNodes < 1 {
+			cfg.HWNodes = 1
+		}
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xdeadbeefcafef00d))
+	sys := &spec.System{
+		Name:    fmt.Sprintf("synthetic-n%d-seed%d", cfg.Processes, cfg.Seed),
+		HWNodes: cfg.HWNodes,
+	}
+	frame := 100.0
+	for i := 0; i < cfg.Processes; i++ {
+		ct := 2 + rng.Float64()*6           // 2..8
+		window := ct*3 + rng.Float64()*ct*3 // 3x..6x CT
+		est := rng.Float64() * (frame - window)
+		ft := 1
+		if rng.Float64() < cfg.ReplicatedFraction {
+			ft = 2
+			if rng.IntN(3) == 0 {
+				ft = 3
+			}
+		}
+		sys.Processes = append(sys.Processes, spec.Process{
+			Name:        fmt.Sprintf("q%03d", i),
+			Criticality: 1 + rng.Float64()*14,
+			FT:          ft,
+			EST:         est,
+			TCD:         est + window,
+			CT:          ct,
+		})
+	}
+	// Influence edges: for each node, ~EdgesPerNode random targets.
+	want := int(float64(cfg.Processes) * cfg.EdgesPerNode)
+	seen := map[[2]int]bool{}
+	for len(sys.Influences) < want {
+		a, b := rng.IntN(cfg.Processes), rng.IntN(cfg.Processes)
+		if a == b || seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		sys.Influences = append(sys.Influences, spec.Influence{
+			From:   sys.Processes[a].Name,
+			To:     sys.Processes[b].Name,
+			Weight: 0.05 + rng.Float64()*0.7,
+		})
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: synthesized system invalid: %w", err)
+	}
+	return sys, nil
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/spec"
+)
+
+// Shape selects a synthetic influence-topology family.
+type Shape int
+
+// Influence-topology families. Real integrated systems are not uniformly
+// random: control suites form pipelines (sensor → filter → control →
+// actuator), layered architectures stack services, and star systems
+// funnel through a hub (a bus manager or blackboard).
+const (
+	ShapeRandom Shape = iota + 1
+	ShapePipeline
+	ShapeLayered
+	ShapeStar
+)
+
+// String returns the shape name.
+func (s Shape) String() string {
+	switch s {
+	case ShapeRandom:
+		return "random"
+	case ShapePipeline:
+		return "pipeline"
+	case ShapeLayered:
+		return "layered"
+	case ShapeStar:
+		return "star"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// SynthesizeShaped generates an n-process system whose influence edges
+// follow the given topology family. Timing and criticality are drawn as
+// in Synthesize.
+func SynthesizeShaped(shape Shape, n int, seed uint64, hwNodes int) (*spec.System, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("experiments: shaped synthesis needs n >= 4, got %d", n)
+	}
+	base, err := Synthesize(SynthConfig{
+		Processes: n, EdgesPerNode: 0.0001, // edges added below
+		ReplicatedFraction: 0.2, Seed: seed, HWNodes: hwNodes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	base.Name = fmt.Sprintf("synthetic-%s-n%d-seed%d", shape, n, seed)
+	base.Influences = nil
+	rng := rand.New(rand.NewPCG(seed^0x777, seed+uint64(shape)))
+	w := func() float64 { return 0.1 + rng.Float64()*0.6 }
+	add := func(from, to int) {
+		if from == to {
+			return
+		}
+		base.Influences = append(base.Influences, spec.Influence{
+			From: base.Processes[from].Name, To: base.Processes[to].Name, Weight: w(),
+		})
+	}
+	switch shape {
+	case ShapeRandom:
+		seen := map[[2]int]bool{}
+		for len(base.Influences) < 2*n {
+			a, b := rng.IntN(n), rng.IntN(n)
+			if a == b || seen[[2]int{a, b}] {
+				continue
+			}
+			seen[[2]int{a, b}] = true
+			add(a, b)
+		}
+	case ShapePipeline:
+		// Chain with feedback every few stages and occasional skips.
+		for i := 0; i+1 < n; i++ {
+			add(i, i+1)
+			if i%3 == 0 {
+				add(i+1, i) // local feedback
+			}
+			if i+4 < n && rng.IntN(3) == 0 {
+				add(i, i+4) // skip connection
+			}
+		}
+	case ShapeLayered:
+		// Four layers; edges flow to the next layer only.
+		layers := 4
+		per := n / layers
+		for l := 0; l < layers-1; l++ {
+			for i := 0; i < per; i++ {
+				src := l*per + i
+				// Two targets in the next layer.
+				for k := 0; k < 2; k++ {
+					dst := (l+1)*per + rng.IntN(per)
+					if dst < n {
+						add(src, dst)
+					}
+				}
+			}
+		}
+	case ShapeStar:
+		// Hub 0 exchanges with everyone; spokes rarely talk directly.
+		for i := 1; i < n; i++ {
+			add(0, i)
+			add(i, 0)
+			if rng.IntN(5) == 0 {
+				add(i, 1+rng.IntN(n-1))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown shape %d", int(shape))
+	}
+	// Deduplicate (ShapeStar's extra spokes can repeat).
+	seen := map[string]bool{}
+	var dedup []spec.Influence
+	for _, e := range base.Influences {
+		k := e.From + ">" + e.To
+		if e.From == e.To || seen[k] {
+			continue
+		}
+		seen[k] = true
+		dedup = append(dedup, e)
+	}
+	base.Influences = dedup
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: shaped synthesis: %w", err)
+	}
+	return base, nil
+}
+
+// E14Row is one topology-sensitivity measurement.
+type E14Row struct {
+	Shape       string
+	H1Contain   float64
+	CritContain float64
+	RandContain float64
+}
+
+// E14Result carries the topology sweep.
+type E14Result struct {
+	Rows []E14Row
+	Text string
+}
+
+// E14 asks whether H1's containment advantage depends on the influence
+// topology: the same comparison as E2, run over pipeline, layered, star
+// and random topologies. Expected shape: H1 dominates everywhere, with
+// the largest margin on modular topologies (pipeline/layered) where good
+// cuts exist, and the smallest on stars, where the hub couples everything.
+func E14(n int, seed uint64) (E14Result, error) {
+	if n <= 0 {
+		n = 24
+	}
+	var res E14Result
+	var b strings.Builder
+	b.WriteString("E14: topology sensitivity of containment (n=" + fmt.Sprint(n) + ")\n")
+	b.WriteString("  shape     H1-contained  criticality-contained  random-contained\n")
+	for _, shape := range []Shape{ShapePipeline, ShapeLayered, ShapeStar, ShapeRandom} {
+		sys, err := SynthesizeShaped(shape, n, seed, maxInt(2, n/3))
+		if err != nil {
+			return res, err
+		}
+		g, err := sys.Graph()
+		if err != nil {
+			return res, err
+		}
+		exp, err := cluster.Expand(g, sys.Jobs())
+		if err != nil {
+			return res, err
+		}
+		full := exp.Graph
+		total := 0.0
+		for _, e := range full.Edges() {
+			if !e.Replica {
+				total += e.Weight
+			}
+		}
+		contain := func(reduce func(c *cluster.Condenser) error) (float64, error) {
+			c := cluster.NewCondenser(full.Clone(), exp.Jobs)
+			if err := reduce(c); err != nil {
+				return 0, err
+			}
+			if total == 0 {
+				return 1, nil
+			}
+			return 1 - full.CrossWeight(c.Partition())/total, nil
+		}
+		target := sys.HWNodes
+		h1, err := contain(func(c *cluster.Condenser) error { return c.ReduceByInfluence(target) })
+		if err != nil {
+			return res, fmt.Errorf("experiments: E14 %s H1: %w", shape, err)
+		}
+		crit, err := contain(func(c *cluster.Condenser) error { return c.ReduceByCriticality(target) })
+		if err != nil {
+			return res, fmt.Errorf("experiments: E14 %s crit: %w", shape, err)
+		}
+		rnd, err := contain(func(c *cluster.Condenser) error { return randomReduce(c, target, seed) })
+		if err != nil {
+			return res, fmt.Errorf("experiments: E14 %s random: %w", shape, err)
+		}
+		row := E14Row{Shape: shape.String(), H1Contain: h1, CritContain: crit, RandContain: rnd}
+		res.Rows = append(res.Rows, row)
+		fmt.Fprintf(&b, "  %-8s  %12.3f  %21.3f  %16.3f\n", row.Shape, h1, crit, rnd)
+	}
+	res.Text = b.String()
+	return res, nil
+}

@@ -1,0 +1,170 @@
+package faultsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// AvailabilityCampaign configures a continuous-time availability
+// simulation: each HW node alternates between up (exponential lifetime,
+// mean MTTF) and down (exponential repair, mean MTTR). A module is in
+// service while enough of its replicas sit on up nodes. This is the
+// dynamic counterpart of the analytic metrics.Availability /
+// metrics.KOfN computations.
+type AvailabilityCampaign struct {
+	// HWOf maps replica node names to HW node names.
+	HWOf map[string]string
+	// ReplicasOf maps each module to its replica node names.
+	ReplicasOf map[string][]string
+	// MTTF and MTTR are the per-HW-node mean time to failure / repair.
+	MTTF, MTTR float64
+	// MajorityRequired selects TMR voting semantics (strict majority of
+	// replicas needed) over 1-of-n standby.
+	MajorityRequired bool
+	// Horizon is the simulated duration.
+	Horizon float64
+	Seed    uint64
+}
+
+// AvailabilityResult aggregates an availability simulation.
+type AvailabilityResult struct {
+	// NodeAvailability is the average fraction of time HW nodes were up.
+	NodeAvailability float64
+	// ModuleAvailability is the fraction of time each module was in
+	// service.
+	ModuleAvailability map[string]float64
+	// Horizon echoes the simulated duration.
+	Horizon float64
+}
+
+// ErrBadRates marks invalid MTTF/MTTR/horizon parameters.
+var ErrBadRates = errors.New("faultsim: MTTF, MTTR and horizon must be positive")
+
+// RunAvailability executes the continuous-time simulation by event-driven
+// state sweeping: node up/down transitions are generated per node, merged
+// into a timeline, and module service states integrated over it.
+func RunAvailability(c AvailabilityCampaign) (AvailabilityResult, error) {
+	if c.MTTF <= 0 || c.MTTR <= 0 || c.Horizon <= 0 {
+		return AvailabilityResult{}, ErrBadRates
+	}
+	if len(c.ReplicasOf) == 0 {
+		return AvailabilityResult{}, ErrNoNodes
+	}
+	rng := rand.New(rand.NewPCG(c.Seed, c.Seed^0x243f6a8885a308d3))
+
+	nodes := map[string]bool{}
+	for _, n := range c.HWOf {
+		nodes[n] = true
+	}
+	nodeList := make([]string, 0, len(nodes))
+	for n := range nodes {
+		nodeList = append(nodeList, n)
+	}
+	sort.Strings(nodeList)
+
+	// Generate per-node up/down transition times over the horizon.
+	type event struct {
+		at   float64
+		node string
+		up   bool
+	}
+	var events []event
+	for _, n := range nodeList {
+		t, up := 0.0, true
+		for t < c.Horizon {
+			var dwell float64
+			if up {
+				dwell = rng.ExpFloat64() * c.MTTF
+			} else {
+				dwell = rng.ExpFloat64() * c.MTTR
+			}
+			t += dwell
+			if t >= c.Horizon {
+				break
+			}
+			up = !up
+			events = append(events, event{at: t, node: n, up: up})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].node < events[j].node
+	})
+
+	modules := make([]string, 0, len(c.ReplicasOf))
+	for m := range c.ReplicasOf {
+		modules = append(modules, m)
+	}
+	sort.Strings(modules)
+
+	up := map[string]bool{}
+	for _, n := range nodeList {
+		up[n] = true
+	}
+	inService := func(m string) bool {
+		reps := c.ReplicasOf[m]
+		alive := 0
+		for _, r := range reps {
+			if up[c.HWOf[r]] {
+				alive++
+			}
+		}
+		need := 1
+		if c.MajorityRequired {
+			need = len(reps)/2 + 1
+		}
+		return alive >= need
+	}
+
+	res := AvailabilityResult{
+		ModuleAvailability: map[string]float64{},
+		Horizon:            c.Horizon,
+	}
+	nodeUpTime := 0.0
+	serviceTime := map[string]float64{}
+	prev := 0.0
+	integrate := func(until float64) {
+		dt := until - prev
+		if dt <= 0 {
+			return
+		}
+		for _, n := range nodeList {
+			if up[n] {
+				nodeUpTime += dt
+			}
+		}
+		for _, m := range modules {
+			if inService(m) {
+				serviceTime[m] += dt
+			}
+		}
+		prev = until
+	}
+	for _, e := range events {
+		integrate(math.Min(e.at, c.Horizon))
+		up[e.node] = e.up
+	}
+	integrate(c.Horizon)
+
+	if len(nodeList) > 0 {
+		res.NodeAvailability = nodeUpTime / (c.Horizon * float64(len(nodeList)))
+	}
+	for _, m := range modules {
+		res.ModuleAvailability[m] = serviceTime[m] / c.Horizon
+	}
+	return res, nil
+}
+
+// AnalyticNodeAvailability returns the steady-state MTTF/(MTTF+MTTR)
+// value the simulation should converge to.
+func AnalyticNodeAvailability(mttf, mttr float64) (float64, error) {
+	if mttf <= 0 || mttr <= 0 {
+		return 0, fmt.Errorf("%w: mttf=%g mttr=%g", ErrBadRates, mttf, mttr)
+	}
+	return mttf / (mttf + mttr), nil
+}

@@ -1,0 +1,120 @@
+package faultsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestRunAvailabilityValidation(t *testing.T) {
+	base := AvailabilityCampaign{
+		HWOf:       map[string]string{"m": "h1"},
+		ReplicasOf: map[string][]string{"mod": {"m"}},
+		MTTF:       100, MTTR: 10, Horizon: 1000,
+	}
+	bad := base
+	bad.MTTF = 0
+	if _, err := RunAvailability(bad); !errors.Is(err, ErrBadRates) {
+		t.Errorf("err = %v", err)
+	}
+	bad = base
+	bad.Horizon = 0
+	if _, err := RunAvailability(bad); !errors.Is(err, ErrBadRates) {
+		t.Errorf("err = %v", err)
+	}
+	bad = base
+	bad.ReplicasOf = nil
+	if _, err := RunAvailability(bad); !errors.Is(err, ErrNoNodes) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAvailabilityMatchesAnalyticSteadyState(t *testing.T) {
+	// Single simplex module: availability ~= MTTF/(MTTF+MTTR) = 0.9091.
+	c := AvailabilityCampaign{
+		HWOf:       map[string]string{"m": "h1"},
+		ReplicasOf: map[string][]string{"mod": {"m"}},
+		MTTF:       100, MTTR: 10,
+		Horizon: 2e6, Seed: 3,
+	}
+	r, err := RunAvailability(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := AnalyticNodeAvailability(100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.NodeAvailability-want) > 0.01 {
+		t.Errorf("node availability = %g, want ~%g", r.NodeAvailability, want)
+	}
+	if math.Abs(r.ModuleAvailability["mod"]-want) > 0.01 {
+		t.Errorf("module availability = %g, want ~%g", r.ModuleAvailability["mod"], want)
+	}
+}
+
+func TestAvailabilityTMRBeatsSimplexDynamically(t *testing.T) {
+	// TMR on three independent nodes vs simplex: per-node availability a =
+	// 10/11; TMR majority availability = KOfN(2,3,a) ≈ 0.9774.
+	c := AvailabilityCampaign{
+		HWOf: map[string]string{
+			"s": "h1", "ta": "h2", "tb": "h3", "tc": "h4",
+		},
+		ReplicasOf: map[string][]string{
+			"simplex": {"s"}, "tmr": {"ta", "tb", "tc"},
+		},
+		MTTF: 100, MTTR: 10,
+		MajorityRequired: true,
+		Horizon:          2e6, Seed: 9,
+	}
+	r, err := RunAvailability(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyticNodeAvailability(100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyticTMR, err := metrics.KOfN(2, 3, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.ModuleAvailability["tmr"]
+	if math.Abs(got-analyticTMR) > 0.01 {
+		t.Errorf("TMR availability = %g, analytic %g", got, analyticTMR)
+	}
+	if got <= r.ModuleAvailability["simplex"] {
+		t.Errorf("TMR %g not above simplex %g", got, r.ModuleAvailability["simplex"])
+	}
+}
+
+func TestAvailabilityColocatedReplicasNoBenefit(t *testing.T) {
+	// Both replicas on one node: duplex degenerates to simplex — the
+	// dynamic version of the §5.2 constraint.
+	c := AvailabilityCampaign{
+		HWOf:       map[string]string{"da": "h1", "db": "h1"},
+		ReplicasOf: map[string][]string{"duplex": {"da", "db"}},
+		MTTF:       100, MTTR: 10,
+		Horizon: 2e6, Seed: 5,
+	}
+	r, err := RunAvailability(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := AnalyticNodeAvailability(100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ModuleAvailability["duplex"]-want) > 0.01 {
+		t.Errorf("colocated duplex availability = %g, want simplex-equivalent %g",
+			r.ModuleAvailability["duplex"], want)
+	}
+}
+
+func TestAnalyticNodeAvailabilityValidation(t *testing.T) {
+	if _, err := AnalyticNodeAvailability(0, 1); !errors.Is(err, ErrBadRates) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,357 @@
+// Package faultsim provides a seeded Monte-Carlo fault-injection simulator
+// over influence graphs and HW mappings. It supplies the measurement
+// machinery the framework calls for: "the value of p_i3 can be determined
+// by injecting faults into the target FCM" (§4.2.1), and it quantifies how
+// well a mapping contains faults — the paper's own goodness criterion
+// ("faults are not propagated across HW nodes", §5.3).
+//
+// The propagation model follows the paper's fault model (§2): faults occur
+// in single FCMs or in communication between a pair of FCMs; transmission
+// probabilities are independent of dynamic context; an influence edge of
+// weight w transmits a fault from source to target with probability w.
+package faultsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/attrs"
+	"repro/internal/graph"
+)
+
+// Errors returned by campaign configuration.
+var (
+	ErrNoTrials = errors.New("faultsim: trials must be positive")
+	ErrNoNodes  = errors.New("faultsim: graph has no nodes")
+)
+
+// Campaign configures a fault-injection run.
+type Campaign struct {
+	// Graph is the influence graph faults propagate over (typically the
+	// full replicated graph, pre-condensation).
+	Graph *graph.Graph
+	// HWOf maps base node names to HW node names; empty means no HW
+	// boundary accounting.
+	HWOf map[string]string
+	// Trials is the number of injection trials.
+	Trials int
+	// Seed makes runs reproducible.
+	Seed uint64
+	// OccurrenceWeights optionally biases which node the initial fault is
+	// injected into (default: uniform over nodes).
+	OccurrenceWeights map[string]float64
+	// CriticalThreshold marks nodes whose criticality attribute meets the
+	// threshold as critical for loss accounting (0 = none).
+	CriticalThreshold float64
+	// MaxHops bounds propagation depth (0 = unbounded).
+	MaxHops int
+	// CommFaultFraction is the fraction of trials whose initial fault is
+	// injected into a communication edge rather than an FCM, covering the
+	// second half of the paper's fault model ("faults occur in single
+	// FCMs, or in communication between a pair of FCMs"). A corrupted
+	// communication makes the edge's target faulty directly; propagation
+	// continues from there. 0 means all faults originate in FCMs.
+	CommFaultFraction float64
+}
+
+// Result aggregates a campaign.
+type Result struct {
+	Trials int
+	// TotalAffected is the total number of faulty FCMs over all trials
+	// (including the injected one).
+	TotalAffected int
+	// CrossNodeTransmissions counts fault transmissions whose source and
+	// target live on different HW nodes — the containment-failure events.
+	CrossNodeTransmissions int
+	// TrialsWithEscape counts trials in which the fault reached any FCM on
+	// a different HW node than the injection site.
+	TrialsWithEscape int
+	// CommFaultTrials counts trials whose initial fault was injected into
+	// a communication edge rather than an FCM.
+	CommFaultTrials int
+	// CriticalAffected counts affected critical FCMs over all trials.
+	CriticalAffected int
+	// CriticalityLoss sums the criticality of affected FCMs over trials.
+	CriticalityLoss float64
+	// AffectedCount[name] counts how often each FCM was affected.
+	AffectedCount map[string]int
+	// TransmissionCount[from+">"+to] counts per-edge transmissions, the
+	// raw material for estimating p_i2·p_i3 empirically.
+	TransmissionCount map[string]int
+	// EdgeTrials[from+">"+to] counts how often each edge had a faulty
+	// source (the denominator of the transmission estimate).
+	EdgeTrials map[string]int
+}
+
+// MeanAffected returns the average number of FCMs affected per trial.
+func (r Result) MeanAffected() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.TotalAffected) / float64(r.Trials)
+}
+
+// EscapeRate returns the fraction of trials in which the fault crossed a
+// HW node boundary.
+func (r Result) EscapeRate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.TrialsWithEscape) / float64(r.Trials)
+}
+
+// MeanCriticalityLoss returns the average criticality affected per trial.
+func (r Result) MeanCriticalityLoss() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return r.CriticalityLoss / float64(r.Trials)
+}
+
+// EstimatedInfluence returns the empirically measured transmission
+// probability of the edge from→to (the paper's estimation path), and
+// whether the edge ever had a faulty source.
+func (r Result) EstimatedInfluence(from, to string) (float64, bool) {
+	key := from + ">" + to
+	trials := r.EdgeTrials[key]
+	if trials == 0 {
+		return 0, false
+	}
+	return float64(r.TransmissionCount[key]) / float64(trials), true
+}
+
+// Run executes the campaign.
+func Run(c Campaign) (Result, error) {
+	if c.Trials <= 0 {
+		return Result{}, fmt.Errorf("%w: %d", ErrNoTrials, c.Trials)
+	}
+	if c.Graph == nil || c.Graph.NumNodes() == 0 {
+		return Result{}, ErrNoNodes
+	}
+	if c.CommFaultFraction < 0 || c.CommFaultFraction > 1 {
+		return Result{}, fmt.Errorf("faultsim: comm fault fraction %g out of range", c.CommFaultFraction)
+	}
+	rng := rand.New(rand.NewPCG(c.Seed, c.Seed^0x9e3779b97f4a7c15))
+	nodes := c.Graph.Nodes()
+	var commEdges []graph.Edge
+	if c.CommFaultFraction > 0 {
+		for _, e := range c.Graph.Edges() {
+			if !e.Replica && e.Weight > 0 {
+				commEdges = append(commEdges, e)
+			}
+		}
+	}
+
+	// Injection-site sampler.
+	weights := make([]float64, len(nodes))
+	total := 0.0
+	for i, n := range nodes {
+		w := 1.0
+		if c.OccurrenceWeights != nil {
+			w = c.OccurrenceWeights[n]
+		}
+		if w < 0 {
+			w = 0
+		}
+		weights[i] = w
+		total += w
+	}
+	if total == 0 {
+		for i := range weights {
+			weights[i] = 1
+		}
+		total = float64(len(weights))
+	}
+	pick := func() string {
+		x := rng.Float64() * total
+		for i, w := range weights {
+			x -= w
+			if x < 0 {
+				return nodes[i]
+			}
+		}
+		return nodes[len(nodes)-1]
+	}
+
+	res := Result{
+		Trials:            c.Trials,
+		AffectedCount:     map[string]int{},
+		TransmissionCount: map[string]int{},
+		EdgeTrials:        map[string]int{},
+	}
+	critOf := func(n string) float64 {
+		return c.Graph.Attrs(n).Value(attrs.Criticality)
+	}
+
+	for trial := 0; trial < c.Trials; trial++ {
+		var origin string
+		escaped := false
+		if len(commEdges) > 0 && rng.Float64() < c.CommFaultFraction {
+			// Communication fault: a message between a pair of FCMs is
+			// corrupted in transit; the receiving FCM becomes faulty.
+			e := commEdges[rng.IntN(len(commEdges))]
+			origin = e.To
+			res.CommFaultTrials++
+			if c.HWOf != nil && c.HWOf[e.From] != c.HWOf[e.To] {
+				// The corrupted message itself crossed a HW boundary.
+				res.CrossNodeTransmissions++
+				escaped = true
+			}
+		} else {
+			origin = pick()
+		}
+		faulty := map[string]bool{origin: true}
+		frontier := []string{origin}
+		hops := 0
+		for len(frontier) > 0 && (c.MaxHops == 0 || hops < c.MaxHops) {
+			hops++
+			var next []string
+			for _, u := range frontier {
+				for _, e := range c.Graph.OutEdges(u) {
+					if e.Replica || e.Weight <= 0 {
+						continue
+					}
+					key := u + ">" + e.To
+					// The transmission draw happens whether or not the
+					// target is already faulty — conditioning the draw on
+					// target health would bias the per-edge estimate
+					// downward on convergent paths.
+					res.EdgeTrials[key]++
+					if rng.Float64() >= e.Weight {
+						continue
+					}
+					res.TransmissionCount[key]++
+					if faulty[e.To] {
+						continue
+					}
+					faulty[e.To] = true
+					next = append(next, e.To)
+					if c.HWOf != nil && c.HWOf[u] != c.HWOf[e.To] {
+						res.CrossNodeTransmissions++
+						escaped = true
+					}
+				}
+			}
+			frontier = next
+		}
+		res.TotalAffected += len(faulty)
+		if escaped {
+			res.TrialsWithEscape++
+		}
+		for n := range faulty {
+			res.AffectedCount[n]++
+			cv := critOf(n)
+			res.CriticalityLoss += cv
+			if c.CriticalThreshold > 0 && cv >= c.CriticalThreshold {
+				res.CriticalAffected++
+			}
+		}
+	}
+	return res, nil
+}
+
+// HWFaultCampaign configures hardware-node failure injection: in each
+// trial, each HW node fails independently with FailureProb, taking down
+// every hosted FCM; a module survives when enough of its replicas remain.
+type HWFaultCampaign struct {
+	// HWOf maps replica node names to HW node names.
+	HWOf map[string]string
+	// ReplicasOf maps each module to its replica node names.
+	ReplicasOf map[string][]string
+	// Criticality maps modules to criticality for loss accounting.
+	Criticality map[string]float64
+	// FailureProb is the per-trial, per-HW-node failure probability.
+	FailureProb float64
+	// MajorityRequired: when true, a module needs a strict majority of its
+	// replicas alive (TMR voting semantics); when false, one live replica
+	// suffices (standby semantics).
+	MajorityRequired bool
+	Trials           int
+	Seed             uint64
+}
+
+// HWResult aggregates a hardware-failure campaign.
+type HWResult struct {
+	Trials int
+	// ModuleFailures counts, per module, the trials in which it lost
+	// service.
+	ModuleFailures map[string]int
+	// TrialsWithAnyLoss counts trials where at least one module failed.
+	TrialsWithAnyLoss int
+	// CriticalityLoss sums criticality of failed modules over trials.
+	CriticalityLoss float64
+}
+
+// Unavailability returns the per-trial service-loss probability of a
+// module.
+func (r HWResult) Unavailability(module string) float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.ModuleFailures[module]) / float64(r.Trials)
+}
+
+// RunHW executes the hardware-failure campaign.
+func RunHW(c HWFaultCampaign) (HWResult, error) {
+	if c.Trials <= 0 {
+		return HWResult{}, fmt.Errorf("%w: %d", ErrNoTrials, c.Trials)
+	}
+	if len(c.ReplicasOf) == 0 {
+		return HWResult{}, ErrNoNodes
+	}
+	if c.FailureProb < 0 || c.FailureProb > 1 {
+		return HWResult{}, fmt.Errorf("faultsim: failure probability %g out of range", c.FailureProb)
+	}
+	rng := rand.New(rand.NewPCG(c.Seed, c.Seed^0x6a09e667f3bcc909))
+
+	hwNodes := map[string]bool{}
+	for _, n := range c.HWOf {
+		hwNodes[n] = true
+	}
+	hwList := make([]string, 0, len(hwNodes))
+	for n := range hwNodes {
+		hwList = append(hwList, n)
+	}
+	sort.Strings(hwList)
+
+	modules := make([]string, 0, len(c.ReplicasOf))
+	for m := range c.ReplicasOf {
+		modules = append(modules, m)
+	}
+	sort.Strings(modules)
+
+	res := HWResult{Trials: c.Trials, ModuleFailures: map[string]int{}}
+	for trial := 0; trial < c.Trials; trial++ {
+		down := map[string]bool{}
+		for _, n := range hwList {
+			if rng.Float64() < c.FailureProb {
+				down[n] = true
+			}
+		}
+		anyLoss := false
+		for _, m := range modules {
+			reps := c.ReplicasOf[m]
+			alive := 0
+			for _, r := range reps {
+				if !down[c.HWOf[r]] {
+					alive++
+				}
+			}
+			need := 1
+			if c.MajorityRequired {
+				need = len(reps)/2 + 1
+			}
+			if alive < need {
+				res.ModuleFailures[m]++
+				res.CriticalityLoss += c.Criticality[m]
+				anyLoss = true
+			}
+		}
+		if anyLoss {
+			res.TrialsWithAnyLoss++
+		}
+	}
+	return res, nil
+}

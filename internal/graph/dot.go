@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/attrs"
+)
+
+// WriteDOT renders the influence graph in Graphviz DOT format: weighted
+// influence edges as solid arrows labelled with their value, replica links
+// as dashed undirected-style pairs, criticality shading on nodes. The
+// output is deterministic (sorted nodes and edges).
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "influence"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, style=filled];\n")
+	// Criticality range for shading.
+	maxCrit := 0.0
+	for _, id := range g.Nodes() {
+		if c := g.Attrs(id).Value(attrs.Criticality); c > maxCrit {
+			maxCrit = c
+		}
+	}
+	for _, id := range g.Nodes() {
+		c := g.Attrs(id).Value(attrs.Criticality)
+		shade := 0
+		if maxCrit > 0 {
+			shade = int(c / maxCrit * 80)
+		}
+		fmt.Fprintf(&b, "  %q [fillcolor=\"gray%d\", label=\"%s\\nC=%g\"];\n",
+			id, 100-shade, id, c)
+	}
+	seenReplica := map[string]bool{}
+	for _, e := range g.Edges() {
+		if e.Replica {
+			a, bnode := e.From, e.To
+			if bnode < a {
+				a, bnode = bnode, a
+			}
+			key := a + "|" + bnode
+			if seenReplica[key] {
+				continue
+			}
+			seenReplica[key] = true
+			fmt.Fprintf(&b, "  %q -> %q [dir=none, style=dashed, label=\"replica\"];\n", a, bnode)
+			continue
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%.2g\"];\n", e.From, e.To, e.Weight)
+	}
+	b.WriteString("}\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("graph: write dot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,577 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/attrs"
+)
+
+func mustAdd(t *testing.T, g *Graph, ids ...string) {
+	t.Helper()
+	for _, id := range ids {
+		if err := g.AddNode(id, attrs.Set{}); err != nil {
+			t.Fatalf("AddNode(%q): %v", id, err)
+		}
+	}
+}
+
+func mustEdge(t *testing.T, g *Graph, from, to string, w float64, factors ...string) {
+	t.Helper()
+	if err := g.SetEdge(from, to, w, factors...); err != nil {
+		t.Fatalf("SetEdge(%q,%q,%g): %v", from, to, w, err)
+	}
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a")
+	err := g.AddNode("a", attrs.Set{})
+	if !errors.Is(err, ErrDuplicateNode) {
+		t.Errorf("duplicate add: err = %v, want ErrDuplicateNode", err)
+	}
+}
+
+func TestAddNodeEmptyID(t *testing.T) {
+	g := New()
+	if err := g.AddNode("", attrs.Set{}); err == nil {
+		t.Error("AddNode(\"\") succeeded, want error")
+	}
+}
+
+func TestRemoveNodeCleansEdges(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b", "c")
+	mustEdge(t, g, "a", "b", 0.5)
+	mustEdge(t, g, "c", "a", 0.2)
+	if err := g.RemoveNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 0 {
+		t.Errorf("after remove: nodes=%d edges=%d, want 2, 0", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.RemoveNode("a"); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("second remove err = %v, want ErrNoSuchNode", err)
+	}
+}
+
+func TestSetEdgeValidation(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b")
+	tests := []struct {
+		name     string
+		from, to string
+		w        float64
+		wantErr  error
+	}{
+		{"self edge", "a", "a", 0.5, ErrSelfEdge},
+		{"missing from", "x", "b", 0.5, ErrNoSuchNode},
+		{"missing to", "a", "x", 0.5, ErrNoSuchNode},
+		{"weight above 1", "a", "b", 1.5, ErrBadWeight},
+		{"negative weight", "a", "b", -0.1, ErrBadWeight},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := g.SetEdge(tt.from, tt.to, tt.w); !errors.Is(err, tt.wantErr) {
+				t.Errorf("err = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestInfluenceAndMutual(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "p1", "p2")
+	mustEdge(t, g, "p1", "p2", 0.7)
+	mustEdge(t, g, "p2", "p1", 0.5)
+	if got := g.Influence("p1", "p2"); got != 0.7 {
+		t.Errorf("Influence(p1,p2) = %g, want 0.7", got)
+	}
+	if got := g.MutualInfluence("p1", "p2"); math.Abs(got-1.2) > 1e-12 {
+		t.Errorf("MutualInfluence = %g, want 1.2", got)
+	}
+	// Asymmetry: influence need not be symmetric (§3.4.1).
+	if g.Influence("p1", "p2") == g.Influence("p2", "p1") {
+		t.Error("test fixture should be asymmetric")
+	}
+	if got := g.Influence("p1", "missing"); got != 0 {
+		t.Errorf("Influence to missing node = %g, want 0", got)
+	}
+}
+
+func TestReplicaEdges(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "p1a", "p1b", "p2")
+	if err := g.AddReplicaEdge("p1a", "p1b"); err != nil {
+		t.Fatal(err)
+	}
+	if !g.AreReplicas("p1a", "p1b") || !g.AreReplicas("p1b", "p1a") {
+		t.Error("replica edge not symmetric")
+	}
+	if g.AreReplicas("p1a", "p2") {
+		t.Error("non-replica pair reported as replicas")
+	}
+	if w := g.Influence("p1a", "p1b"); w != 0 {
+		t.Errorf("replica edge weight = %g, want 0", w)
+	}
+}
+
+func TestEdgeLabel(t *testing.T) {
+	e := Edge{Factors: []string{"shared-memory", "timing"}}
+	if got := e.Label(); got != "(shared-memory,timing)" {
+		t.Errorf("Label = %q", got)
+	}
+	if got := (Edge{}).Label(); got != "" {
+		t.Errorf("empty Label = %q", got)
+	}
+}
+
+func TestNodesSortedDeterministic(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "p3", "p1", "p2")
+	got := g.Nodes()
+	want := []string{"p1", "p2", "p3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOutInEdgesSorted(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b", "c", "d")
+	mustEdge(t, g, "a", "d", 0.1)
+	mustEdge(t, g, "a", "b", 0.2)
+	mustEdge(t, g, "a", "c", 0.3)
+	mustEdge(t, g, "b", "d", 0.4)
+	out := g.OutEdges("a")
+	if len(out) != 3 || out[0].To != "b" || out[1].To != "c" || out[2].To != "d" {
+		t.Errorf("OutEdges order wrong: %+v", out)
+	}
+	in := g.InEdges("d")
+	if len(in) != 2 || in[0].From != "a" || in[1].From != "b" {
+		t.Errorf("InEdges order wrong: %+v", in)
+	}
+	if n := g.NumEdges(); n != 4 {
+		t.Errorf("NumEdges = %d, want 4", n)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b")
+	mustEdge(t, g, "a", "b", 0.5, "globals")
+	c := g.Clone()
+	c.RemoveEdge("a", "b")
+	if _, ok := g.EdgeBetween("a", "b"); !ok {
+		t.Error("Clone shares edge storage")
+	}
+	if err := c.AddNode("z", attrs.Set{}); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasNode("z") {
+		t.Error("Clone shares node storage")
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b", "c")
+	mustEdge(t, g, "a", "b", 0.5)
+	mustEdge(t, g, "b", "c", 0.3)
+	if err := g.AddReplicaEdge("a", "c"); err != nil {
+		t.Fatal(err)
+	}
+	p, ids := g.Matrix()
+	if len(ids) != 3 || ids[0] != "a" {
+		t.Fatalf("ids = %v", ids)
+	}
+	if p[0][1] != 0.5 || p[1][2] != 0.3 {
+		t.Errorf("matrix values wrong: %v", p)
+	}
+	if p[0][2] != 0 {
+		t.Errorf("replica edge leaked into matrix: %g", p[0][2])
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b", "c", "d", "e")
+	mustEdge(t, g, "a", "b", 0.5)
+	mustEdge(t, g, "b", "c", 0.3)
+	mustEdge(t, g, "d", "e", 0.2)
+	if err := g.AddReplicaEdge("c", "d"); err != nil {
+		t.Fatal(err)
+	}
+	r := g.Reachable("a")
+	for _, want := range []string{"a", "b", "c"} {
+		if !r[want] {
+			t.Errorf("%s not reachable", want)
+		}
+	}
+	// Replica edges do not transmit influence.
+	if r["d"] || r["e"] {
+		t.Error("reachability crossed a replica edge")
+	}
+	if len(g.Reachable("missing")) != 0 {
+		t.Error("Reachable from missing node should be empty")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := New()
+	if err := g.AddNode("a", attrs.New(map[attrs.Kind]float64{attrs.Criticality: 5})); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, g, "b")
+	mustEdge(t, g, "a", "b", 0.5, "globals")
+	s := g.String()
+	want := "a [C=5]\n  -> b 0.5(globals)\nb []\n"
+	if s != want {
+		t.Errorf("String() = %q, want %q", s, want)
+	}
+}
+
+// --- Contract ---
+
+func eq4(ws []float64) float64 {
+	prod := 1.0
+	for _, w := range ws {
+		prod *= 1 - w
+	}
+	return 1 - prod
+}
+
+func fig2Graph(t *testing.T) *Graph {
+	// Fig. 2 of the paper: nodes 1..7; nodes 1-4 are combined; the
+	// influences of nodes 2 and 4 on node 6 must be combined.
+	t.Helper()
+	g := New()
+	mustAdd(t, g, "n1", "n2", "n3", "n4", "n5", "n6", "n7")
+	mustEdge(t, g, "n1", "n2", 0.4)
+	mustEdge(t, g, "n2", "n3", 0.3)
+	mustEdge(t, g, "n3", "n4", 0.2)
+	mustEdge(t, g, "n2", "n6", 0.3)
+	mustEdge(t, g, "n4", "n6", 0.1)
+	mustEdge(t, g, "n4", "n5", 0.25)
+	mustEdge(t, g, "n7", "n1", 0.15)
+	return g
+}
+
+func TestContractFig2(t *testing.T) {
+	g := fig2Graph(t)
+	id, err := g.Contract([]string{"n1", "n2", "n3", "n4"}, eq4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "{n1,n2,n3,n4}" {
+		t.Errorf("cluster id = %q", id)
+	}
+	if g.NumNodes() != 4 {
+		t.Errorf("nodes after contract = %d, want 4", g.NumNodes())
+	}
+	// Internal influences disappear; combined influence on n6 per Eq. (4):
+	// 1-(1-0.3)(1-0.1) = 0.37. This is the exact value surviving in Fig. 5.
+	got := g.Influence(id, "n6")
+	if math.Abs(got-0.37) > 1e-12 {
+		t.Errorf("cluster->n6 = %g, want 0.37", got)
+	}
+	if got := g.Influence(id, "n5"); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("cluster->n5 = %g, want 0.25", got)
+	}
+	if got := g.Influence("n7", id); math.Abs(got-0.15) > 1e-12 {
+		t.Errorf("n7->cluster = %g, want 0.15", got)
+	}
+}
+
+func TestContractMergesFactors(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b", "t")
+	mustEdge(t, g, "a", "t", 0.3, "globals")
+	mustEdge(t, g, "b", "t", 0.1, "timing")
+	id, err := g.Contract([]string{"a", "b"}, eq4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := g.EdgeBetween(id, "t")
+	if !ok {
+		t.Fatal("no combined edge")
+	}
+	if e.Label() != "(globals,timing)" {
+		t.Errorf("combined label = %q", e.Label())
+	}
+}
+
+func TestContractRejectsReplicaPair(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "p1a", "p1b")
+	if err := g.AddReplicaEdge("p1a", "p1b"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := g.Contract([]string{"p1a", "p1b"}, eq4)
+	if !errors.Is(err, ErrReplicaConflict) {
+		t.Errorf("err = %v, want ErrReplicaConflict", err)
+	}
+}
+
+func TestContractReplicaEdgeAbsorbing(t *testing.T) {
+	// §5.2: "if any of the component nodes had an influence of 0 [replica
+	// edge] on the neighbor, then the final value is also 0".
+	g := New()
+	mustAdd(t, g, "p1a", "p1b", "x")
+	if err := g.AddReplicaEdge("p1a", "p1b"); err != nil {
+		t.Fatal(err)
+	}
+	mustEdge(t, g, "x", "p1b", 0.9)
+	id, err := g.Contract([]string{"p1a", "x"}, eq4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.AreReplicas(id, "p1b") {
+		t.Error("cluster should inherit the replica constraint against p1b")
+	}
+	// The weighted x->p1b edge must not override the replica marker.
+	if w := g.Influence(id, "p1b"); w != 0 {
+		t.Errorf("influence across inherited replica edge = %g, want 0", w)
+	}
+}
+
+func TestContractAttributesCombined(t *testing.T) {
+	g := New()
+	if err := g.AddNode("a", attrs.Timing(15, 3, 0, 20, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode("b", attrs.Timing(10, 2, 8, 16, 5)); err != nil {
+		t.Fatal(err)
+	}
+	id, err := g.Contract([]string{"a", "b"}, eq4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.Attrs(id)
+	if a.Value(attrs.Criticality) != 15 || a.Value(attrs.Deadline) != 16 ||
+		a.Value(attrs.ComputeTime) != 10 {
+		t.Errorf("cluster attrs = %s", a)
+	}
+}
+
+func TestContractErrors(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a")
+	if _, err := g.Contract(nil, eq4); err == nil {
+		t.Error("empty contract succeeded")
+	}
+	if _, err := g.Contract([]string{"a", "a"}, eq4); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := g.Contract([]string{"zz"}, eq4); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("unknown member err = %v", err)
+	}
+}
+
+func TestContractFlattensNestedClusters(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b", "c")
+	id1, err := g.Contract([]string{"a", "b"}, eq4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := g.Contract([]string{id1, "c"}, eq4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != "{a,b,c}" {
+		t.Errorf("nested cluster id = %q, want {a,b,c}", id2)
+	}
+}
+
+func TestMembersRoundTrip(t *testing.T) {
+	tests := []struct {
+		id   string
+		want []string
+	}{
+		{"p1", []string{"p1"}},
+		{"{a,b}", []string{"a", "b"}},
+		{"{}", nil},
+	}
+	for _, tt := range tests {
+		got := Members(tt.id)
+		if len(got) != len(tt.want) {
+			t.Errorf("Members(%q) = %v, want %v", tt.id, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("Members(%q) = %v, want %v", tt.id, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestClusterIDSorted(t *testing.T) {
+	if id := ClusterID([]string{"b", "a"}); id != "{a,b}" {
+		t.Errorf("ClusterID = %q, want {a,b}", id)
+	}
+}
+
+// --- Cuts ---
+
+func TestGlobalMinCutTwoClusters(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a1", "a2", "b1", "b2")
+	mustEdge(t, g, "a1", "a2", 0.9)
+	mustEdge(t, g, "a2", "a1", 0.9)
+	mustEdge(t, g, "b1", "b2", 0.8)
+	mustEdge(t, g, "b2", "b1", 0.8)
+	mustEdge(t, g, "a1", "b1", 0.05)
+	cut, err := g.GlobalMinCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cut.Weight-0.05) > 1e-12 {
+		t.Errorf("cut weight = %g, want 0.05", cut.Weight)
+	}
+	sides := map[string]int{}
+	for _, id := range cut.S {
+		sides[id] = 1
+	}
+	for _, id := range cut.T {
+		sides[id] = 2
+	}
+	if sides["a1"] != sides["a2"] || sides["b1"] != sides["b2"] || sides["a1"] == sides["b1"] {
+		t.Errorf("cut sides wrong: S=%v T=%v", cut.S, cut.T)
+	}
+}
+
+func TestGlobalMinCutTooSmall(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "only")
+	if _, err := g.GlobalMinCut(); !errors.Is(err, ErrTooSmall) {
+		t.Errorf("err = %v, want ErrTooSmall", err)
+	}
+}
+
+func TestGlobalMinCutDisconnected(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b")
+	cut, err := g.GlobalMinCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Weight != 0 {
+		t.Errorf("disconnected cut weight = %g, want 0", cut.Weight)
+	}
+}
+
+func TestMinCutSTMatchesBottleneck(t *testing.T) {
+	// Path a - b - c with a weak middle link: min s-t cut is the weak link.
+	g := New()
+	mustAdd(t, g, "a", "b", "c")
+	mustEdge(t, g, "a", "b", 0.9)
+	mustEdge(t, g, "b", "c", 0.1)
+	cut, err := g.MinCutST("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cut.Weight-0.1) > 1e-9 {
+		t.Errorf("s-t cut weight = %g, want 0.1", cut.Weight)
+	}
+	inS := map[string]bool{}
+	for _, id := range cut.S {
+		inS[id] = true
+	}
+	if !inS["a"] || !inS["b"] || inS["c"] {
+		t.Errorf("cut sides: S=%v T=%v", cut.S, cut.T)
+	}
+}
+
+func TestMinCutSTErrors(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b")
+	if _, err := g.MinCutST("a", "a"); !errors.Is(err, ErrSelfEdge) {
+		t.Errorf("self cut err = %v", err)
+	}
+	if _, err := g.MinCutST("a", "zz"); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("missing node err = %v", err)
+	}
+}
+
+func TestCrossAndInternalWeight(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b", "c", "d")
+	mustEdge(t, g, "a", "b", 0.5)
+	mustEdge(t, g, "c", "d", 0.4)
+	mustEdge(t, g, "a", "c", 0.3)
+	mustEdge(t, g, "d", "b", 0.2)
+	part := [][]string{{"a", "b"}, {"c", "d"}}
+	if got := g.CrossWeight(part); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CrossWeight = %g, want 0.5", got)
+	}
+	if got := g.InternalWeight(part); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("InternalWeight = %g, want 0.9", got)
+	}
+}
+
+func TestCrossPlusInternalIsTotal(t *testing.T) {
+	// Property: for any bipartition covering all nodes, cross + internal
+	// equals the total edge weight.
+	f := func(seed uint8) bool {
+		g := New()
+		ids := []string{"a", "b", "c", "d", "e"}
+		for _, id := range ids {
+			if err := g.AddNode(id, attrs.Set{}); err != nil {
+				return false
+			}
+		}
+		// Deterministic pseudo-random edges from the seed.
+		s := uint32(seed) + 1
+		next := func() float64 {
+			s = s*1664525 + 1013904223
+			return float64(s%1000) / 1000
+		}
+		total := 0.0
+		for i, from := range ids {
+			for j, to := range ids {
+				if i == j {
+					continue
+				}
+				w := next()
+				if w > 0.5 {
+					continue
+				}
+				if err := g.SetEdge(from, to, w); err != nil {
+					return false
+				}
+				total += w
+			}
+		}
+		part := [][]string{{"a", "b"}, {"c", "d", "e"}}
+		sum := g.CrossWeight(part) + g.InternalWeight(part)
+		return math.Abs(sum-total) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalMinCutSeparatesReplicas(t *testing.T) {
+	// Replica edges have weight zero, so a min cut will happily split them.
+	g := New()
+	mustAdd(t, g, "p1a", "p1b")
+	if err := g.AddReplicaEdge("p1a", "p1b"); err != nil {
+		t.Fatal(err)
+	}
+	cut, err := g.GlobalMinCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Weight != 0 {
+		t.Errorf("replica pair cut weight = %g, want 0", cut.Weight)
+	}
+	if len(cut.S) != 1 || len(cut.T) != 1 {
+		t.Errorf("cut sides: %v | %v", cut.S, cut.T)
+	}
+}

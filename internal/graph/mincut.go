@@ -1,0 +1,279 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrTooSmall is returned by cut algorithms on graphs with < 2 nodes.
+var ErrTooSmall = errors.New("graph: cut requires at least two nodes")
+
+// Cut is the result of a minimum-cut computation: a bipartition of the
+// node set and the total symmetrized influence weight crossing it.
+type Cut struct {
+	// S and T are the two sides, each sorted.
+	S, T []string
+	// Weight is the sum of mutual influence across the cut.
+	Weight float64
+}
+
+// GlobalMinCut computes a global minimum cut of the graph's *symmetrized*
+// influence (mutual influence between each pair), using the Stoer–Wagner
+// algorithm. This implements heuristic H2's primitive: "Find the min-cut of
+// the graph. Divide the graph into two parts along the cut." (§5.4)
+//
+// Replica edges carry weight 0 and therefore never hold a cut together —
+// replicas naturally fall on opposite sides, as the paper requires.
+func (g *Graph) GlobalMinCut() (Cut, error) {
+	ids := g.Nodes()
+	n := len(ids)
+	if n < 2 {
+		return Cut{}, ErrTooSmall
+	}
+	// Symmetric weight matrix of mutual influence.
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	idx := make(map[string]int, n)
+	for i, id := range ids {
+		idx[id] = i
+	}
+	for from, m := range g.out {
+		for to, e := range m {
+			if e.Replica {
+				continue
+			}
+			w[idx[from]][idx[to]] += e.Weight
+			w[idx[to]][idx[from]] += e.Weight
+		}
+	}
+
+	// Stoer–Wagner with supernode tracking. members[i] lists the original
+	// node indices currently merged into supernode i.
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+	members := make([][]int, n)
+	for i := range members {
+		members[i] = []int{i}
+	}
+
+	best := Cut{Weight: math.Inf(1)}
+	for len(active) > 1 {
+		// Minimum cut phase: maximum adjacency ordering.
+		a := active[0]
+		inA := map[int]bool{a: true}
+		order := []int{a}
+		weightTo := map[int]float64{}
+		for _, v := range active {
+			if v != a {
+				weightTo[v] = w[a][v]
+			}
+		}
+		for len(order) < len(active) {
+			// pick most tightly connected vertex; break ties by index for
+			// determinism.
+			bestV, bestW := -1, math.Inf(-1)
+			for _, v := range active {
+				if inA[v] {
+					continue
+				}
+				if weightTo[v] > bestW || (weightTo[v] == bestW && (bestV == -1 || v < bestV)) {
+					bestV, bestW = v, weightTo[v]
+				}
+			}
+			inA[bestV] = true
+			order = append(order, bestV)
+			for _, v := range active {
+				if !inA[v] {
+					weightTo[v] += w[bestV][v]
+				}
+			}
+		}
+		s, t := order[len(order)-2], order[len(order)-1]
+		cutOfPhase := 0.0
+		for _, v := range active {
+			if v != t {
+				cutOfPhase += w[t][v]
+			}
+		}
+		if cutOfPhase < best.Weight {
+			tSide := make([]string, 0, len(members[t]))
+			for _, m := range members[t] {
+				tSide = append(tSide, ids[m])
+			}
+			inT := map[string]bool{}
+			for _, id := range tSide {
+				inT[id] = true
+			}
+			sSide := make([]string, 0, n-len(tSide))
+			for _, id := range ids {
+				if !inT[id] {
+					sSide = append(sSide, id)
+				}
+			}
+			sort.Strings(sSide)
+			sort.Strings(tSide)
+			best = Cut{S: sSide, T: tSide, Weight: cutOfPhase}
+		}
+		// Merge t into s.
+		members[s] = append(members[s], members[t]...)
+		for _, v := range active {
+			if v != s && v != t {
+				w[s][v] += w[t][v]
+				w[v][s] = w[s][v]
+			}
+		}
+		next := active[:0]
+		for _, v := range active {
+			if v != t {
+				next = append(next, v)
+			}
+		}
+		active = next
+	}
+	return best, nil
+}
+
+// MinCutST computes a minimum s–t cut of the symmetrized influence using
+// Edmonds–Karp max-flow (H2 variant: "cut the graph using source and target
+// nodes"). The returned cut places s in S and t in T.
+func (g *Graph) MinCutST(s, t string) (Cut, error) {
+	if !g.HasNode(s) || !g.HasNode(t) {
+		return Cut{}, ErrNoSuchNode
+	}
+	if s == t {
+		return Cut{}, ErrSelfEdge
+	}
+	ids := g.Nodes()
+	idx := make(map[string]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	n := len(ids)
+	capM := make([][]float64, n)
+	for i := range capM {
+		capM[i] = make([]float64, n)
+	}
+	for from, m := range g.out {
+		for to, e := range m {
+			if e.Replica {
+				continue
+			}
+			capM[idx[from]][idx[to]] += e.Weight
+			capM[idx[to]][idx[from]] += e.Weight
+		}
+	}
+	si, ti := idx[s], idx[t]
+	flowTotal := 0.0
+	const eps = 1e-12
+	for {
+		// BFS for an augmenting path in the residual graph.
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[si] = si
+		queue := []int{si}
+		for len(queue) > 0 && parent[ti] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if parent[v] == -1 && capM[u][v] > eps {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parent[ti] == -1 {
+			break
+		}
+		// Bottleneck.
+		bottleneck := math.Inf(1)
+		for v := ti; v != si; v = parent[v] {
+			bottleneck = math.Min(bottleneck, capM[parent[v]][v])
+		}
+		for v := ti; v != si; v = parent[v] {
+			capM[parent[v]][v] -= bottleneck
+			capM[v][parent[v]] += bottleneck
+		}
+		flowTotal += bottleneck
+	}
+	// S side = reachable in residual graph.
+	inS := make([]bool, n)
+	inS[si] = true
+	queue := []int{si}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < n; v++ {
+			if !inS[v] && capM[u][v] > eps {
+				inS[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	var sSide, tSide []string
+	for i, id := range ids {
+		if inS[i] {
+			sSide = append(sSide, id)
+		} else {
+			tSide = append(tSide, id)
+		}
+	}
+	return Cut{S: sSide, T: tSide, Weight: flowTotal}, nil
+}
+
+// CrossWeight sums the directed influence of every edge whose endpoints lie
+// in different groups of the given partition. It is the containment metric
+// of §5.3: the residual influence not contained within any one HW node.
+func (g *Graph) CrossWeight(partition [][]string) float64 {
+	groupOf := map[string]int{}
+	for gi, grp := range partition {
+		for _, id := range grp {
+			groupOf[id] = gi
+		}
+	}
+	total := 0.0
+	for from, m := range g.out {
+		for to, e := range m {
+			if e.Replica {
+				continue
+			}
+			gf, okF := groupOf[from]
+			gt, okT := groupOf[to]
+			if okF && okT && gf != gt {
+				total += e.Weight
+			}
+		}
+	}
+	return total
+}
+
+// InternalWeight sums the directed influence contained inside the groups of
+// the partition (the complement of CrossWeight over covered nodes).
+func (g *Graph) InternalWeight(partition [][]string) float64 {
+	groupOf := map[string]int{}
+	for gi, grp := range partition {
+		for _, id := range grp {
+			groupOf[id] = gi
+		}
+	}
+	total := 0.0
+	for from, m := range g.out {
+		for to, e := range m {
+			if e.Replica {
+				continue
+			}
+			gf, okF := groupOf[from]
+			gt, okT := groupOf[to]
+			if okF && okT && gf == gt {
+				total += e.Weight
+			}
+		}
+	}
+	return total
+}

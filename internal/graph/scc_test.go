@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/attrs"
+)
+
+func TestSCCBasic(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b", "c", "d")
+	// Cycle a<->b; chain to c; isolated d.
+	mustEdge(t, g, "a", "b", 0.5)
+	mustEdge(t, g, "b", "a", 0.4)
+	mustEdge(t, g, "b", "c", 0.3)
+	comps := g.StronglyConnectedComponents()
+	var rendered []string
+	for _, c := range comps {
+		rendered = append(rendered, strings.Join(c, ","))
+	}
+	got := strings.Join(rendered, " | ")
+	if got != "a,b | c | d" {
+		t.Errorf("SCCs = %s", got)
+	}
+}
+
+func TestSCCIgnoresReplicaEdges(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "p1a", "p1b")
+	if err := g.AddReplicaEdge("p1a", "p1b"); err != nil {
+		t.Fatal(err)
+	}
+	comps := g.StronglyConnectedComponents()
+	if len(comps) != 2 {
+		t.Errorf("replica pair fused into one SCC: %v", comps)
+	}
+}
+
+func TestSCCLargeCycle(t *testing.T) {
+	g := New()
+	names := []string{"a", "b", "c", "d", "e"}
+	for _, n := range names {
+		if err := g.AddNode(n, attrs.Set{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range names {
+		mustEdge(t, g, names[i], names[(i+1)%len(names)], 0.5)
+	}
+	comps := g.StronglyConnectedComponents()
+	if len(comps) != 1 || len(comps[0]) != 5 {
+		t.Errorf("five-cycle SCCs = %v", comps)
+	}
+}
+
+func TestInfluenceCyclesPaperExample(t *testing.T) {
+	// The worked example contains the 2-cycles (p1,p2), (p3,p4), (p7,p8)
+	// all fused into one big SCC via p5/p6/p8 links.
+	g := New()
+	for _, n := range []string{"p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8"} {
+		if err := g.AddNode(n, attrs.Set{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edges := []struct {
+		from, to string
+		w        float64
+	}{
+		{"p1", "p2", 0.7}, {"p2", "p1", 0.5}, {"p3", "p4", 0.6}, {"p4", "p3", 0.3},
+		{"p3", "p5", 0.7}, {"p4", "p5", 0.2}, {"p2", "p3", 0.2}, {"p7", "p8", 0.3},
+		{"p8", "p7", 0.2}, {"p5", "p7", 0.2}, {"p5", "p6", 0.1}, {"p8", "p6", 0.3},
+		{"p6", "p1", 0.1},
+	}
+	for _, e := range edges {
+		mustEdge(t, g, e.from, e.to, e.w)
+	}
+	cycles := g.InfluenceCycles()
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %+v", cycles)
+	}
+	if len(cycles[0].Members) != 8 {
+		t.Errorf("SCC members = %v", cycles[0].Members)
+	}
+	// Strongest two-hop feedback: p1<->p2 = 0.7*0.5 = 0.35.
+	if math.Abs(cycles[0].TwoHopFeedback-0.35) > 1e-12 {
+		t.Errorf("feedback = %g, want 0.35", cycles[0].TwoHopFeedback)
+	}
+}
+
+func TestInfluenceCyclesNoneOnDAG(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", "b", "c")
+	mustEdge(t, g, "a", "b", 0.5)
+	mustEdge(t, g, "b", "c", 0.5)
+	if cycles := g.InfluenceCycles(); len(cycles) != 0 {
+		t.Errorf("DAG reported cycles: %v", cycles)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New()
+	if err := g.AddNode("p1", attrs.New(map[attrs.Kind]float64{attrs.Criticality: 15})); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode("p1b", attrs.New(map[attrs.Kind]float64{attrs.Criticality: 15})); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode("p2", attrs.New(map[attrs.Kind]float64{attrs.Criticality: 5})); err != nil {
+		t.Fatal(err)
+	}
+	mustEdge(t, g, "p1", "p2", 0.7)
+	if err := g.AddReplicaEdge("p1", "p1b"); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := g.WriteDOT(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`digraph "test"`,
+		`"p1" -> "p2" [label="0.7"]`,
+		`style=dashed, label="replica"`,
+		`C=15`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Replica pair rendered once, not twice.
+	if strings.Count(out, "replica") != 1 {
+		t.Errorf("replica edge rendered %d times", strings.Count(out, "replica"))
+	}
+}

@@ -1,0 +1,357 @@
+// Package hierarchy generalises the fixed three-level FCM hierarchy of
+// package core to arbitrary level chains. The paper chooses three levels
+// deliberately, "illustrating the conceptual approach while minimizing
+// model complexity", but notes that "once such a framework is established,
+// it is possible to add/delete levels (or elements of the hierarchy) as
+// desired" — its own example being object-oriented implementation, which
+// "introduces objects/classes as another natural level in the hierarchy,
+// with its own kinds of faults" (§3 footnote).
+//
+// A Scheme names the levels from lowest to highest (e.g. procedure →
+// object → task → process); a Tree holds FCMs under the generalised rules:
+//
+//	R1'  a child sits exactly one level below its parent;
+//	R2'  the composition DAG is a tree (one parent per FCM);
+//	R3'  merging only between siblings;
+//	R5'  a modification retests the FCM, its parent, and the interfaces
+//	     with its siblings — independent of the scheme's depth.
+//
+// The depth ablation (experiment E12) uses this package to quantify the
+// paper's three-level choice: deeper schemes localise retests further but
+// carry more structural overhead.
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors returned by scheme and tree operations.
+var (
+	ErrBadScheme     = errors.New("hierarchy: scheme needs at least two distinct levels")
+	ErrUnknownLevel  = errors.New("hierarchy: unknown level")
+	ErrUnknownFCM    = errors.New("hierarchy: unknown FCM")
+	ErrDuplicateName = errors.New("hierarchy: duplicate FCM name")
+	ErrRuleR1        = errors.New("hierarchy: R1 violation: child must sit one level below parent")
+	ErrRuleR2        = errors.New("hierarchy: R2 violation: FCM already has a parent")
+	ErrRuleR3        = errors.New("hierarchy: R3 violation: merging requires siblings")
+)
+
+// Scheme is an ordered list of level names, lowest first.
+type Scheme struct {
+	levels []string
+	index  map[string]int
+}
+
+// NewScheme validates and builds a scheme.
+func NewScheme(levels ...string) (Scheme, error) {
+	if len(levels) < 2 {
+		return Scheme{}, ErrBadScheme
+	}
+	s := Scheme{levels: append([]string(nil), levels...), index: map[string]int{}}
+	for i, l := range levels {
+		if l == "" {
+			return Scheme{}, fmt.Errorf("%w: empty level name", ErrBadScheme)
+		}
+		if _, dup := s.index[l]; dup {
+			return Scheme{}, fmt.Errorf("%w: level %q repeated", ErrBadScheme, l)
+		}
+		s.index[l] = i
+	}
+	return s, nil
+}
+
+// ThreeLevel is the paper's canonical scheme.
+func ThreeLevel() Scheme {
+	s, err := NewScheme("procedure", "task", "process")
+	if err != nil {
+		// Unreachable: the literal levels are valid.
+		panic(err)
+	}
+	return s
+}
+
+// WithObjects is the OO extension the paper's footnote describes.
+func WithObjects() Scheme {
+	s, err := NewScheme("procedure", "object", "task", "process")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Levels returns the level names, lowest first.
+func (s Scheme) Levels() []string { return append([]string(nil), s.levels...) }
+
+// Depth returns the number of levels.
+func (s Scheme) Depth() int { return len(s.levels) }
+
+// LevelIndex returns the index of a level name.
+func (s Scheme) LevelIndex(level string) (int, error) {
+	i, ok := s.index[level]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownLevel, level)
+	}
+	return i, nil
+}
+
+// Node is one FCM in a generalised tree.
+type Node struct {
+	name     string
+	level    int // index into the scheme
+	parent   *Node
+	children map[string]*Node
+	modified bool
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Parent returns the node's parent (nil for roots).
+func (n *Node) Parent() *Node { return n.parent }
+
+// Modified reports the node's modification mark.
+func (n *Node) Modified() bool { return n.modified }
+
+// Children returns the node's children sorted by name.
+func (n *Node) Children() []*Node {
+	out := make([]*Node, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Tree is a forest of FCMs under a scheme. The zero value is unusable;
+// call New.
+type Tree struct {
+	scheme Scheme
+	index  map[string]*Node
+}
+
+// New builds an empty tree over the scheme.
+func New(scheme Scheme) *Tree {
+	return &Tree{scheme: scheme, index: map[string]*Node{}}
+}
+
+// Scheme returns the tree's scheme.
+func (t *Tree) Scheme() Scheme { return t.scheme }
+
+// Len returns the FCM count.
+func (t *Tree) Len() int { return len(t.index) }
+
+// Lookup returns the named node.
+func (t *Tree) Lookup(name string) (*Node, error) {
+	n, ok := t.index[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFCM, name)
+	}
+	return n, nil
+}
+
+// LevelName returns the level name of a node.
+func (t *Tree) LevelName(n *Node) string { return t.scheme.levels[n.level] }
+
+// Add inserts an FCM at the given level under the named parent; parent ""
+// creates a root, which is only allowed at the top level (R1' closes the
+// chain downward from the top).
+func (t *Tree) Add(name, level, parent string) (*Node, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty name", ErrUnknownFCM)
+	}
+	li, err := t.scheme.LevelIndex(level)
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := t.index[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	var p *Node
+	if parent == "" {
+		if li != t.scheme.Depth()-1 {
+			return nil, fmt.Errorf("%w: %q at level %q needs a parent", ErrRuleR1, name, level)
+		}
+	} else {
+		p, err = t.Lookup(parent)
+		if err != nil {
+			return nil, err
+		}
+		if p.level != li+1 {
+			return nil, fmt.Errorf("%w: %q (%s) under %q (%s)",
+				ErrRuleR1, name, level, parent, t.LevelName(p))
+		}
+	}
+	n := &Node{name: name, level: li, parent: p, children: map[string]*Node{}}
+	t.index[name] = n
+	if p != nil {
+		p.children[name] = n
+	}
+	return n, nil
+}
+
+// Reparent is rejected: R2' (one parent forever). Exposed to make the
+// rule's presence explicit in the API.
+func (t *Tree) Reparent(name, newParent string) error {
+	if _, err := t.Lookup(name); err != nil {
+		return err
+	}
+	if _, err := t.Lookup(newParent); err != nil {
+		return err
+	}
+	return fmt.Errorf("%w: %q (clone instead)", ErrRuleR2, name)
+}
+
+// MergeSiblings merges the named sibling FCMs into one (R3'); the merged
+// node adopts the union of children and marks the parent modified (R5').
+func (t *Tree) MergeSiblings(mergedName string, names []string) (*Node, error) {
+	if len(names) < 2 {
+		return nil, fmt.Errorf("%w: merging needs two members", ErrUnknownFCM)
+	}
+	members := make([]*Node, 0, len(names))
+	for _, n := range names {
+		m, err := t.Lookup(n)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, m)
+	}
+	first := members[0]
+	for _, m := range members[1:] {
+		if m.level != first.level || m.parent != first.parent {
+			return nil, fmt.Errorf("%w: %q and %q", ErrRuleR3, first.name, m.name)
+		}
+	}
+	if _, dup := t.index[mergedName]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, mergedName)
+	}
+	merged := &Node{
+		name:     mergedName,
+		level:    first.level,
+		parent:   first.parent,
+		children: map[string]*Node{},
+		modified: true,
+	}
+	for _, m := range members {
+		for cn, c := range m.children {
+			merged.children[cn] = c
+			c.parent = merged
+		}
+		if m.parent != nil {
+			delete(m.parent.children, m.name)
+		}
+		delete(t.index, m.name)
+	}
+	t.index[mergedName] = merged
+	if merged.parent != nil {
+		merged.parent.children[mergedName] = merged
+		merged.parent.modified = true
+	}
+	return merged, nil
+}
+
+// RetestSet implements R5' for any depth: the modified FCM, its parent,
+// and the interfaces with its siblings. It returns (FCM names, interface
+// labels); the node is also marked modified along with its parent.
+func (t *Tree) RetestSet(name string) (fcms, interfaces []string, err error) {
+	n, err := t.Lookup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	n.modified = true
+	fcms = []string{n.name}
+	if n.parent != nil {
+		n.parent.modified = true
+		fcms = append(fcms, n.parent.name)
+		for _, s := range n.parent.Children() {
+			if s == n {
+				continue
+			}
+			a, b := n.name, s.name
+			if b < a {
+				a, b = b, a
+			}
+			interfaces = append(interfaces, a+"<->"+b)
+		}
+	}
+	sort.Strings(fcms)
+	sort.Strings(interfaces)
+	return fcms, interfaces, nil
+}
+
+// ClearModified resets all modification marks.
+func (t *Tree) ClearModified() {
+	for _, n := range t.index {
+		n.modified = false
+	}
+}
+
+// Validate checks the generalised structural invariants.
+func (t *Tree) Validate() error {
+	for name, n := range t.index {
+		if n.name != name {
+			return fmt.Errorf("hierarchy: index corruption at %q", name)
+		}
+		if n.parent == nil {
+			if n.level != t.scheme.Depth()-1 {
+				return fmt.Errorf("%w: root %q at level %q",
+					ErrRuleR1, name, t.LevelName(n))
+			}
+			continue
+		}
+		if n.parent.level != n.level+1 {
+			return fmt.Errorf("%w: %q under %q", ErrRuleR1, name, n.parent.name)
+		}
+		if got, ok := n.parent.children[name]; !ok || got != n {
+			return fmt.Errorf("%w: %q not registered under %q", ErrRuleR2, name, n.parent.name)
+		}
+	}
+	return nil
+}
+
+// BuildUniform builds a complete tree with the given branching factor per
+// level (branching[i] children per node at level i+1), returning the tree
+// and the names of its leaves. Names encode the path, e.g. "P0.T1.f2".
+func BuildUniform(scheme Scheme, branching []int) (*Tree, []string, error) {
+	if len(branching) != scheme.Depth()-1 {
+		return nil, nil, fmt.Errorf("%w: need %d branching factors, got %d",
+			ErrBadScheme, scheme.Depth()-1, len(branching))
+	}
+	t := New(scheme)
+	var leaves []string
+	var build func(parent string, level int) error
+	build = func(parent string, level int) error {
+		if level < 0 {
+			leaves = append(leaves, parent)
+			return nil
+		}
+		count := branching[level]
+		for i := 0; i < count; i++ {
+			name := fmt.Sprintf("%s.%s%d", parent, scheme.levels[level][:1], i)
+			if parent == "" {
+				name = fmt.Sprintf("%s%d", scheme.levels[level][:1], i)
+			}
+			if _, err := t.Add(name, scheme.levels[level], parent); err != nil {
+				return err
+			}
+			if err := build(name, level-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Top level: roots.
+	top := scheme.Depth() - 1
+	rootCount := 1
+	for i := 0; i < rootCount; i++ {
+		name := fmt.Sprintf("%s%d", scheme.levels[top][:1], i)
+		if _, err := t.Add(name, scheme.levels[top], ""); err != nil {
+			return nil, nil, err
+		}
+		if err := build(name, top-1); err != nil {
+			return nil, nil, err
+		}
+	}
+	return t, leaves, nil
+}

@@ -1,0 +1,235 @@
+package hierarchy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNewSchemeValidation(t *testing.T) {
+	if _, err := NewScheme("only"); !errors.Is(err, ErrBadScheme) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := NewScheme("a", "a"); !errors.Is(err, ErrBadScheme) {
+		t.Errorf("duplicate level err = %v", err)
+	}
+	if _, err := NewScheme("a", ""); !errors.Is(err, ErrBadScheme) {
+		t.Errorf("empty level err = %v", err)
+	}
+	s, err := NewScheme("procedure", "task", "process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth() != 3 {
+		t.Errorf("depth = %d", s.Depth())
+	}
+	if i, err := s.LevelIndex("task"); err != nil || i != 1 {
+		t.Errorf("LevelIndex(task) = %d, %v", i, err)
+	}
+	if _, err := s.LevelIndex("object"); !errors.Is(err, ErrUnknownLevel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCanonicalSchemes(t *testing.T) {
+	if got := strings.Join(ThreeLevel().Levels(), ","); got != "procedure,task,process" {
+		t.Errorf("ThreeLevel = %s", got)
+	}
+	if got := strings.Join(WithObjects().Levels(), ","); got != "procedure,object,task,process" {
+		t.Errorf("WithObjects = %s", got)
+	}
+}
+
+func buildOO(t *testing.T) *Tree {
+	t.Helper()
+	tr := New(WithObjects())
+	adds := [][3]string{
+		{"P0", "process", ""},
+		{"T0", "task", "P0"},
+		{"O0", "object", "T0"},
+		{"O1", "object", "T0"},
+		{"f0", "procedure", "O0"},
+		{"f1", "procedure", "O0"},
+		{"f2", "procedure", "O1"},
+	}
+	for _, a := range adds {
+		if _, err := tr.Add(a[0], a[1], a[2]); err != nil {
+			t.Fatalf("Add(%v): %v", a, err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestOOSchemeTree(t *testing.T) {
+	tr := buildOO(t)
+	if tr.Len() != 7 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	o0, err := tr.Lookup("O0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.LevelName(o0) != "object" || o0.Parent().Name() != "T0" {
+		t.Errorf("O0: level=%s parent=%s", tr.LevelName(o0), o0.Parent().Name())
+	}
+	kids := o0.Children()
+	if len(kids) != 2 || kids[0].Name() != "f0" {
+		t.Errorf("O0 children: %v", kids)
+	}
+}
+
+func TestAddRuleViolations(t *testing.T) {
+	tr := buildOO(t)
+	// Procedure directly under a task skips the object level: R1'.
+	if _, err := tr.Add("fx", "procedure", "T0"); !errors.Is(err, ErrRuleR1) {
+		t.Errorf("err = %v", err)
+	}
+	// Root below top level: R1'.
+	if _, err := tr.Add("Tfree", "task", ""); !errors.Is(err, ErrRuleR1) {
+		t.Errorf("err = %v", err)
+	}
+	// Duplicates and unknowns.
+	if _, err := tr.Add("f0", "procedure", "O1"); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := tr.Add("fy", "procedure", "nope"); !errors.Is(err, ErrUnknownFCM) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := tr.Add("fz", "nope", "O0"); !errors.Is(err, ErrUnknownLevel) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := tr.Add("", "procedure", "O0"); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestReparentAlwaysRejected(t *testing.T) {
+	tr := buildOO(t)
+	if err := tr.Reparent("f0", "O1"); !errors.Is(err, ErrRuleR2) {
+		t.Errorf("err = %v", err)
+	}
+	if err := tr.Reparent("ghost", "O1"); !errors.Is(err, ErrUnknownFCM) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMergeSiblingsGeneralised(t *testing.T) {
+	tr := buildOO(t)
+	merged, err := tr.MergeSiblings("O01", []string{"O0", "O1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Children()) != 3 {
+		t.Errorf("merged children = %d", len(merged.Children()))
+	}
+	t0, err := tr.Lookup("T0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !t0.Modified() {
+		t.Error("parent not marked modified (R5')")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Non-siblings rejected.
+	tr2 := buildOO(t)
+	if _, err := tr2.MergeSiblings("x", []string{"f0", "f2"}); !errors.Is(err, ErrRuleR3) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := tr2.MergeSiblings("x", []string{"f0"}); err == nil {
+		t.Error("single-member merge accepted")
+	}
+	if _, err := tr2.MergeSiblings("T0", []string{"f0", "f1"}); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRetestSetDepthIndependent(t *testing.T) {
+	tr := buildOO(t)
+	fcms, interfaces, err := tr.RetestSet("f0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(fcms, ",") != "O0,f0" {
+		t.Errorf("fcms = %v", fcms)
+	}
+	if strings.Join(interfaces, ",") != "f0<->f1" {
+		t.Errorf("interfaces = %v", interfaces)
+	}
+	// The grandparent (T0) is NOT retested — R5' localises to one level
+	// regardless of depth.
+	tnode, err := tr.Lookup("T0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tnode.Modified() {
+		t.Error("grandparent marked modified")
+	}
+	tr.ClearModified()
+	f0, err := tr.Lookup("f0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0.Modified() {
+		t.Error("ClearModified missed f0")
+	}
+	if _, _, err := tr.RetestSet("nope"); !errors.Is(err, ErrUnknownFCM) {
+		t.Errorf("err = %v", err)
+	}
+	// Root retest: no parent, no interfaces.
+	fcms, interfaces, err = tr.RetestSet("P0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fcms) != 1 || len(interfaces) != 0 {
+		t.Errorf("root retest: %v / %v", fcms, interfaces)
+	}
+}
+
+func TestBuildUniformShapes(t *testing.T) {
+	// 3-level: 4 tasks x 4 procedures = 16 leaves, 1+4+16 = 21 FCMs.
+	tr, leaves, err := BuildUniform(ThreeLevel(), []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) != 16 {
+		t.Errorf("leaves = %d, want 16", len(leaves))
+	}
+	if tr.Len() != 21 {
+		t.Errorf("FCMs = %d, want 21", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+	// 4-level: 2 tasks x 2 objects x 4 procedures = 16 leaves.
+	tr4, leaves4, err := BuildUniform(WithObjects(), []int{4, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves4) != 16 {
+		t.Errorf("leaves = %d, want 16", len(leaves4))
+	}
+	if tr4.Len() != 1+2+4+16 {
+		t.Errorf("FCMs = %d, want 23", tr4.Len())
+	}
+	// Wrong branching length.
+	if _, _, err := BuildUniform(ThreeLevel(), []int{4}); !errors.Is(err, ErrBadScheme) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	tr := buildOO(t)
+	n, err := tr.Lookup("f0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.level = 3 // pretend it's a process
+	if err := tr.Validate(); !errors.Is(err, ErrRuleR1) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,293 @@
+// Package hw models the hardware platform of the integration framework
+// (ICDCS 1998 §2, §5.1): a fixed topology of homogeneous processors "with
+// access to equivalent sets of resources", structured using a hardware
+// fault-containment-region (FCR) model.
+//
+// The worked example uses "a strongly connected network with 6 HW nodes";
+// other topologies are provided for the heuristic-comparison experiments.
+package hw
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors returned by platform constructors and queries.
+var (
+	ErrNoSuchNode   = errors.New("hw: no such node")
+	ErrBadTopology  = errors.New("hw: invalid topology parameters")
+	ErrDuplicateTag = errors.New("hw: duplicate node name")
+)
+
+// Node is one processor in the platform.
+type Node struct {
+	// Name identifies the node, e.g. "hw1".
+	Name string
+	// FCR is the hardware fault containment region the node belongs to.
+	// Nodes in one FCR fail together under a region-level fault.
+	FCR string
+	// Resources lists named resources available at this node (e.g. an I/O
+	// channel present on only one processor — one of the paper's mapping
+	// complications).
+	Resources map[string]bool
+	// Capacity is a relative processing capacity; homogeneous platforms
+	// use 1 everywhere.
+	Capacity float64
+}
+
+// HasResource reports whether the node offers the named resource.
+func (n Node) HasResource(r string) bool { return n.Resources[r] }
+
+// Platform is a set of processors and a symmetric communication topology
+// with per-link costs.
+type Platform struct {
+	nodes map[string]*Node
+	// links[a][b] = communication cost between a and b (0 = no link).
+	links map[string]map[string]float64
+}
+
+// NewPlatform returns an empty platform.
+func NewPlatform() *Platform {
+	return &Platform{
+		nodes: make(map[string]*Node),
+		links: make(map[string]map[string]float64),
+	}
+}
+
+// AddNode inserts a processor.
+func (p *Platform) AddNode(n Node) error {
+	if n.Name == "" {
+		return fmt.Errorf("%w: empty name", ErrNoSuchNode)
+	}
+	if _, ok := p.nodes[n.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateTag, n.Name)
+	}
+	if n.Capacity <= 0 {
+		n.Capacity = 1
+	}
+	if n.Resources == nil {
+		n.Resources = map[string]bool{}
+	}
+	cp := n
+	p.nodes[n.Name] = &cp
+	p.links[n.Name] = make(map[string]float64)
+	return nil
+}
+
+// Link creates a symmetric communication link with the given cost.
+func (p *Platform) Link(a, b string, cost float64) error {
+	if a == b {
+		return fmt.Errorf("%w: self link %q", ErrBadTopology, a)
+	}
+	if _, ok := p.nodes[a]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchNode, a)
+	}
+	if _, ok := p.nodes[b]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchNode, b)
+	}
+	if cost <= 0 {
+		return fmt.Errorf("%w: cost %g", ErrBadTopology, cost)
+	}
+	p.links[a][b] = cost
+	p.links[b][a] = cost
+	return nil
+}
+
+// Node returns the named node.
+func (p *Platform) Node(name string) (*Node, error) {
+	n, ok := p.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchNode, name)
+	}
+	return n, nil
+}
+
+// Nodes returns all node names, sorted.
+func (p *Platform) Nodes() []string {
+	out := make([]string, 0, len(p.nodes))
+	for n := range p.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumNodes returns the processor count.
+func (p *Platform) NumNodes() int { return len(p.nodes) }
+
+// Linked reports whether a and b share a direct link.
+func (p *Platform) Linked(a, b string) bool { return p.links[a][b] > 0 }
+
+// LinkCost returns the direct link cost (0 when unlinked).
+func (p *Platform) LinkCost(a, b string) float64 { return p.links[a][b] }
+
+// Distance returns the cheapest communication cost between two nodes
+// (Dijkstra over link costs) and whether they are connected at all.
+// Distance(a, a) is 0.
+func (p *Platform) Distance(a, b string) (float64, bool) {
+	if _, ok := p.nodes[a]; !ok {
+		return 0, false
+	}
+	if _, ok := p.nodes[b]; !ok {
+		return 0, false
+	}
+	if a == b {
+		return 0, true
+	}
+	const unvisited = -1.0
+	dist := map[string]float64{a: 0}
+	done := map[string]bool{}
+	for {
+		// Pick the unfinished node with smallest distance (name-ordered
+		// tie-break for determinism).
+		cur, curD := "", unvisited
+		for n, d := range dist {
+			if done[n] {
+				continue
+			}
+			if curD == unvisited || d < curD || (d == curD && n < cur) {
+				cur, curD = n, d
+			}
+		}
+		if cur == "" {
+			return 0, false
+		}
+		if cur == b {
+			return curD, true
+		}
+		done[cur] = true
+		for nbr, cost := range p.links[cur] {
+			nd := curD + cost
+			if old, ok := dist[nbr]; !ok || nd < old {
+				dist[nbr] = nd
+			}
+		}
+	}
+}
+
+// StronglyConnected reports whether every pair of nodes is connected.
+func (p *Platform) StronglyConnected() bool {
+	names := p.Nodes()
+	if len(names) <= 1 {
+		return true
+	}
+	for _, b := range names[1:] {
+		if _, ok := p.Distance(names[0], b); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FCRs returns the distinct FCR labels and their member nodes, sorted.
+func (p *Platform) FCRs() map[string][]string {
+	out := map[string][]string{}
+	for _, n := range p.nodes {
+		out[n.FCR] = append(out[n.FCR], n.Name)
+	}
+	for k := range out {
+		sort.Strings(out[k])
+	}
+	return out
+}
+
+// Complete builds the paper's "strongly connected network with n HW
+// nodes": every pair linked at unit cost, each node its own FCR, names
+// hw1..hwN.
+func Complete(n int) (*Platform, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadTopology, n)
+	}
+	p := NewPlatform()
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("hw%d", i)
+		if err := p.AddNode(Node{Name: name, FCR: name}); err != nil {
+			return nil, err
+		}
+	}
+	names := p.Nodes()
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			if err := p.Link(names[i], names[j], 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// Ring builds a ring of n nodes (dilation matters on rings, exercising the
+// paper's communication-cost discussion in §6).
+func Ring(n int) (*Platform, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("%w: ring needs n>=3, got %d", ErrBadTopology, n)
+	}
+	p := NewPlatform()
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("hw%d", i)
+		if err := p.AddNode(Node{Name: name, FCR: name}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i <= n; i++ {
+		a := fmt.Sprintf("hw%d", i)
+		b := fmt.Sprintf("hw%d", i%n+1)
+		if err := p.Link(a, b, 1); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Star builds a hub-and-spoke platform: hw1 is the hub, hw2..hwN the
+// spokes. All spoke-to-spoke traffic transits the hub (distance 2).
+func Star(n int) (*Platform, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("%w: star needs n>=3, got %d", ErrBadTopology, n)
+	}
+	p := NewPlatform()
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("hw%d", i)
+		if err := p.AddNode(Node{Name: name, FCR: name}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 2; i <= n; i++ {
+		if err := p.Link("hw1", fmt.Sprintf("hw%d", i), 1); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Mesh builds a rows×cols grid.
+func Mesh(rows, cols int) (*Platform, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("%w: mesh %dx%d", ErrBadTopology, rows, cols)
+	}
+	p := NewPlatform()
+	name := func(r, c int) string { return fmt.Sprintf("hw%d_%d", r, c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if err := p.AddNode(Node{Name: name(r, c), FCR: name(r, c)}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := p.Link(name(r, c), name(r, c+1), 1); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := p.Link(name(r, c), name(r+1, c), 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,247 @@
+package hw
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAddNodeDefaults(t *testing.T) {
+	p := NewPlatform()
+	if err := p.AddNode(Node{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.Node("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Capacity != 1 {
+		t.Errorf("default capacity = %g, want 1", n.Capacity)
+	}
+	if n.Resources == nil {
+		t.Error("nil resources map")
+	}
+}
+
+func TestAddNodeErrors(t *testing.T) {
+	p := NewPlatform()
+	if err := p.AddNode(Node{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := p.AddNode(Node{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddNode(Node{Name: "a"}); !errors.Is(err, ErrDuplicateTag) {
+		t.Errorf("err = %v, want ErrDuplicateTag", err)
+	}
+}
+
+func TestAddNodeCopiesValue(t *testing.T) {
+	p := NewPlatform()
+	n := Node{Name: "a", Resources: map[string]bool{"io": true}}
+	if err := p.AddNode(n); err != nil {
+		t.Fatal(err)
+	}
+	n.Name = "changed"
+	got, err := p.Node("a")
+	if err != nil || got.Name != "a" {
+		t.Errorf("stored node aliased caller's struct: %+v, %v", got, err)
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	p := NewPlatform()
+	if err := p.AddNode(Node{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddNode(Node{Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name    string
+		a, b    string
+		cost    float64
+		wantErr error
+	}{
+		{"self", "a", "a", 1, ErrBadTopology},
+		{"missing", "a", "z", 1, ErrNoSuchNode},
+		{"zero cost", "a", "b", 0, ErrBadTopology},
+		{"negative", "a", "b", -1, ErrBadTopology},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := p.Link(tt.a, tt.b, tt.cost); !errors.Is(err, tt.wantErr) {
+				t.Errorf("err = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+	if err := p.Link("a", "b", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Linked("b", "a") || p.LinkCost("b", "a") != 2.5 {
+		t.Error("link not symmetric")
+	}
+}
+
+func TestCompleteTopology(t *testing.T) {
+	p, err := Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes() != 6 {
+		t.Errorf("nodes = %d, want 6", p.NumNodes())
+	}
+	if !p.StronglyConnected() {
+		t.Error("complete graph not strongly connected")
+	}
+	names := p.Nodes()
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			if !p.Linked(names[i], names[j]) {
+				t.Errorf("%s and %s not linked", names[i], names[j])
+			}
+		}
+	}
+	// Each node is its own FCR.
+	if got := len(p.FCRs()); got != 6 {
+		t.Errorf("FCR count = %d, want 6", got)
+	}
+	if _, err := Complete(0); !errors.Is(err, ErrBadTopology) {
+		t.Errorf("Complete(0) err = %v", err)
+	}
+}
+
+func TestRingTopologyAndDistance(t *testing.T) {
+	p, err := Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := p.Distance("hw1", "hw4")
+	if !ok || d != 3 {
+		t.Errorf("Distance(hw1,hw4) = %g,%v, want 3", d, ok)
+	}
+	d, ok = p.Distance("hw1", "hw6")
+	if !ok || d != 1 {
+		t.Errorf("Distance(hw1,hw6) = %g,%v, want 1 (wraparound)", d, ok)
+	}
+	if _, err := Ring(2); !errors.Is(err, ErrBadTopology) {
+		t.Errorf("Ring(2) err = %v", err)
+	}
+}
+
+func TestMeshTopology(t *testing.T) {
+	p, err := Mesh(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes() != 6 {
+		t.Errorf("nodes = %d, want 6", p.NumNodes())
+	}
+	d, ok := p.Distance("hw0_0", "hw1_2")
+	if !ok || d != 3 {
+		t.Errorf("manhattan distance = %g,%v, want 3", d, ok)
+	}
+	if !p.StronglyConnected() {
+		t.Error("mesh not connected")
+	}
+	if _, err := Mesh(1, 1); !errors.Is(err, ErrBadTopology) {
+		t.Errorf("Mesh(1,1) err = %v", err)
+	}
+}
+
+func TestDistanceEdgeCases(t *testing.T) {
+	p := NewPlatform()
+	if err := p.AddNode(Node{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddNode(Node{Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := p.Distance("a", "a"); !ok || d != 0 {
+		t.Errorf("self distance = %g,%v", d, ok)
+	}
+	if _, ok := p.Distance("a", "b"); ok {
+		t.Error("disconnected nodes reported connected")
+	}
+	if _, ok := p.Distance("a", "zzz"); ok {
+		t.Error("missing node reported connected")
+	}
+	if p.StronglyConnected() {
+		t.Error("disconnected platform reported strongly connected")
+	}
+}
+
+func TestDistancePrefersCheapPath(t *testing.T) {
+	p := NewPlatform()
+	for _, n := range []string{"a", "b", "c"} {
+		if err := p.AddNode(Node{Name: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Direct expensive link vs cheap two-hop path.
+	if err := p.Link("a", "c", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link("b", "c", 1); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := p.Distance("a", "c")
+	if !ok || d != 2 {
+		t.Errorf("Distance = %g,%v, want 2", d, ok)
+	}
+}
+
+func TestResourcesAndFCRs(t *testing.T) {
+	p := NewPlatform()
+	if err := p.AddNode(Node{Name: "a", FCR: "cab1", Resources: map[string]bool{"adc": true}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddNode(Node{Name: "b", FCR: "cab1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddNode(Node{Name: "c", FCR: "cab2"}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.Node("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.HasResource("adc") || n.HasResource("dac") {
+		t.Error("resource lookup wrong")
+	}
+	fcrs := p.FCRs()
+	if len(fcrs) != 2 || len(fcrs["cab1"]) != 2 || fcrs["cab1"][0] != "a" {
+		t.Errorf("FCRs = %v", fcrs)
+	}
+}
+
+func TestNodeMissing(t *testing.T) {
+	p := NewPlatform()
+	if _, err := p.Node("ghost"); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("err = %v, want ErrNoSuchNode", err)
+	}
+}
+
+func TestStarTopology(t *testing.T) {
+	p, err := Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes() != 5 || !p.StronglyConnected() {
+		t.Errorf("nodes=%d connected=%v", p.NumNodes(), p.StronglyConnected())
+	}
+	// Spoke to spoke transits the hub.
+	d, ok := p.Distance("hw2", "hw3")
+	if !ok || d != 2 {
+		t.Errorf("spoke distance = %g, want 2", d)
+	}
+	d, ok = p.Distance("hw1", "hw4")
+	if !ok || d != 1 {
+		t.Errorf("hub distance = %g, want 1", d)
+	}
+	if _, err := Star(2); !errors.Is(err, ErrBadTopology) {
+		t.Errorf("Star(2) err = %v", err)
+	}
+}

@@ -1,0 +1,155 @@
+package influence
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Level identifies an FCM hierarchy level for factor catalogues.
+type Level int
+
+// FCM hierarchy levels (Fig. 1).
+const (
+	// ProcedureLevel is the lowest level: named callable modules.
+	ProcedureLevel Level = iota + 1
+	// TaskLevel is the middle level: lightweight threads.
+	TaskLevel
+	// ProcessLevel is the top level: heavyweight processes.
+	ProcessLevel
+)
+
+// String returns the level name.
+func (l Level) String() string {
+	switch l {
+	case ProcedureLevel:
+		return "procedure"
+	case TaskLevel:
+		return "task"
+	case ProcessLevel:
+		return "process"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Valid reports whether l is a defined level.
+func (l Level) Valid() bool { return l >= ProcedureLevel && l <= ProcessLevel }
+
+// Canonical factor names per level, as enumerated in §4.2.2–4.2.3. The f_i
+// numbering follows the paper.
+const (
+	// FactorParams (f1): parameter passing between procedures. "The
+	// probability of f1 can be made relatively low by OO design and
+	// redundancy techniques."
+	FactorParams = "parameter-passing"
+	// FactorGlobals (f2): global variables. "It is difficult to control
+	// the spread of erroneous data through global variables; thus the
+	// probability of f2 is higher."
+	FactorGlobals = "global-variables"
+	// FactorSharedMemory (f3): shared memory between tasks; "depends on
+	// how much memory is shared and how often".
+	FactorSharedMemory = "shared-memory"
+	// FactorMessages (f4): errors in message passing; "depends on how good
+	// the recovery blocks are".
+	FactorMessages = "message-passing"
+	// FactorTiming (f5): timing faults; "depends on the scheduling policy
+	// used".
+	FactorTiming = "timing"
+	// FactorResources: overuse/sharing of HW resources (process level).
+	FactorResources = "resource-sharing"
+	// FactorMemoryFootprint: memory space overlapping between processes.
+	FactorMemoryFootprint = "memory-footprint"
+)
+
+// FactorsForLevel returns the canonical factor names that can transmit
+// faults between FCMs at the given level, sorted for determinism.
+func FactorsForLevel(l Level) []string {
+	var out []string
+	switch l {
+	case ProcedureLevel:
+		out = []string{FactorParams, FactorGlobals}
+	case TaskLevel:
+		out = []string{FactorSharedMemory, FactorMessages, FactorTiming, FactorMemoryFootprint}
+	case ProcessLevel:
+		// "Most of the techniques used at the task level are also
+		// applicable at the process level"; process-level faults arise
+		// from sharing of HW resources.
+		out = []string{FactorResources, FactorMemoryFootprint, FactorTiming, FactorMessages}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mitigation scales a factor's transmission probability (p_i2) to model
+// the containment techniques the paper names: information hiding at
+// procedure level, recovery blocks / N-version programming at task level,
+// memory separation at process level, preemptive scheduling for timing.
+type Mitigation struct {
+	// Name of the technique, e.g. "information-hiding".
+	Name string
+	// Factor it applies to.
+	Factor string
+	// TransmitScale multiplies p_i2; must be in [0,1] (a mitigation can
+	// only reduce transmission).
+	TransmitScale float64
+}
+
+// Validate checks the mitigation is well-formed.
+func (m Mitigation) Validate() error {
+	if m.TransmitScale < 0 || m.TransmitScale > 1 {
+		return fmt.Errorf("%w: mitigation %q scale %g", ErrProbRange, m.Name, m.TransmitScale)
+	}
+	return nil
+}
+
+// Canonical mitigations (§3.1–3.3, §4.2.2–4.2.3).
+var (
+	// InformationHiding reduces procedure-level data faults via OO
+	// encapsulation (§3.3).
+	InformationHiding = Mitigation{Name: "information-hiding", Factor: FactorGlobals, TransmitScale: 0.2}
+	// RecoveryBlocks reduce message-passing fault transmission (§4.2.3).
+	RecoveryBlocks = Mitigation{Name: "recovery-blocks", Factor: FactorMessages, TransmitScale: 0.25}
+	// PreemptiveScheduling minimizes transmission of timing faults
+	// (§4.2.3).
+	PreemptiveScheduling = Mitigation{Name: "preemptive-scheduling", Factor: FactorTiming, TransmitScale: 0.1}
+	// MemorySeparation shields processes by separating memory blocks
+	// (§3.1).
+	MemorySeparation = Mitigation{Name: "memory-separation", Factor: FactorMemoryFootprint, TransmitScale: 0.1}
+)
+
+// Apply returns a copy of f with the mitigation applied when the factor
+// names match; otherwise f unchanged.
+func (m Mitigation) Apply(f Factor) Factor {
+	if f.Name != m.Factor {
+		return f
+	}
+	f.PTransmit *= m.TransmitScale
+	return f
+}
+
+// ApplyAll folds a list of mitigations over a factor list, returning the
+// mitigated copy.
+func ApplyAll(factors []Factor, ms []Mitigation) []Factor {
+	out := make([]Factor, len(factors))
+	copy(out, factors)
+	for i := range out {
+		for _, m := range ms {
+			out[i] = m.Apply(out[i])
+		}
+	}
+	return out
+}
+
+// Estimate recovers an empirical probability from trial counts, the
+// framework's measurement path ("If the FCM has not been used previously,
+// an equivalent probability can be derived by extensive testing").
+// It returns successes/trials with a Wilson-style guard against 0 trials.
+func Estimate(successes, trials int) (float64, error) {
+	if trials <= 0 {
+		return 0, fmt.Errorf("influence: cannot estimate from %d trials", trials)
+	}
+	if successes < 0 || successes > trials {
+		return 0, fmt.Errorf("influence: %d successes out of %d trials", successes, trials)
+	}
+	return float64(successes) / float64(trials), nil
+}

@@ -1,0 +1,270 @@
+// Package influence implements the interaction metrics of the integration
+// framework (ICDCS 1998 §4.2): per-factor fault probabilities, the
+// influence of one FCM on another, the separation between FCMs, and the
+// combination rule for clusters.
+//
+// Definitions (paper §4.2):
+//
+//   - Influence of FCM_i on FCM_j is the probability of FCM_i affecting
+//     FCM_j at the same level if no third FCM at that level is considered.
+//   - Separation of FCM_i and FCM_j is the probability of FCM_i NOT
+//     affecting FCM_j when all other FCMs at the same level are considered.
+//
+// Equations:
+//
+//	(1)  p_i = p_i1 · p_i2 · p_i3
+//	     (fault occurrence · transmission · manifestation)
+//	(2)  FCM_i → FCM_j = 1 − (1−p_1)(1−p_2)···(1−p_n)
+//	(3)  FCM_i ≁ FCM_j = 1 − [P_ij + Σ_k P_ik·P_kj + Σ_l Σ_k P_ik·P_kl·P_lj + …]
+//	(4)  FCM_C → FCM_t = 1 − ∏_{i∈C} (1 − FCM_i → FCM_t)
+package influence
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrProbRange marks a probability outside [0,1].
+var ErrProbRange = errors.New("influence: probability must be in [0,1]")
+
+// Factor is one fault-transmission mechanism between two FCMs, with the
+// three probability components of Eq. (1).
+type Factor struct {
+	// Name identifies the mechanism, e.g. "global-variables".
+	Name string
+	// POccur (p_i1) is the probability of a fault occurring in the source
+	// FCM via this mechanism. The paper: "it can be measured from previous
+	// usage of that FCM [or] derived by extensive testing".
+	POccur float64
+	// PTransmit (p_i2) is the probability of transmission to the target
+	// FCM, depending on communication medium and data volume.
+	PTransmit float64
+	// PManifest (p_i3) is the probability of a resulting fault in the
+	// target, determined "by injecting faults into the target FCM".
+	PManifest float64
+}
+
+// Validate checks all three components are probabilities.
+func (f Factor) Validate() error {
+	for _, p := range []float64{f.POccur, f.PTransmit, f.PManifest} {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("%w: factor %q has component %g", ErrProbRange, f.Name, p)
+		}
+	}
+	return nil
+}
+
+// P computes Eq. (1): the joint probability of this factor causing a fault
+// in the target.
+func (f Factor) P() float64 {
+	return f.POccur * f.PTransmit * f.PManifest
+}
+
+// Combine computes Eq. (2): the influence of one FCM on another given the
+// per-factor probabilities, assuming the factors act jointly and
+// independently.
+func Combine(ps []float64) (float64, error) {
+	prod := 1.0
+	for _, p := range ps {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return 0, fmt.Errorf("%w: %g", ErrProbRange, p)
+		}
+		prod *= 1 - p
+	}
+	return 1 - prod, nil
+}
+
+// MustCombine is Combine for inputs already known to be valid (e.g. edge
+// weights read back out of a validated graph). Out-of-range inputs are
+// clamped rather than rejected, so it is safe as a graph.CombineWeights.
+func MustCombine(ps []float64) float64 {
+	prod := 1.0
+	for _, p := range ps {
+		prod *= 1 - clamp01(p)
+	}
+	return 1 - prod
+}
+
+func clamp01(p float64) float64 {
+	switch {
+	case math.IsNaN(p), p < 0:
+		return 0
+	case p > 1:
+		return 1
+	}
+	return p
+}
+
+// FromFactors computes the influence FCM_i → FCM_j from its contributing
+// factors (Eqs. (1) and (2) composed).
+func FromFactors(factors []Factor) (float64, error) {
+	ps := make([]float64, 0, len(factors))
+	for _, f := range factors {
+		if err := f.Validate(); err != nil {
+			return 0, err
+		}
+		ps = append(ps, f.P())
+	}
+	return Combine(ps)
+}
+
+// ClusterInfluence computes Eq. (4): the influence of a cluster C on a
+// target, from the individual member influences on that target. Matches
+// MustCombine; kept as a named entry point mirroring the paper.
+func ClusterInfluence(memberInfluences []float64) (float64, error) {
+	return Combine(memberInfluences)
+}
+
+// DefaultMaxOrder is the default truncation order for the separation
+// series of Eq. (3): paths of up to this many hops are accumulated. The
+// paper: "At some point, higher-order terms are likely to be small enough
+// to be neglected."
+const DefaultMaxOrder = 8
+
+// Separation computes Eq. (3) for the ordered pair (i, j) over the
+// influence matrix p (p[a][b] = influence of a on b): one minus the sum of
+// the direct influence plus all transitive path products up to maxOrder
+// hops. Intermediate nodes range over the whole matrix, including i and j,
+// exactly as the paper's double sums do. The result is clamped to [0,1]
+// (the raw series can exceed 1 for strongly coupled systems, where
+// separation is simply zero).
+//
+// maxOrder < 1 uses DefaultMaxOrder.
+func Separation(p [][]float64, i, j, maxOrder int) (float64, error) {
+	n := len(p)
+	if i < 0 || i >= n || j < 0 || j >= n {
+		return 0, fmt.Errorf("influence: separation index out of range: (%d,%d) for n=%d", i, j, n)
+	}
+	if i == j {
+		return 0, nil // an FCM is never separated from itself
+	}
+	if maxOrder < 1 {
+		maxOrder = DefaultMaxOrder
+	}
+	// reach[v] = sum over all paths of the current length from i to v of
+	// the product of edge probabilities.
+	reach := make([]float64, n)
+	next := make([]float64, n)
+	for v := 0; v < n; v++ {
+		reach[v] = p[i][v]
+	}
+	total := reach[j]
+	for order := 2; order <= maxOrder; order++ {
+		for v := range next {
+			next[v] = 0
+		}
+		for k := 0; k < n; k++ {
+			if reach[k] == 0 {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				next[v] += reach[k] * p[k][v]
+			}
+		}
+		reach, next = next, reach
+		total += reach[j]
+	}
+	return clamp01(1 - total), nil
+}
+
+// SeparationMatrix computes the separation of every ordered pair over the
+// influence matrix, at the given truncation order.
+func SeparationMatrix(p [][]float64, maxOrder int) ([][]float64, error) {
+	n := len(p)
+	out := make([][]float64, n)
+	backing := make([]float64, n*n)
+	for i := range out {
+		out[i] = backing[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			s, err := Separation(p, i, j, maxOrder)
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = s
+		}
+	}
+	return out, nil
+}
+
+// SpectralRadius estimates the spectral radius of the influence matrix by
+// power iteration on |P| (entries are non-negative already). The Eq. (3)
+// series converges iff the radius is below 1; callers can use this to
+// decide whether a truncation order is trustworthy — the guard the paper's
+// "higher-order terms are likely to be small enough to be neglected"
+// implicitly assumes.
+func SpectralRadius(p [][]float64, iters int) float64 {
+	n := len(p)
+	if n == 0 {
+		return 0
+	}
+	if iters < 1 {
+		iters = 50
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	radius := 0.0
+	for it := 0; it < iters; it++ {
+		next := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				next[j] += v[i] * p[i][j]
+			}
+		}
+		norm := 0.0
+		for _, x := range next {
+			if x > norm {
+				norm = x
+			}
+		}
+		if norm == 0 {
+			return 0
+		}
+		for i := range next {
+			next[i] /= norm
+		}
+		v = next
+		radius = norm
+	}
+	return radius
+}
+
+// SeriesConverges reports whether the Eq. (3) series converges for the
+// influence matrix (spectral radius strictly below 1), together with the
+// estimated radius.
+func SeriesConverges(p [][]float64) (bool, float64) {
+	r := SpectralRadius(p, 100)
+	return r < 1, r
+}
+
+// SeriesTerm returns the order-k term of the Eq. (3) series for (i,j):
+// the total probability mass of exactly-k-hop paths from i to j. Useful
+// for convergence analysis (experiment E4).
+func SeriesTerm(p [][]float64, i, j, k int) float64 {
+	n := len(p)
+	if k < 1 || i < 0 || j < 0 || i >= n || j >= n {
+		return 0
+	}
+	reach := make([]float64, n)
+	next := make([]float64, n)
+	for v := 0; v < n; v++ {
+		reach[v] = p[i][v]
+	}
+	for order := 2; order <= k; order++ {
+		for v := range next {
+			next[v] = 0
+		}
+		for a := 0; a < n; a++ {
+			if reach[a] == 0 {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				next[v] += reach[a] * p[a][v]
+			}
+		}
+		reach, next = next, reach
+	}
+	return reach[j]
+}

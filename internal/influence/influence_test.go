@@ -1,0 +1,478 @@
+package influence
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorP(t *testing.T) {
+	f := Factor{Name: "globals", POccur: 0.5, PTransmit: 0.4, PManifest: 0.25}
+	if got := f.P(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("P = %g, want 0.05", got)
+	}
+}
+
+func TestFactorValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		f       Factor
+		wantErr bool
+	}{
+		{"ok", Factor{POccur: 0.1, PTransmit: 0.2, PManifest: 0.3}, false},
+		{"bounds", Factor{POccur: 0, PTransmit: 1, PManifest: 0.5}, false},
+		{"negative", Factor{POccur: -0.1, PTransmit: 0.2, PManifest: 0.3}, true},
+		{"above one", Factor{POccur: 0.1, PTransmit: 1.2, PManifest: 0.3}, true},
+		{"nan", Factor{POccur: math.NaN(), PTransmit: 0.2, PManifest: 0.3}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.f.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil && !errors.Is(err, ErrProbRange) {
+				t.Errorf("error not wrapping ErrProbRange: %v", err)
+			}
+		})
+	}
+}
+
+func TestCombineEq2(t *testing.T) {
+	tests := []struct {
+		name string
+		ps   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{0.3}, 0.3},
+		{"fig5 value 0.76", []float64{0.7, 0.2}, 0.76},
+		{"fig5 value 0.37", []float64{0.3, 0.1}, 0.37},
+		{"certain", []float64{1, 0.5}, 1},
+		{"three", []float64{0.5, 0.5, 0.5}, 0.875},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Combine(tt.ps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Combine(%v) = %g, want %g", tt.ps, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCombineRejectsBadProbability(t *testing.T) {
+	if _, err := Combine([]float64{0.5, 1.2}); !errors.Is(err, ErrProbRange) {
+		t.Errorf("err = %v, want ErrProbRange", err)
+	}
+	if _, err := Combine([]float64{-0.1}); !errors.Is(err, ErrProbRange) {
+		t.Errorf("err = %v, want ErrProbRange", err)
+	}
+}
+
+func TestMustCombineClamps(t *testing.T) {
+	if got := MustCombine([]float64{2.0}); got != 1 {
+		t.Errorf("MustCombine clamp high = %g, want 1", got)
+	}
+	if got := MustCombine([]float64{-1, math.NaN()}); got != 0 {
+		t.Errorf("MustCombine clamp low = %g, want 0", got)
+	}
+}
+
+func TestCombineProperties(t *testing.T) {
+	norm := func(xs []uint8) []float64 {
+		ps := make([]float64, len(xs))
+		for i, x := range xs {
+			ps[i] = float64(x) / 255
+		}
+		return ps
+	}
+	// Result is a probability, at least the max input, and monotone in
+	// each input.
+	f := func(xs []uint8) bool {
+		ps := norm(xs)
+		got, err := Combine(ps)
+		if err != nil {
+			return false
+		}
+		if got < 0 || got > 1 {
+			return false
+		}
+		maxP := 0.0
+		for _, p := range ps {
+			if p > maxP {
+				maxP = p
+			}
+		}
+		return got >= maxP-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Order independence.
+	g := func(a, b, c uint8) bool {
+		p1, err1 := Combine(norm([]uint8{a, b, c}))
+		p2, err2 := Combine(norm([]uint8{c, a, b}))
+		return err1 == nil && err2 == nil && math.Abs(p1-p2) < 1e-12
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromFactors(t *testing.T) {
+	fs := []Factor{
+		{Name: FactorParams, POccur: 1, PTransmit: 0.7, PManifest: 1},
+		{Name: FactorGlobals, POccur: 1, PTransmit: 0.2, PManifest: 1},
+	}
+	got, err := FromFactors(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.76) > 1e-12 {
+		t.Errorf("FromFactors = %g, want 0.76", got)
+	}
+	_, err = FromFactors([]Factor{{POccur: 2}})
+	if !errors.Is(err, ErrProbRange) {
+		t.Errorf("invalid factor err = %v", err)
+	}
+}
+
+func TestClusterInfluenceMatchesEq4(t *testing.T) {
+	got, err := ClusterInfluence([]float64{0.3, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.37) > 1e-12 {
+		t.Errorf("ClusterInfluence = %g, want 0.37 (Fig. 5)", got)
+	}
+}
+
+// chainMatrix builds p for a path a->b->c with the given weights.
+func chainMatrix(ab, bc float64) [][]float64 {
+	return [][]float64{
+		{0, ab, 0},
+		{0, 0, bc},
+		{0, 0, 0},
+	}
+}
+
+func TestSeparationDirectOnly(t *testing.T) {
+	p := chainMatrix(0.4, 0)
+	s, err := Separation(p, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.6) > 1e-12 {
+		t.Errorf("separation = %g, want 0.6", s)
+	}
+}
+
+func TestSeparationTransitive(t *testing.T) {
+	// a->b 0.4, b->c 0.5: a affects c only via b with probability 0.2, so
+	// separation(a,c) = 0.8 even though there is no direct edge.
+	p := chainMatrix(0.4, 0.5)
+	s, err := Separation(p, 0, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.8) > 1e-12 {
+		t.Errorf("separation = %g, want 0.8", s)
+	}
+}
+
+func TestSeparationSelf(t *testing.T) {
+	p := chainMatrix(0.4, 0.5)
+	s, err := Separation(p, 1, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Errorf("self separation = %g, want 0", s)
+	}
+}
+
+func TestSeparationIndexError(t *testing.T) {
+	p := chainMatrix(0.4, 0.5)
+	if _, err := Separation(p, 0, 9, 4); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestSeparationClampsStrongCoupling(t *testing.T) {
+	// A dense strongly coupled pair: the raw series exceeds 1, so
+	// separation clamps at 0.
+	p := [][]float64{
+		{0, 0.9},
+		{0.9, 0},
+	}
+	s, err := Separation(p, 0, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Errorf("separation = %g, want 0 (clamped)", s)
+	}
+}
+
+func TestSeparationSeriesConverges(t *testing.T) {
+	// With max influence < 1/n the series converges; higher orders change
+	// the value less and less.
+	p := [][]float64{
+		{0, 0.2, 0.1, 0},
+		{0.1, 0, 0.2, 0.1},
+		{0, 0.1, 0, 0.2},
+		{0.1, 0, 0.1, 0},
+	}
+	prev := math.Inf(1)
+	var deltas []float64
+	last := 0.0
+	for order := 1; order <= 8; order++ {
+		s, err := Separation(p, 0, 3, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsInf(prev, 1) {
+			deltas = append(deltas, math.Abs(s-prev))
+		}
+		prev = s
+		last = s
+	}
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i] > deltas[i-1]+1e-15 {
+			t.Errorf("series deltas not shrinking: %v", deltas)
+			break
+		}
+	}
+	if last <= 0 || last >= 1 {
+		t.Errorf("converged separation = %g, want in (0,1)", last)
+	}
+}
+
+func TestSeparationMoreInfluenceLessSeparation(t *testing.T) {
+	f := func(a8, b8 uint8) bool {
+		a := float64(a8) / 255 * 0.45
+		b := float64(b8) / 255 * 0.45
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		pLo := chainMatrix(lo, 0.3)
+		pHi := chainMatrix(hi, 0.3)
+		sLo, err1 := Separation(pLo, 0, 2, 6)
+		sHi, err2 := Separation(pHi, 0, 2, 6)
+		return err1 == nil && err2 == nil && sLo >= sHi-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeparationMatrix(t *testing.T) {
+	p := chainMatrix(0.4, 0.5)
+	m, err := SeparationMatrix(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][0] != 0 || math.Abs(m[0][1]-0.6) > 1e-12 || math.Abs(m[0][2]-0.8) > 1e-12 {
+		t.Errorf("matrix row 0 = %v", m[0])
+	}
+	// c influences nothing: fully separated from a and b.
+	if m[2][0] != 1 || m[2][1] != 1 {
+		t.Errorf("matrix row 2 = %v", m[2])
+	}
+}
+
+func TestSeriesTerm(t *testing.T) {
+	p := chainMatrix(0.4, 0.5)
+	if got := SeriesTerm(p, 0, 2, 1); got != 0 {
+		t.Errorf("order-1 term = %g, want 0 (no direct edge)", got)
+	}
+	if got := SeriesTerm(p, 0, 2, 2); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("order-2 term = %g, want 0.2", got)
+	}
+	if got := SeriesTerm(p, 0, 2, 3); got != 0 {
+		t.Errorf("order-3 term = %g, want 0 (DAG)", got)
+	}
+	if got := SeriesTerm(p, -1, 2, 1); got != 0 {
+		t.Errorf("bad index term = %g, want 0", got)
+	}
+}
+
+func TestSeriesTermsSumToSeparationComplement(t *testing.T) {
+	p := [][]float64{
+		{0, 0.2, 0.1},
+		{0.1, 0, 0.2},
+		{0.05, 0.1, 0},
+	}
+	const order = 6
+	sum := 0.0
+	for k := 1; k <= order; k++ {
+		sum += SeriesTerm(p, 0, 2, k)
+	}
+	s, err := Separation(p, 0, 2, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((1-s)-sum) > 1e-12 {
+		t.Errorf("1-separation = %g, term sum = %g", 1-s, sum)
+	}
+}
+
+func TestLevelStringAndValid(t *testing.T) {
+	if ProcedureLevel.String() != "procedure" || TaskLevel.String() != "task" ||
+		ProcessLevel.String() != "process" {
+		t.Error("level names wrong")
+	}
+	if Level(0).Valid() || Level(4).Valid() {
+		t.Error("invalid levels reported valid")
+	}
+	if Level(7).String() != "Level(7)" {
+		t.Error("unknown level string wrong")
+	}
+}
+
+func TestFactorsForLevel(t *testing.T) {
+	proc := FactorsForLevel(ProcedureLevel)
+	if len(proc) != 2 {
+		t.Errorf("procedure factors = %v", proc)
+	}
+	task := FactorsForLevel(TaskLevel)
+	found := map[string]bool{}
+	for _, f := range task {
+		found[f] = true
+	}
+	for _, want := range []string{FactorSharedMemory, FactorMessages, FactorTiming} {
+		if !found[want] {
+			t.Errorf("task level missing factor %s", want)
+		}
+	}
+	if got := FactorsForLevel(Level(99)); got != nil {
+		t.Errorf("unknown level factors = %v, want nil", got)
+	}
+	// Sorted.
+	for i := 1; i < len(task); i++ {
+		if task[i-1] >= task[i] {
+			t.Errorf("factors not sorted: %v", task)
+		}
+	}
+}
+
+func TestMitigationApply(t *testing.T) {
+	f := Factor{Name: FactorTiming, POccur: 0.2, PTransmit: 0.8, PManifest: 0.5}
+	got := PreemptiveScheduling.Apply(f)
+	if math.Abs(got.PTransmit-0.08) > 1e-12 {
+		t.Errorf("mitigated PTransmit = %g, want 0.08", got.PTransmit)
+	}
+	// Occurrence and manifestation untouched.
+	if got.POccur != 0.2 || got.PManifest != 0.5 {
+		t.Error("mitigation touched wrong components")
+	}
+	// Wrong factor: unchanged.
+	other := Factor{Name: FactorGlobals, PTransmit: 0.8}
+	if PreemptiveScheduling.Apply(other).PTransmit != 0.8 {
+		t.Error("mitigation applied to wrong factor")
+	}
+}
+
+func TestMitigationValidate(t *testing.T) {
+	bad := Mitigation{Name: "x", Factor: FactorTiming, TransmitScale: 1.5}
+	if err := bad.Validate(); !errors.Is(err, ErrProbRange) {
+		t.Errorf("err = %v, want ErrProbRange", err)
+	}
+	for _, m := range []Mitigation{InformationHiding, RecoveryBlocks, PreemptiveScheduling, MemorySeparation} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("canonical mitigation %s invalid: %v", m.Name, err)
+		}
+	}
+}
+
+func TestApplyAllReducesInfluence(t *testing.T) {
+	fs := []Factor{
+		{Name: FactorTiming, POccur: 0.3, PTransmit: 0.9, PManifest: 0.8},
+		{Name: FactorMessages, POccur: 0.2, PTransmit: 0.7, PManifest: 0.6},
+	}
+	before, err := FromFactors(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mitigated := ApplyAll(fs, []Mitigation{PreemptiveScheduling, RecoveryBlocks})
+	after, err := FromFactors(mitigated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("mitigations did not reduce influence: %g -> %g", before, after)
+	}
+	// Original slice unmodified.
+	if fs[0].PTransmit != 0.9 {
+		t.Error("ApplyAll mutated its input")
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	got, err := Estimate(37, 100)
+	if err != nil || math.Abs(got-0.37) > 1e-12 {
+		t.Errorf("Estimate = %g, %v", got, err)
+	}
+	if _, err := Estimate(1, 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := Estimate(5, 3); err == nil {
+		t.Error("successes > trials accepted")
+	}
+	if _, err := Estimate(-1, 3); err == nil {
+		t.Error("negative successes accepted")
+	}
+}
+
+func TestSpectralRadiusKnownValues(t *testing.T) {
+	// Diagonalizable 2x2: [[0, 0.5], [0.5, 0]] has radius 0.5.
+	p := [][]float64{{0, 0.5}, {0.5, 0}}
+	if got := SpectralRadius(p, 100); math.Abs(got-0.5) > 1e-6 {
+		t.Errorf("radius = %g, want 0.5", got)
+	}
+	// Nilpotent (DAG): radius 0.
+	dag := [][]float64{{0, 0.9}, {0, 0}}
+	if got := SpectralRadius(dag, 100); got != 0 {
+		t.Errorf("DAG radius = %g, want 0", got)
+	}
+	if got := SpectralRadius(nil, 10); got != 0 {
+		t.Errorf("empty radius = %g", got)
+	}
+}
+
+func TestSeriesConvergesGuard(t *testing.T) {
+	ok, r := SeriesConverges([][]float64{{0, 0.3}, {0.3, 0}})
+	if !ok || r >= 1 {
+		t.Errorf("weak coupling: ok=%v r=%g", ok, r)
+	}
+	ok, r = SeriesConverges([][]float64{{0, 1}, {1, 0}})
+	if ok || r < 1-1e-6 {
+		t.Errorf("certain 2-cycle: ok=%v r=%g, want divergent", ok, r)
+	}
+}
+
+func TestPaperExampleSeriesConverges(t *testing.T) {
+	// The worked example's influence matrix must have radius < 1, or the
+	// separation values of E4 would be meaningless.
+	p := [][]float64{
+		//        p1   p2   p3   p4   p5   p6   p7   p8
+		/*p1*/ {0, 0.7, 0, 0, 0, 0, 0, 0},
+		/*p2*/ {0.5, 0, 0.2, 0, 0, 0, 0, 0},
+		/*p3*/ {0, 0, 0, 0.6, 0.7, 0, 0, 0},
+		/*p4*/ {0, 0, 0.3, 0, 0.2, 0, 0, 0},
+		/*p5*/ {0, 0, 0, 0, 0, 0.1, 0.2, 0},
+		/*p6*/ {0.1, 0, 0, 0, 0, 0, 0, 0},
+		/*p7*/ {0, 0, 0, 0, 0, 0, 0, 0.3},
+		/*p8*/ {0, 0, 0, 0, 0, 0.3, 0.2, 0},
+	}
+	ok, r := SeriesConverges(p)
+	if !ok {
+		t.Errorf("worked example diverges: radius %g", r)
+	}
+	if r < 0.3 || r > 0.9 {
+		t.Errorf("radius %g outside plausible band", r)
+	}
+}

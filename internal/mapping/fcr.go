@@ -1,0 +1,137 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/attrs"
+	"repro/internal/graph"
+	"repro/internal/hw"
+)
+
+// AssignCriticalityAware places clusters with FCR awareness, the §5.3
+// criticality criterion taken to the hardware fault-containment-region
+// level: "the selected critical processes should be assigned to distinct
+// HW nodes … This ensures that critical processes do not affect each
+// other when faults occur." On platforms where several processors share
+// an FCR (a cabinet, a power domain), distinct nodes are not enough —
+// critical clusters should also sit in distinct FCRs, so a region-level
+// HW fault cannot take out two critical functions at once.
+//
+// Clusters are ordered by descending criticality; a cluster at or above
+// threshold prefers (a) nodes in FCRs hosting no other critical cluster,
+// then (b) lowest communication cost, as in the standard placement.
+func AssignCriticalityAware(g *graph.Graph, p *hw.Platform, req Requirements, threshold float64) (Assignment, error) {
+	order := g.Nodes()
+	sort.SliceStable(order, func(i, j int) bool {
+		ci := g.Attrs(order[i]).Value(attrs.Criticality)
+		cj := g.Attrs(order[j]).Value(attrs.Criticality)
+		if ci != cj {
+			return ci > cj
+		}
+		return order[i] < order[j]
+	})
+	if len(order) > p.NumNodes() {
+		return nil, fmt.Errorf("%w: %d clusters, %d nodes", ErrTooManyClusters, len(order), p.NumNodes())
+	}
+
+	asg := make(Assignment, len(order))
+	used := map[string]bool{}
+	criticalFCRs := map[string]bool{}
+	for _, cluster := range order {
+		critical := g.Attrs(cluster).Value(attrs.Criticality) >= threshold
+		needs := req.forCluster(cluster)
+		bestNode := ""
+		bestFresh := false
+		bestCost := 0.0
+		for _, nodeName := range p.Nodes() {
+			if used[nodeName] {
+				continue
+			}
+			node, err := p.Node(nodeName)
+			if err != nil {
+				return nil, err
+			}
+			ok := true
+			for _, res := range needs {
+				if !node.HasResource(res) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			fresh := !criticalFCRs[node.FCR]
+			cost := 0.0
+			for placed, placedNode := range asg {
+				m := g.MutualInfluence(cluster, placed)
+				if m <= 0 {
+					continue
+				}
+				d, conn := p.Distance(nodeName, placedNode)
+				if !conn {
+					d = float64(p.NumNodes())
+				}
+				cost += m * d
+			}
+			better := false
+			switch {
+			case bestNode == "":
+				better = true
+			case critical && fresh != bestFresh:
+				better = fresh // fresh FCR dominates for critical clusters
+			case cost < bestCost:
+				better = true
+			}
+			if better {
+				bestNode, bestFresh, bestCost = nodeName, fresh, cost
+			}
+		}
+		if bestNode == "" {
+			return nil, fmt.Errorf("%w: cluster %s needs %v", ErrNoFeasibleNode, cluster, needs)
+		}
+		asg[cluster] = bestNode
+		used[bestNode] = true
+		if critical {
+			node, err := p.Node(bestNode)
+			if err != nil {
+				return nil, err
+			}
+			criticalFCRs[node.FCR] = true
+		}
+	}
+	return asg, nil
+}
+
+// CriticalPairsSharedFCR counts pairs of critical base modules (at or
+// above threshold, criticality read from full's node attributes) whose HW
+// nodes share a fault containment region — the region-level analogue of
+// Report.CriticalPairsColocated.
+func CriticalPairsSharedFCR(full *graph.Graph, asg Assignment, p *hw.Platform, threshold float64) (int, error) {
+	fcrOf := map[string]string{}
+	for _, nodeName := range p.Nodes() {
+		node, err := p.Node(nodeName)
+		if err != nil {
+			return 0, err
+		}
+		fcrOf[nodeName] = node.FCR
+	}
+	perFCR := map[string]int{}
+	for clusterID, nodeName := range asg {
+		fcr, ok := fcrOf[nodeName]
+		if !ok {
+			return 0, fmt.Errorf("mapping: assignment references unknown node %q", nodeName)
+		}
+		for _, m := range graph.Members(clusterID) {
+			if full.Attrs(m).Value(attrs.Criticality) >= threshold {
+				perFCR[fcr]++
+			}
+		}
+	}
+	pairs := 0
+	for _, k := range perFCR {
+		pairs += k * (k - 1) / 2
+	}
+	return pairs, nil
+}

@@ -1,0 +1,340 @@
+// Package mapping assigns condensed SW clusters to HW processors and
+// evaluates the "goodness" of a mapping per ICDCS 1998 §5.3–5.4.
+//
+// The goodness criteria of §5.3:
+//
+//   - Satisfaction of constraints — absolute semantic/temporal/resource
+//     constraints; always the primary concern.
+//   - Containment of faults — FCMs that influence each other strongly
+//     share a node so that cross-node interaction (and hence fault
+//     propagation across HW nodes) is minimized.
+//   - Criticality — critical processes sit on distinct HW nodes and are
+//     combined only with non-critical ones.
+//
+// Two satisficing assignment heuristics are provided, following §5.4:
+// Approach A orders clusters by node importance; Approach B proceeds
+// lexicographically over attributes in decreasing importance.
+package mapping
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/attrs"
+	"repro/internal/graph"
+	"repro/internal/hw"
+)
+
+// Errors returned by assignment and evaluation.
+var (
+	ErrTooManyClusters = errors.New("mapping: more clusters than HW nodes")
+	ErrNoFeasibleNode  = errors.New("mapping: no HW node satisfies a cluster's requirements")
+)
+
+// Requirements maps base SW node names to the HW resources they need
+// (e.g. the paper's "need for a resource present on only one processor").
+type Requirements map[string][]string
+
+// forCluster unions the requirements of a cluster's members.
+func (r Requirements) forCluster(clusterID string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range graph.Members(clusterID) {
+		for _, res := range r[m] {
+			if !seen[res] {
+				seen[res] = true
+				out = append(out, res)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Assignment maps each SW cluster id to a HW node name.
+type Assignment map[string]string
+
+// Clusters returns the assigned cluster ids, sorted.
+func (a Assignment) Clusters() []string {
+	out := make([]string, 0, len(a))
+	for c := range a {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodeOf returns the HW node hosting the given base SW node name (searching
+// cluster members), or "" if not found.
+func (a Assignment) NodeOf(base string) string {
+	for cluster, node := range a {
+		for _, m := range graph.Members(cluster) {
+			if m == base {
+				return node
+			}
+		}
+	}
+	return ""
+}
+
+// placement greedily assigns ordered clusters to HW nodes. Each cluster
+// goes to an unused node that offers its required resources; among valid
+// nodes it picks the one minimizing influence-weighted communication
+// distance to already-placed clusters (the dilation concern of §6), with
+// name order breaking ties.
+func placement(order []string, g *graph.Graph, p *hw.Platform, req Requirements) (Assignment, error) {
+	if len(order) > p.NumNodes() {
+		return nil, fmt.Errorf("%w: %d clusters, %d nodes", ErrTooManyClusters, len(order), p.NumNodes())
+	}
+	asg := make(Assignment, len(order))
+	used := map[string]bool{}
+	for _, cluster := range order {
+		needs := req.forCluster(cluster)
+		bestNode, bestCost, bestRes := "", 0.0, 0
+		for _, nodeName := range p.Nodes() {
+			if used[nodeName] {
+				continue
+			}
+			node, err := p.Node(nodeName)
+			if err != nil {
+				return nil, err
+			}
+			ok := true
+			for _, res := range needs {
+				if !node.HasResource(res) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cost := 0.0
+			for placed, placedNode := range asg {
+				m := g.MutualInfluence(cluster, placed)
+				if m <= 0 {
+					continue
+				}
+				d, conn := p.Distance(nodeName, placedNode)
+				if !conn {
+					d = float64(p.NumNodes()) // disconnected penalty
+				}
+				cost += m * d
+			}
+			// Prefer lower communication cost; among equal costs prefer
+			// the node with the fewest resources, so scarce resources stay
+			// free for the clusters that need them (the paper's "resource
+			// present on only one processor" complication).
+			if bestNode == "" || cost < bestCost ||
+				(cost == bestCost && len(node.Resources) < bestRes) {
+				bestNode, bestCost, bestRes = nodeName, cost, len(node.Resources)
+			}
+		}
+		if bestNode == "" {
+			return nil, fmt.Errorf("%w: cluster %s needs %v", ErrNoFeasibleNode, cluster, needs)
+		}
+		asg[cluster] = bestNode
+		used[bestNode] = true
+	}
+	return asg, nil
+}
+
+// AssignByImportance implements Approach A of §5.4: "Evaluate importance of
+// each SW node based on its attributes. Map 'most important' SW node onto a
+// HW node such that all its resource requirements are satisfied."
+func AssignByImportance(g *graph.Graph, p *hw.Platform, w attrs.Weights, req Requirements) (Assignment, error) {
+	order := g.Nodes()
+	sort.SliceStable(order, func(i, j int) bool {
+		ii, ij := w.Importance(g.Attrs(order[i])), w.Importance(g.Attrs(order[j]))
+		if ii != ij {
+			return ii > ij
+		}
+		return order[i] < order[j]
+	})
+	return placement(order, g, p, req)
+}
+
+// AssignLexicographic implements Approach B of §5.4: "List attributes in
+// decreasing importance, and proceed lexicographically. The most important
+// attribute is considered first (say criticality) … the next most important
+// attribute is considered (breaking ties) and so on."
+func AssignLexicographic(g *graph.Graph, p *hw.Platform, kinds []attrs.Kind, req Requirements) (Assignment, error) {
+	if len(kinds) == 0 {
+		kinds = []attrs.Kind{attrs.Criticality, attrs.FaultTolerance}
+	}
+	order := g.Nodes()
+	sort.SliceStable(order, func(i, j int) bool {
+		ai, aj := g.Attrs(order[i]), g.Attrs(order[j])
+		for _, k := range kinds {
+			vi, vj := ai.Value(k), aj.Value(k)
+			if vi != vj {
+				return vi > vj
+			}
+		}
+		return order[i] < order[j]
+	})
+	return placement(order, g, p, req)
+}
+
+// Report quantifies the goodness of a mapping per §5.3.
+type Report struct {
+	// ConstraintsOK is true when every cluster is assigned to a distinct
+	// node satisfying its resource requirements.
+	ConstraintsOK bool
+	// Violations lists human-readable constraint failures.
+	Violations []string
+	// CrossInfluence is the total influence between FCMs on different HW
+	// nodes (lower = better containment). Measured over the original,
+	// pre-reduction graph.
+	CrossInfluence float64
+	// InternalInfluence is the influence contained within HW nodes.
+	InternalInfluence float64
+	// Containment is InternalInfluence / (Internal + Cross); 1 when all
+	// influence is contained (or there is none).
+	Containment float64
+	// MaxNodeCriticality is the largest summed criticality hosted by one
+	// HW node (lower = better criticality dispersion).
+	MaxNodeCriticality float64
+	// CriticalPairsColocated counts pairs of processes at or above the
+	// criticality threshold sharing a HW node.
+	CriticalPairsColocated int
+	// CriticalPairsSharedFCR counts critical pairs whose HW nodes share a
+	// fault containment region (>= CriticalPairsColocated on platforms
+	// with multi-node FCRs; equal when every node is its own FCR).
+	CriticalPairsSharedFCR int
+	// CommCost is the dilation: Σ influence(u→v) × distance(hw(u), hw(v))
+	// over cross-node edges.
+	CommCost float64
+}
+
+// EvalConfig parameterises Evaluate.
+type EvalConfig struct {
+	// CriticalThreshold marks a process as critical for the colocated-pair
+	// count. Zero disables the count.
+	CriticalThreshold float64
+	// Requirements, when non-nil, are re-checked against the platform.
+	Requirements Requirements
+	// BaseCriticality maps base node names to their criticality. When nil,
+	// criticality is read from full's node attributes.
+	BaseCriticality map[string]float64
+}
+
+// Evaluate scores an assignment of clusters (over the condensed graph's
+// node ids) against the original full influence graph and the platform.
+func Evaluate(full *graph.Graph, asg Assignment, p *hw.Platform, cfg EvalConfig) Report {
+	rep := Report{ConstraintsOK: true}
+
+	// Constraint pass: distinct nodes, resources available.
+	seen := map[string]string{}
+	for _, cluster := range asg.Clusters() {
+		nodeName := asg[cluster]
+		if prev, dup := seen[nodeName]; dup {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("HW node %s hosts both %s and %s", nodeName, prev, cluster))
+		}
+		seen[nodeName] = cluster
+		node, err := p.Node(nodeName)
+		if err != nil {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("cluster %s assigned to unknown node %s", cluster, nodeName))
+			continue
+		}
+		if cfg.Requirements != nil {
+			for _, res := range cfg.Requirements.forCluster(cluster) {
+				if !node.HasResource(res) {
+					rep.Violations = append(rep.Violations,
+						fmt.Sprintf("cluster %s needs %s, absent on %s", cluster, res, nodeName))
+				}
+			}
+		}
+	}
+
+	// Base-node -> HW-node map; also detect unassigned bases present in
+	// the full graph.
+	hwOf := map[string]string{}
+	for cluster, nodeName := range asg {
+		for _, m := range graph.Members(cluster) {
+			hwOf[m] = nodeName
+		}
+	}
+	for _, base := range full.Nodes() {
+		if hwOf[base] == "" {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("base node %s unassigned", base))
+		}
+	}
+	rep.ConstraintsOK = len(rep.Violations) == 0
+
+	// Containment + dilation over the full graph.
+	for _, e := range full.Edges() {
+		if e.Replica {
+			continue
+		}
+		hu, hv := hwOf[e.From], hwOf[e.To]
+		if hu == "" || hv == "" {
+			continue
+		}
+		if hu == hv {
+			rep.InternalInfluence += e.Weight
+			continue
+		}
+		rep.CrossInfluence += e.Weight
+		d, conn := p.Distance(hu, hv)
+		if !conn {
+			d = float64(p.NumNodes())
+		}
+		rep.CommCost += e.Weight * d
+	}
+	if total := rep.InternalInfluence + rep.CrossInfluence; total > 0 {
+		rep.Containment = rep.InternalInfluence / total
+	} else {
+		rep.Containment = 1
+	}
+
+	// Criticality dispersion.
+	critOf := func(base string) float64 {
+		if cfg.BaseCriticality != nil {
+			return cfg.BaseCriticality[base]
+		}
+		return full.Attrs(base).Value(attrs.Criticality)
+	}
+	perNode := map[string][]float64{}
+	for base, nodeName := range hwOf {
+		perNode[nodeName] = append(perNode[nodeName], critOf(base))
+	}
+	for _, crits := range perNode {
+		sum := 0.0
+		critical := 0
+		for _, c := range crits {
+			sum += c
+			if cfg.CriticalThreshold > 0 && c >= cfg.CriticalThreshold {
+				critical++
+			}
+		}
+		if sum > rep.MaxNodeCriticality {
+			rep.MaxNodeCriticality = sum
+		}
+		if critical > 1 {
+			rep.CriticalPairsColocated += critical * (critical - 1) / 2
+		}
+	}
+	if cfg.CriticalThreshold > 0 {
+		perFCR := map[string]int{}
+		for nodeName, crits := range perNode {
+			node, err := p.Node(nodeName)
+			if err != nil {
+				continue // unknown nodes already reported as violations
+			}
+			for _, c := range crits {
+				if c >= cfg.CriticalThreshold {
+					perFCR[node.FCR]++
+				}
+			}
+		}
+		for _, k := range perFCR {
+			rep.CriticalPairsSharedFCR += k * (k - 1) / 2
+		}
+	}
+	return rep
+}

@@ -1,0 +1,319 @@
+package mapping
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/attrs"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/hw"
+	"repro/internal/spec"
+)
+
+// reducedPaper returns (full replicated graph, condensed graph) for the
+// worked example under H1.
+func reducedPaper(t *testing.T) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	sys := spec.PaperExample()
+	g, err := sys.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := cluster.Expand(g, sys.Jobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := exp.Graph.Clone()
+	c := cluster.NewCondenser(exp.Graph, exp.Jobs)
+	if err := c.ReduceByInfluence(6); err != nil {
+		t.Fatal(err)
+	}
+	return full, c.G
+}
+
+func completePlatform(t *testing.T, n int) *hw.Platform {
+	t.Helper()
+	p, err := hw.Complete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAssignByImportancePaperExample(t *testing.T) {
+	full, condensed := reducedPaper(t)
+	p := completePlatform(t, 6)
+	asg, err := AssignByImportance(condensed, p, attrs.DefaultWeights(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg) != 6 {
+		t.Fatalf("assigned %d clusters, want 6", len(asg))
+	}
+	// Bijective onto the platform.
+	usedNodes := map[string]bool{}
+	for _, node := range asg {
+		if usedNodes[node] {
+			t.Errorf("node %s used twice", node)
+		}
+		usedNodes[node] = true
+	}
+	rep := Evaluate(full, asg, p, EvalConfig{CriticalThreshold: 10})
+	if !rep.ConstraintsOK {
+		t.Errorf("violations: %v", rep.Violations)
+	}
+	if rep.Containment <= 0 || rep.Containment >= 1 {
+		t.Errorf("containment = %g, want in (0,1)", rep.Containment)
+	}
+	// p1 replicas are critical (C=15); each sits alone or with
+	// non-criticals, so no colocated critical pair should involve p1.
+	if rep.CriticalPairsColocated > 2 {
+		t.Errorf("critical pairs colocated = %d", rep.CriticalPairsColocated)
+	}
+}
+
+func TestAssignmentNodeOf(t *testing.T) {
+	_, condensed := reducedPaper(t)
+	p := completePlatform(t, 6)
+	asg, err := AssignByImportance(condensed, p, attrs.DefaultWeights(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node := asg.NodeOf("p1a"); node == "" {
+		t.Error("p1a not located")
+	}
+	if node := asg.NodeOf("ghost"); node != "" {
+		t.Errorf("ghost located at %s", node)
+	}
+	// Replicas on distinct HW nodes (§5.2's whole point).
+	if asg.NodeOf("p1a") == asg.NodeOf("p1b") || asg.NodeOf("p1b") == asg.NodeOf("p1c") {
+		t.Error("p1 replicas share a HW node")
+	}
+}
+
+func TestAssignTooManyClusters(t *testing.T) {
+	_, condensed := reducedPaper(t)
+	p := completePlatform(t, 3)
+	if _, err := AssignByImportance(condensed, p, attrs.DefaultWeights(), nil); !errors.Is(err, ErrTooManyClusters) {
+		t.Errorf("err = %v, want ErrTooManyClusters", err)
+	}
+}
+
+func TestAssignWithResourceRequirements(t *testing.T) {
+	g := graph.New()
+	if err := g.AddNode("a", attrs.New(map[attrs.Kind]float64{attrs.Criticality: 5})); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode("b", attrs.New(map[attrs.Kind]float64{attrs.Criticality: 1})); err != nil {
+		t.Fatal(err)
+	}
+	p := hw.NewPlatform()
+	if err := p.AddNode(hw.Node{Name: "plain"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddNode(hw.Node{Name: "rich", Resources: map[string]bool{"adc": true}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link("plain", "rich", 1); err != nil {
+		t.Fatal(err)
+	}
+	req := Requirements{"a": {"adc"}}
+	asg, err := AssignByImportance(g, p, attrs.DefaultWeights(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg["a"] != "rich" {
+		t.Errorf("a -> %s, want rich", asg["a"])
+	}
+	// Conflicting requirement: both need the single adc node.
+	req["b"] = []string{"adc"}
+	if _, err := AssignByImportance(g, p, attrs.DefaultWeights(), req); !errors.Is(err, ErrNoFeasibleNode) {
+		t.Errorf("err = %v, want ErrNoFeasibleNode", err)
+	}
+}
+
+func TestPlacementMinimisesDilation(t *testing.T) {
+	// Ring platform: two strongly coupled clusters should land adjacent.
+	g := graph.New()
+	for _, n := range []string{"x", "y", "z"} {
+		if err := g.AddNode(n, attrs.Set{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.SetEdge("x", "y", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetEdge("y", "x", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	ring, err := hw.Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := AssignByImportance(g, ring, attrs.DefaultWeights(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := ring.Distance(asg["x"], asg["y"])
+	if !ok || d != 1 {
+		t.Errorf("x and y placed %g apart, want 1", d)
+	}
+}
+
+func TestAssignLexicographicCriticalityFirst(t *testing.T) {
+	full, condensed := reducedPaper(t)
+	p := completePlatform(t, 6)
+	asg, err := AssignLexicographic(condensed, p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Evaluate(full, asg, p, EvalConfig{CriticalThreshold: 10})
+	if !rep.ConstraintsOK {
+		t.Errorf("violations: %v", rep.Violations)
+	}
+}
+
+func TestEvaluateDetectsViolations(t *testing.T) {
+	full, _ := reducedPaper(t)
+	p := completePlatform(t, 6)
+	// Hand-build a bad assignment: two clusters on one node, one base
+	// unassigned, unknown HW node.
+	asg := Assignment{
+		"{p1a,p2a}":   "hw1",
+		"{p1b,p2b}":   "hw1",
+		"p1c":         "hw2",
+		"{p3a,p4,p5}": "hw3",
+		"p3b":         "hw9", // unknown
+		"{p6,p7,p8}":  "hw4",
+	}
+	rep := Evaluate(full, asg, p, EvalConfig{})
+	if rep.ConstraintsOK {
+		t.Fatal("violations not detected")
+	}
+	joined := strings.Join(rep.Violations, "; ")
+	for _, want := range []string{"hosts both", "unknown node"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations %q missing %q", joined, want)
+		}
+	}
+}
+
+func TestEvaluateContainmentArithmetic(t *testing.T) {
+	// Two nodes, one edge each way; colocate them -> full containment.
+	g := graph.New()
+	for _, n := range []string{"a", "b"} {
+		if err := g.AddNode(n, attrs.Set{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.SetEdge("a", "b", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetEdge("b", "a", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	p := completePlatform(t, 2)
+	together := Assignment{"{a,b}": "hw1"}
+	rep := Evaluate(g, together, p, EvalConfig{})
+	if rep.CrossInfluence != 0 || math.Abs(rep.InternalInfluence-0.5) > 1e-12 || rep.Containment != 1 {
+		t.Errorf("together: %+v", rep)
+	}
+	apart := Assignment{"a": "hw1", "b": "hw2"}
+	rep = Evaluate(g, apart, p, EvalConfig{})
+	if math.Abs(rep.CrossInfluence-0.5) > 1e-12 || rep.Containment != 0 {
+		t.Errorf("apart: %+v", rep)
+	}
+	// Unit distances: comm cost equals cross influence.
+	if math.Abs(rep.CommCost-0.5) > 1e-12 {
+		t.Errorf("comm cost = %g, want 0.5", rep.CommCost)
+	}
+}
+
+func TestEvaluateCriticalityMetrics(t *testing.T) {
+	g := graph.New()
+	crit := map[string]float64{"a": 10, "b": 10, "c": 1}
+	for n, cv := range crit {
+		if err := g.AddNode(n, attrs.New(map[attrs.Kind]float64{attrs.Criticality: cv})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := completePlatform(t, 2)
+	asg := Assignment{"{a,b}": "hw1", "c": "hw2"}
+	rep := Evaluate(g, asg, p, EvalConfig{CriticalThreshold: 5})
+	if rep.MaxNodeCriticality != 20 {
+		t.Errorf("MaxNodeCriticality = %g, want 20", rep.MaxNodeCriticality)
+	}
+	if rep.CriticalPairsColocated != 1 {
+		t.Errorf("CriticalPairsColocated = %d, want 1", rep.CriticalPairsColocated)
+	}
+	// Separating the critical pair clears the metric.
+	asg = Assignment{"{a,c}": "hw1", "b": "hw2"}
+	rep = Evaluate(g, asg, p, EvalConfig{CriticalThreshold: 5})
+	if rep.CriticalPairsColocated != 0 {
+		t.Errorf("CriticalPairsColocated = %d, want 0", rep.CriticalPairsColocated)
+	}
+}
+
+func TestEvaluateBaseCriticalityOverride(t *testing.T) {
+	g := graph.New()
+	if err := g.AddNode("a", attrs.Set{}); err != nil {
+		t.Fatal(err)
+	}
+	p := completePlatform(t, 1)
+	asg := Assignment{"a": "hw1"}
+	rep := Evaluate(g, asg, p, EvalConfig{BaseCriticality: map[string]float64{"a": 42}})
+	if rep.MaxNodeCriticality != 42 {
+		t.Errorf("MaxNodeCriticality = %g, want 42", rep.MaxNodeCriticality)
+	}
+}
+
+func TestApproachBBeatsAOnCriticalityDispersion(t *testing.T) {
+	// The paper's motivation for Approach B: criticality-driven reduction
+	// spreads criticality more evenly than influence-driven reduction.
+	sys := spec.PaperExample()
+	g, err := sys.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(reduce func(c *cluster.Condenser) error) Report {
+		exp, err := cluster.Expand(g, sys.Jobs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := exp.Graph.Clone()
+		c := cluster.NewCondenser(exp.Graph, exp.Jobs)
+		if err := reduce(c); err != nil {
+			t.Fatal(err)
+		}
+		p := completePlatform(t, 6)
+		asg, err := AssignByImportance(c.G, p, attrs.DefaultWeights(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Evaluate(full, asg, p, EvalConfig{CriticalThreshold: 10})
+	}
+	repA := run(func(c *cluster.Condenser) error { return c.ReduceByInfluence(6) })
+	repB := run(func(c *cluster.Condenser) error { return c.ReduceByCriticality(6) })
+	if repB.MaxNodeCriticality > repA.MaxNodeCriticality {
+		t.Errorf("Approach B criticality dispersion (%g) worse than A (%g)",
+			repB.MaxNodeCriticality, repA.MaxNodeCriticality)
+	}
+	if repA.CrossInfluence > repB.CrossInfluence {
+		t.Errorf("Approach A containment (cross %g) worse than B (cross %g)",
+			repA.CrossInfluence, repB.CrossInfluence)
+	}
+}
+
+func TestRequirementsForCluster(t *testing.T) {
+	req := Requirements{"a": {"io", "adc"}, "b": {"io"}}
+	got := req.forCluster("{a,b}")
+	if strings.Join(got, ",") != "adc,io" {
+		t.Errorf("forCluster = %v", got)
+	}
+	if got := req.forCluster("c"); len(got) != 0 {
+		t.Errorf("empty requirements = %v", got)
+	}
+}

@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFeasibleSimulateAgreement cross-checks the exact processor-demand
+// criterion against preemptive EDF simulation on fuzzer-generated job
+// sets: EDF is optimal for independent jobs with release times and
+// deadlines on one processor, so the two must always agree.
+func FuzzFeasibleSimulateAgreement(f *testing.F) {
+	f.Add(int64(0), int64(5), int64(3), int64(3), int64(6), int64(4))
+	f.Add(int64(0), int64(20), int64(5), int64(8), int64(16), int64(5))
+	f.Fuzz(func(t *testing.T, e1, d1, c1, e2, d2, c2 int64) {
+		mk := func(name string, e, d, c int64) (Job, bool) {
+			est := float64(abs64(e) % 50)
+			window := float64(abs64(d)%30) + 1
+			ct := float64(abs64(c) % 32)
+			if ct > window {
+				return Job{}, false
+			}
+			return Job{Name: name, EST: est, TCD: est + window, CT: ct}, true
+		}
+		j1, ok1 := mk("a", e1, d1, c1)
+		j2, ok2 := mk("b", e2, d2, c2)
+		if !ok1 || !ok2 {
+			return
+		}
+		jobs := []Job{j1, j2}
+		feasible, _, err := Feasible(jobs)
+		if err != nil {
+			t.Fatalf("valid jobs rejected: %v", err)
+		}
+		sim, err := Simulate(jobs, PreemptiveEDF)
+		if err != nil {
+			t.Fatalf("simulate: %v", err)
+		}
+		if feasible != sim.AllMet() {
+			t.Fatalf("criterion %v vs EDF %v for %v and %v (misses %v)",
+				feasible, sim.AllMet(), j1, j2, sim.Misses())
+		}
+	})
+}
+
+func abs64(x int64) int64 {
+	if x == math.MinInt64 {
+		return math.MaxInt64
+	}
+	if x < 0 {
+		return -x
+	}
+	return x
+}

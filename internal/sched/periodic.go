@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Periodic is a periodic task for the classical schedulability analyses
+// the paper leans on ("Several well-known scheduling algorithms can be
+// used to check the feasibility of scheduling sets of these processes on
+// the same processor", citing Stankovic et al., "Implications of Classical
+// Scheduling Results for Real-Time Systems").
+type Periodic struct {
+	Name   string
+	Period float64
+	CT     float64
+	// Deadline relative to release; 0 means implicit (= Period).
+	Deadline float64
+}
+
+// RelDeadline returns the effective relative deadline.
+func (p Periodic) RelDeadline() float64 {
+	if p.Deadline > 0 {
+		return p.Deadline
+	}
+	return p.Period
+}
+
+// Validate checks the task's consistency.
+func (p Periodic) Validate() error {
+	switch {
+	case p.Period <= 0:
+		return fmt.Errorf("%w: %s period %g", ErrBadJob, p.Name, p.Period)
+	case p.CT < 0:
+		return fmt.Errorf("%w: %s CT %g", ErrBadJob, p.Name, p.CT)
+	case p.CT > p.RelDeadline():
+		return fmt.Errorf("%w: %s CT %g exceeds deadline %g", ErrBadJob, p.Name, p.CT, p.RelDeadline())
+	}
+	return nil
+}
+
+// PeriodicUtilization returns Σ CT_i / T_i.
+func PeriodicUtilization(ps []Periodic) float64 {
+	u := 0.0
+	for _, p := range ps {
+		if p.Period > 0 {
+			u += p.CT / p.Period
+		}
+	}
+	return u
+}
+
+// EDFSchedulable decides EDF schedulability of a periodic task set on one
+// processor. For implicit deadlines the utilization bound U ≤ 1 is exact;
+// for constrained deadlines (D < T) the density test Σ CT/D ≤ 1 is used,
+// which is sufficient but not necessary — the second return value reports
+// whether the verdict is exact.
+func EDFSchedulable(ps []Periodic) (ok, exact bool, err error) {
+	implicit := true
+	for _, p := range ps {
+		if verr := p.Validate(); verr != nil {
+			return false, false, verr
+		}
+		if p.RelDeadline() < p.Period {
+			implicit = false
+		}
+	}
+	if implicit {
+		return PeriodicUtilization(ps) <= 1+1e-12, true, nil
+	}
+	density := 0.0
+	for _, p := range ps {
+		density += p.CT / p.RelDeadline()
+	}
+	if density <= 1+1e-12 {
+		return true, false, nil
+	}
+	// Density exceeded: fall back to utilization necessity.
+	if PeriodicUtilization(ps) > 1+1e-12 {
+		return false, true, nil // over unit utilization: definitely not
+	}
+	return false, false, nil
+}
+
+// LiuLaylandBound returns the rate-monotonic utilization bound
+// n(2^{1/n} − 1).
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// RMSchedulable decides rate-monotonic schedulability on one processor
+// for constrained-deadline periodic tasks: first the Liu–Layland
+// sufficient bound (implicit deadlines only), then exact response-time
+// analysis. The returned map holds the worst-case response time of each
+// task (present when analysis ran to completion).
+func RMSchedulable(ps []Periodic) (bool, map[string]float64, error) {
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			return false, nil, err
+		}
+	}
+	if len(ps) == 0 {
+		return true, map[string]float64{}, nil
+	}
+	implicit := true
+	for _, p := range ps {
+		if p.RelDeadline() < p.Period {
+			implicit = false
+		}
+	}
+	if implicit && PeriodicUtilization(ps) <= LiuLaylandBound(len(ps))+1e-12 {
+		// Sufficient bound holds; still compute response times for the
+		// caller.
+		rts, err := responseTimes(ps)
+		if err != nil {
+			return false, nil, err
+		}
+		return true, rts, nil
+	}
+	rts, err := responseTimes(ps)
+	if err != nil {
+		return false, nil, err
+	}
+	for _, p := range ps {
+		rt, found := rts[p.Name]
+		if !found || rt > p.RelDeadline()+1e-12 {
+			return false, rts, nil
+		}
+	}
+	return true, rts, nil
+}
+
+// responseTimes runs the standard fixed-point response-time analysis under
+// rate-monotonic priorities (shorter period = higher priority; name breaks
+// ties). A task whose iteration diverges past its deadline is recorded
+// with the diverged value.
+func responseTimes(ps []Periodic) (map[string]float64, error) {
+	byPrio := append([]Periodic(nil), ps...)
+	sort.Slice(byPrio, func(i, j int) bool {
+		if byPrio[i].Period != byPrio[j].Period {
+			return byPrio[i].Period < byPrio[j].Period
+		}
+		return byPrio[i].Name < byPrio[j].Name
+	})
+	out := make(map[string]float64, len(byPrio))
+	for i, p := range byPrio {
+		r := p.CT
+		for iter := 0; iter < 1000; iter++ {
+			interference := 0.0
+			for _, hp := range byPrio[:i] {
+				interference += math.Ceil(r/hp.Period) * hp.CT
+			}
+			next := p.CT + interference
+			if math.Abs(next-r) < 1e-9 {
+				break
+			}
+			r = next
+			if r > p.RelDeadline()*4 && r > p.Period*4 {
+				break // diverged well past any deadline
+			}
+		}
+		out[p.Name] = r
+	}
+	return out, nil
+}

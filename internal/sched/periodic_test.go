@@ -1,0 +1,204 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPeriodicValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Periodic
+		wantErr bool
+	}{
+		{"ok", Periodic{Name: "a", Period: 10, CT: 3}, false},
+		{"constrained", Periodic{Name: "a", Period: 10, CT: 3, Deadline: 5}, false},
+		{"zero period", Periodic{Name: "a", CT: 3}, true},
+		{"negative ct", Periodic{Name: "a", Period: 10, CT: -1}, true},
+		{"ct over deadline", Periodic{Name: "a", Period: 10, CT: 6, Deadline: 5}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil && !errors.Is(err, ErrBadJob) {
+				t.Errorf("not wrapping ErrBadJob: %v", err)
+			}
+		})
+	}
+}
+
+func TestRelDeadline(t *testing.T) {
+	if got := (Periodic{Period: 10}).RelDeadline(); got != 10 {
+		t.Errorf("implicit deadline = %g", got)
+	}
+	if got := (Periodic{Period: 10, Deadline: 4}).RelDeadline(); got != 4 {
+		t.Errorf("constrained deadline = %g", got)
+	}
+}
+
+func TestPeriodicUtilization(t *testing.T) {
+	ps := []Periodic{
+		{Name: "a", Period: 10, CT: 2},
+		{Name: "b", Period: 20, CT: 5},
+	}
+	if got := PeriodicUtilization(ps); math.Abs(got-0.45) > 1e-12 {
+		t.Errorf("U = %g, want 0.45", got)
+	}
+}
+
+func TestEDFSchedulableImplicitExact(t *testing.T) {
+	ok, exact, err := EDFSchedulable([]Periodic{
+		{Name: "a", Period: 10, CT: 5},
+		{Name: "b", Period: 20, CT: 10},
+	})
+	if err != nil || !ok || !exact {
+		t.Errorf("U=1 exactly: ok=%v exact=%v err=%v", ok, exact, err)
+	}
+	ok, exact, err = EDFSchedulable([]Periodic{
+		{Name: "a", Period: 10, CT: 6},
+		{Name: "b", Period: 20, CT: 10},
+	})
+	if err != nil || ok || !exact {
+		t.Errorf("U=1.1: ok=%v exact=%v err=%v", ok, exact, err)
+	}
+}
+
+func TestEDFSchedulableConstrainedDensity(t *testing.T) {
+	// Density 0.5/1 within bound: sufficient verdict, not exact.
+	ok, exact, err := EDFSchedulable([]Periodic{
+		{Name: "a", Period: 10, CT: 2, Deadline: 5},
+	})
+	if err != nil || !ok {
+		t.Errorf("ok=%v err=%v", ok, err)
+	}
+	if exact {
+		t.Error("density verdict should not claim exactness")
+	}
+	// Over unit utilization with constrained deadlines: definite no.
+	ok, exact, err = EDFSchedulable([]Periodic{
+		{Name: "a", Period: 10, CT: 8, Deadline: 9},
+		{Name: "b", Period: 10, CT: 4, Deadline: 9},
+	})
+	if err != nil || ok || !exact {
+		t.Errorf("overload: ok=%v exact=%v err=%v", ok, exact, err)
+	}
+}
+
+func TestEDFSchedulableRejectsInvalid(t *testing.T) {
+	if _, _, err := EDFSchedulable([]Periodic{{Name: "x", Period: -1, CT: 1}}); !errors.Is(err, ErrBadJob) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLiuLaylandBound(t *testing.T) {
+	if got := LiuLaylandBound(1); got != 1 {
+		t.Errorf("n=1 bound = %g, want 1", got)
+	}
+	if got := LiuLaylandBound(2); math.Abs(got-0.8284271247) > 1e-9 {
+		t.Errorf("n=2 bound = %g", got)
+	}
+	if got := LiuLaylandBound(0); got != 0 {
+		t.Errorf("n=0 bound = %g", got)
+	}
+	// Monotone decreasing towards ln 2.
+	prev := 2.0
+	for n := 1; n <= 64; n *= 2 {
+		b := LiuLaylandBound(n)
+		if b >= prev {
+			t.Errorf("bound not decreasing at n=%d", n)
+		}
+		prev = b
+	}
+	if prev < math.Ln2-1e-3 {
+		t.Errorf("bound fell below ln2: %g", prev)
+	}
+}
+
+func TestRMSchedulableClassicExample(t *testing.T) {
+	// The classic Liu-Layland example: U = 0.2/0.5 split across harmonic-ish
+	// periods well under the bound.
+	ok, rts, err := RMSchedulable([]Periodic{
+		{Name: "fast", Period: 10, CT: 2},
+		{Name: "slow", Period: 50, CT: 10},
+	})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if rts["fast"] != 2 {
+		t.Errorf("fast response = %g, want 2 (highest priority)", rts["fast"])
+	}
+	// slow: r = 10 + ceil(r/10)*2; fixpoint r=14 (10+2*2? iterate: r0=10,
+	// interference ceil(10/10)*2=2 -> 12; ceil(12/10)*2=4 -> 14;
+	// ceil(14/10)*2=4 -> 14).
+	if rts["slow"] != 14 {
+		t.Errorf("slow response = %g, want 14", rts["slow"])
+	}
+}
+
+func TestRMSchedulableOverloadFails(t *testing.T) {
+	ok, _, err := RMSchedulable([]Periodic{
+		{Name: "a", Period: 10, CT: 6},
+		{Name: "b", Period: 14, CT: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("U=1.1 task set accepted under RM")
+	}
+}
+
+func TestRMAboveBoundButSchedulable(t *testing.T) {
+	// Harmonic periods schedule up to U=1 under RM, above the Liu-Layland
+	// bound — response-time analysis must accept them.
+	ps := []Periodic{
+		{Name: "a", Period: 10, CT: 5},
+		{Name: "b", Period: 20, CT: 10},
+	}
+	if u := PeriodicUtilization(ps); u <= LiuLaylandBound(2) {
+		t.Fatalf("test premise broken: U=%g under bound", u)
+	}
+	ok, rts, err := RMSchedulable(ps)
+	if err != nil || !ok {
+		t.Errorf("harmonic set rejected: ok=%v err=%v rts=%v", ok, err, rts)
+	}
+	if rts["b"] != 20 {
+		t.Errorf("b response = %g, want 20", rts["b"])
+	}
+}
+
+func TestRMEmptySet(t *testing.T) {
+	ok, rts, err := RMSchedulable(nil)
+	if err != nil || !ok || len(rts) != 0 {
+		t.Errorf("empty set: %v %v %v", ok, rts, err)
+	}
+}
+
+func TestRMNeverAcceptsWhatEDFCannot(t *testing.T) {
+	// Property: RM-schedulable (implicit deadlines) implies U <= 1, i.e.
+	// EDF-schedulable — RM is never more permissive than EDF.
+	f := func(c1, c2, c3 uint8) bool {
+		ps := []Periodic{
+			{Name: "a", Period: 10, CT: 1 + float64(c1%9)},
+			{Name: "b", Period: 25, CT: 1 + float64(c2%24)},
+			{Name: "c", Period: 60, CT: 1 + float64(c3%59)},
+		}
+		rmOK, _, err := RMSchedulable(ps)
+		if err != nil {
+			return false
+		}
+		if !rmOK {
+			return true
+		}
+		edfOK, _, err := EDFSchedulable(ps)
+		return err == nil && edfOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

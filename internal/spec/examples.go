@@ -1,0 +1,72 @@
+package spec
+
+// Additional built-in example systems for tests, examples and benchmarks.
+// Like the paper's flight-control motivation, these are integration
+// problems where functions of widely different criticality must share a
+// platform.
+
+// BrakeByWire returns an automotive brake-by-wire suite: four wheel
+// controllers (duplex), a pedal sensor and stability control (critical),
+// and comfort/diagnostic functions that must never disturb them.
+func BrakeByWire() *System {
+	return &System{
+		Name: "brake-by-wire",
+		Processes: []Process{
+			{Name: "pedal-sensor", Criticality: 18, FT: 2, EST: 0, TCD: 10, CT: 2},
+			{Name: "stability-ctl", Criticality: 16, FT: 2, EST: 0, TCD: 20, CT: 5},
+			{Name: "wheel-fl", Criticality: 14, FT: 2, EST: 2, TCD: 25, CT: 3},
+			{Name: "wheel-fr", Criticality: 14, FT: 2, EST: 2, TCD: 25, CT: 3},
+			{Name: "wheel-rl", Criticality: 12, FT: 1, EST: 2, TCD: 30, CT: 3},
+			{Name: "wheel-rr", Criticality: 12, FT: 1, EST: 2, TCD: 30, CT: 3},
+			{Name: "abs-tuning", Criticality: 6, FT: 1, EST: 5, TCD: 60, CT: 6},
+			{Name: "diagnostics", Criticality: 2, FT: 1, EST: 10, TCD: 120, CT: 10},
+			{Name: "comfort-brake", Criticality: 1, FT: 1, EST: 15, TCD: 150, CT: 8},
+		},
+		Influences: []Influence{
+			{From: "pedal-sensor", To: "stability-ctl", Weight: 0.6, Factors: []string{"message-passing"}},
+			{From: "stability-ctl", To: "wheel-fl", Weight: 0.5, Factors: []string{"message-passing"}},
+			{From: "stability-ctl", To: "wheel-fr", Weight: 0.5, Factors: []string{"message-passing"}},
+			{From: "stability-ctl", To: "wheel-rl", Weight: 0.45, Factors: []string{"message-passing"}},
+			{From: "stability-ctl", To: "wheel-rr", Weight: 0.45, Factors: []string{"message-passing"}},
+			{From: "pedal-sensor", To: "comfort-brake", Weight: 0.2, Factors: []string{"shared-memory"}},
+			{From: "abs-tuning", To: "stability-ctl", Weight: 0.25, Factors: []string{"shared-memory"}},
+			{From: "wheel-fl", To: "diagnostics", Weight: 0.15, Factors: []string{"message-passing"}},
+			{From: "wheel-fr", To: "diagnostics", Weight: 0.15, Factors: []string{"message-passing"}},
+			{From: "wheel-rl", To: "diagnostics", Weight: 0.1, Factors: []string{"message-passing"}},
+			{From: "wheel-rr", To: "diagnostics", Weight: 0.1, Factors: []string{"message-passing"}},
+			{From: "diagnostics", To: "comfort-brake", Weight: 0.2, Factors: []string{"shared-memory"}},
+		},
+		HWNodes: 6,
+	}
+}
+
+// IndustrialControl returns a process-automation suite: a safety
+// interlock (TMR) alongside regulatory control loops, an operator HMI and
+// a data historian.
+func IndustrialControl() *System {
+	return &System{
+		Name: "industrial-control",
+		Processes: []Process{
+			{Name: "safety-interlock", Criticality: 20, FT: 3, EST: 0, TCD: 15, CT: 3},
+			{Name: "pressure-loop", Criticality: 10, FT: 2, EST: 0, TCD: 30, CT: 6},
+			{Name: "temperature-loop", Criticality: 9, FT: 2, EST: 0, TCD: 40, CT: 6},
+			{Name: "flow-loop", Criticality: 8, FT: 1, EST: 5, TCD: 50, CT: 5},
+			{Name: "alarm-manager", Criticality: 7, FT: 1, EST: 0, TCD: 25, CT: 3},
+			{Name: "hmi", Criticality: 3, FT: 1, EST: 10, TCD: 200, CT: 20, Resources: []string{"console"}},
+			{Name: "historian", Criticality: 1, FT: 1, EST: 20, TCD: 400, CT: 30, Resources: []string{"disk"}},
+		},
+		Influences: []Influence{
+			{From: "pressure-loop", To: "safety-interlock", Weight: 0.5, Factors: []string{"message-passing"}},
+			{From: "temperature-loop", To: "safety-interlock", Weight: 0.4, Factors: []string{"message-passing"}},
+			{From: "flow-loop", To: "pressure-loop", Weight: 0.35, Factors: []string{"shared-memory"}},
+			{From: "pressure-loop", To: "alarm-manager", Weight: 0.4, Factors: []string{"message-passing"}},
+			{From: "temperature-loop", To: "alarm-manager", Weight: 0.35, Factors: []string{"message-passing"}},
+			{From: "alarm-manager", To: "hmi", Weight: 0.3, Factors: []string{"message-passing"}},
+			{From: "pressure-loop", To: "historian", Weight: 0.1, Factors: []string{"message-passing"}},
+			{From: "temperature-loop", To: "historian", Weight: 0.1, Factors: []string{"message-passing"}},
+			{From: "flow-loop", To: "historian", Weight: 0.1, Factors: []string{"message-passing"}},
+			{From: "hmi", To: "historian", Weight: 0.25, Factors: []string{"shared-memory"}},
+		},
+		HWNodes: 5,
+	}
+}

@@ -1,0 +1,64 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode checks that arbitrary input never panics the decoder and that
+// anything it accepts round-trips losslessly through Encode/Decode.
+func FuzzDecode(f *testing.F) {
+	var seed bytes.Buffer
+	if err := PaperExample().Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"name":"x","processes":[{"name":"a","criticality":1,"ft":1,"est":0,"tcd":10,"ct":5}],"hw_nodes":1}`)
+	f.Add(`{}`)
+	f.Add(`[]`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, data string) {
+		sys, err := Decode(strings.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := sys.Encode(&buf); err != nil {
+			t.Fatalf("accepted system failed to encode: %v", err)
+		}
+		again, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("accepted system failed to re-decode: %v", err)
+		}
+		if len(again.Processes) != len(sys.Processes) ||
+			len(again.Influences) != len(sys.Influences) ||
+			again.HWNodes != sys.HWNodes {
+			t.Fatalf("round trip changed the system: %+v vs %+v", sys, again)
+		}
+		// Anything Decode accepts must build a graph without error.
+		if _, err := sys.Graph(); err != nil {
+			t.Fatalf("accepted system fails Graph(): %v", err)
+		}
+	})
+}
+
+// FuzzDecodeHierarchy checks the hierarchy decoder never panics and that
+// accepted hierarchies validate.
+func FuzzDecodeHierarchy(f *testing.F) {
+	var seed bytes.Buffer
+	if err := ExampleHierarchy().Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"name":"x","processes":[]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		_, h, err := DecodeHierarchy(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("accepted hierarchy invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/attrs"
+	"repro/internal/core"
+)
+
+// HierarchySpec is the JSON description of a three-level FCM hierarchy,
+// consumed by the certification tooling (cmd/certify). It mirrors Fig. 1:
+// processes contain tasks, tasks contain procedures.
+type HierarchySpec struct {
+	Name      string        `json:"name"`
+	Processes []ProcessSpec `json:"processes"`
+}
+
+// ProcessSpec is one process-level FCM.
+type ProcessSpec struct {
+	Name        string     `json:"name"`
+	Criticality float64    `json:"criticality,omitempty"`
+	Tasks       []TaskSpec `json:"tasks"`
+}
+
+// TaskSpec is one task-level FCM.
+type TaskSpec struct {
+	Name       string          `json:"name"`
+	Procedures []ProcedureSpec `json:"procedures"`
+}
+
+// ProcedureSpec is one procedure-level FCM.
+type ProcedureSpec struct {
+	Name string `json:"name"`
+	// Stateless procedures may be cloned per caller (rule R2's reuse
+	// path).
+	Stateless bool `json:"stateless,omitempty"`
+}
+
+// Build materialises the hierarchy, validating rules R1/R2 structurally.
+func (hs *HierarchySpec) Build() (*core.Hierarchy, error) {
+	h := core.NewHierarchy()
+	for _, p := range hs.Processes {
+		a := attrs.Set{}
+		if p.Criticality > 0 {
+			a = attrs.New(map[attrs.Kind]float64{attrs.Criticality: p.Criticality})
+		}
+		if _, err := h.AddProcess(p.Name, a); err != nil {
+			return nil, fmt.Errorf("spec: hierarchy: %w", err)
+		}
+		for _, t := range p.Tasks {
+			if _, err := h.AddTask(p.Name, t.Name, attrs.Set{}); err != nil {
+				return nil, fmt.Errorf("spec: hierarchy: %w", err)
+			}
+			for _, f := range t.Procedures {
+				if _, err := h.AddProcedure(t.Name, f.Name, attrs.Set{}, f.Stateless); err != nil {
+					return nil, fmt.Errorf("spec: hierarchy: %w", err)
+				}
+			}
+		}
+	}
+	if err := h.Validate(); err != nil {
+		return nil, fmt.Errorf("spec: hierarchy: %w", err)
+	}
+	return h, nil
+}
+
+// DecodeHierarchy reads a hierarchy spec from JSON and builds it.
+func DecodeHierarchy(r io.Reader) (*HierarchySpec, *core.Hierarchy, error) {
+	var hs HierarchySpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&hs); err != nil {
+		return nil, nil, fmt.Errorf("spec: hierarchy decode: %w", err)
+	}
+	h, err := hs.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &hs, h, nil
+}
+
+// EncodeHierarchy writes the spec as indented JSON.
+func (hs *HierarchySpec) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(hs); err != nil {
+		return fmt.Errorf("spec: hierarchy encode: %w", err)
+	}
+	return nil
+}
+
+// ExampleHierarchy returns a flight-control style hierarchy spec used as
+// the cmd/certify template.
+func ExampleHierarchy() *HierarchySpec {
+	return &HierarchySpec{
+		Name: "flight-control-hierarchy",
+		Processes: []ProcessSpec{
+			{
+				Name: "navigation", Criticality: 15,
+				Tasks: []TaskSpec{
+					{Name: "guidance", Procedures: []ProcedureSpec{
+						{Name: "kalman", Stateless: true},
+						{Name: "waypoint", Stateless: true},
+					}},
+					{Name: "autopilot", Procedures: []ProcedureSpec{
+						{Name: "pid", Stateless: true},
+						{Name: "trim", Stateless: true},
+					}},
+				},
+			},
+			{
+				Name: "display", Criticality: 5,
+				Tasks: []TaskSpec{
+					{Name: "render", Procedures: []ProcedureSpec{
+						{Name: "blit"},
+						{Name: "layout", Stateless: true},
+					}},
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,86 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/attrs"
+	"repro/internal/core"
+)
+
+func TestExampleHierarchyBuilds(t *testing.T) {
+	hs := ExampleHierarchy()
+	h, err := hs.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 11 {
+		t.Errorf("FCM count = %d, want 11", h.Len())
+	}
+	nav, err := h.Lookup("navigation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nav.Level() != core.ProcessLevel {
+		t.Errorf("navigation level = %s", nav.Level())
+	}
+	if nav.Attrs().Value(attrs.Criticality) != 15 {
+		t.Errorf("criticality = %g", nav.Attrs().Value(attrs.Criticality))
+	}
+	k, err := h.Lookup("kalman")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Stateless() || k.Parent().Name() != "guidance" {
+		t.Errorf("kalman: stateless=%v parent=%s", k.Stateless(), k.Parent().Name())
+	}
+	b, err := h.Lookup("blit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stateless() {
+		t.Error("blit should be stateful")
+	}
+}
+
+func TestHierarchyJSONRoundTrip(t *testing.T) {
+	hs := ExampleHierarchy()
+	var buf bytes.Buffer
+	if err := hs.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, h, err := DecodeHierarchy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Name != hs.Name || len(decoded.Processes) != len(hs.Processes) {
+		t.Errorf("round trip: %+v", decoded)
+	}
+	if h.Len() != 11 {
+		t.Errorf("rebuilt FCM count = %d", h.Len())
+	}
+}
+
+func TestHierarchyBuildRejectsDuplicates(t *testing.T) {
+	hs := &HierarchySpec{
+		Name: "dup",
+		Processes: []ProcessSpec{
+			{Name: "p", Tasks: []TaskSpec{
+				{Name: "t", Procedures: []ProcedureSpec{{Name: "f"}, {Name: "f"}}},
+			}},
+		},
+	}
+	if _, err := hs.Build(); err == nil {
+		t.Error("duplicate procedure name accepted")
+	}
+}
+
+func TestDecodeHierarchyRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeHierarchy(strings.NewReader("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, err := DecodeHierarchy(strings.NewReader(`{"name":"x","bogus":[]}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Check is an executable verification test for one FCM or one sibling
+// interface — the paper's "verification tests are run to ensure that its
+// interactions with other FCMs do not violate the restrictions and
+// requirements of a FCM" (§3). A nil error means the check passed.
+type Check func() error
+
+// ErrCheckFailed wraps verification-test failures.
+var ErrCheckFailed = errors.New("verify: verification check failed")
+
+// RegisterCheck attaches an executable check to an FCM name; it runs
+// whenever that FCM appears in a retest set. Multiple checks per FCM
+// accumulate.
+func (c *Certifier) RegisterCheck(fcm string, check Check) error {
+	if _, err := c.h.Lookup(fcm); err != nil {
+		return err
+	}
+	if check == nil {
+		return fmt.Errorf("verify: nil check for %q", fcm)
+	}
+	if c.checks == nil {
+		c.checks = map[string][]Check{}
+	}
+	c.checks[fcm] = append(c.checks[fcm], check)
+	return nil
+}
+
+// RegisterInterfaceCheck attaches a check to a sibling interface label
+// ("a<->b", members in name order) that runs whenever that interface
+// appears in a retest set.
+func (c *Certifier) RegisterInterfaceCheck(a, b string, check Check) error {
+	if _, err := c.h.Lookup(a); err != nil {
+		return err
+	}
+	if _, err := c.h.Lookup(b); err != nil {
+		return err
+	}
+	if check == nil {
+		return fmt.Errorf("verify: nil check for %q<->%q", a, b)
+	}
+	if b < a {
+		a, b = b, a
+	}
+	if c.ifaceChecks == nil {
+		c.ifaceChecks = map[string][]Check{}
+	}
+	c.ifaceChecks[a+"<->"+b] = append(c.ifaceChecks[a+"<->"+b], check)
+	return nil
+}
+
+// ModifyAndVerify records a modification, recertifies per R5, and runs
+// every registered check in the retest set. It returns the failures found
+// (each wrapping ErrCheckFailed); the FCM stays certified only if all
+// checks pass — on any failure its certification is rolled back to stale.
+func (c *Certifier) ModifyAndVerify(name string) []error {
+	fcms, interfaces, err := c.h.RetestSet(name)
+	if err != nil {
+		return []error{err}
+	}
+	if err := c.Modify(name); err != nil {
+		return []error{err}
+	}
+	var failures []error
+	run := func(label string, checks []Check) {
+		for i, check := range checks {
+			if cerr := check(); cerr != nil {
+				failures = append(failures,
+					fmt.Errorf("%w: %s (check %d): %v", ErrCheckFailed, label, i+1, cerr))
+			}
+		}
+	}
+	for _, f := range fcms {
+		run(f, c.checks[f])
+	}
+	for _, iface := range interfaces {
+		run(iface, c.ifaceChecks[iface])
+	}
+	sort.Slice(failures, func(i, j int) bool {
+		return failures[i].Error() < failures[j].Error()
+	})
+	if len(failures) > 0 {
+		// Failed verification: the modification is not certified.
+		c.revision++
+		c.modifiedAt[name] = c.revision
+	}
+	return failures
+}

@@ -1,0 +1,91 @@
+package depint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// MappingRow is one line of the mapping table: a HW node and the base SW
+// modules it hosts.
+type MappingRow struct {
+	Node    string
+	Members []string
+}
+
+// MappingTable returns the assignment as (HW node, members) rows sorted by
+// node name.
+func (r *Result) MappingTable() []MappingRow {
+	rows := make([]MappingRow, 0, len(r.Assignment))
+	for clusterID, node := range r.Assignment {
+		rows = append(rows, MappingRow{Node: node, Members: graph.Members(clusterID)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Node < rows[j].Node })
+	return rows
+}
+
+// Summary renders a complete integration dossier as text: the system,
+// the reduction trace, the mapping, the §5.3 goodness report, influence
+// cycles worth the designer's attention, and the reliability summary.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "system %q: %d processes -> %d replicas -> %d clusters on %d HW nodes\n",
+		r.System.Name, len(r.System.Processes), r.Expanded.NumNodes(),
+		r.Condensed.NumNodes(), r.System.HWNodes)
+	fmt.Fprintf(&b, "strategy %s", r.Strategy)
+	switch r.ApproachUsed {
+	case ByImportance:
+		b.WriteString(", assignment by importance (Approach A)")
+	case Lexicographic:
+		b.WriteString(", assignment lexicographic (Approach B)")
+	}
+	if r.RefinementMoves > 0 {
+		fmt.Fprintf(&b, ", %d refinement moves", r.RefinementMoves)
+	}
+	b.WriteString("\n")
+	if len(r.Trace) > 0 {
+		b.WriteString("\nreduction trace:\n")
+		for _, s := range r.Trace {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
+	}
+
+	b.WriteString("\nmapping (HW node <- members):\n")
+	for _, row := range r.MappingTable() {
+		fmt.Fprintf(&b, "  %-6s <- %s\n", row.Node, strings.Join(row.Members, ", "))
+	}
+
+	b.WriteString("\ngoodness (§5.3):\n")
+	fmt.Fprintf(&b, "  constraints satisfied:    %v\n", r.Report.ConstraintsOK)
+	for _, v := range r.Report.Violations {
+		fmt.Fprintf(&b, "    violation: %s\n", v)
+	}
+	fmt.Fprintf(&b, "  containment:              %.3f (cross %.3f / internal %.3f)\n",
+		r.Report.Containment, r.Report.CrossInfluence, r.Report.InternalInfluence)
+	fmt.Fprintf(&b, "  max node criticality:     %.1f\n", r.Report.MaxNodeCriticality)
+	fmt.Fprintf(&b, "  critical pairs colocated: %d\n", r.Report.CriticalPairsColocated)
+	fmt.Fprintf(&b, "  communication cost:       %.3f\n", r.Report.CommCost)
+
+	if cycles := r.Initial.InfluenceCycles(); len(cycles) > 0 {
+		b.WriteString("\ninfluence cycles (high feedback inflates transitive coupling):\n")
+		for _, c := range cycles {
+			fmt.Fprintf(&b, "  {%s} two-hop feedback %.3f\n",
+				strings.Join(c.Members, ","), c.TwoHopFeedback)
+		}
+	}
+
+	b.WriteString("\nreliability (analytic, per-mission):\n")
+	names := make([]string, 0, len(r.Reliability.ModuleReliability))
+	for n := range r.Reliability.ModuleReliability {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-12s %.4f\n", n, r.Reliability.ModuleReliability[n])
+	}
+	fmt.Fprintf(&b, "  system       %.4f (weakest: %s)\n",
+		r.Reliability.SystemReliability, r.Reliability.WeakestModule)
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package depint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LevelReport is one row of a tradeoff analysis: the outcome of
+// integrating onto a given number of HW nodes.
+type LevelReport struct {
+	Target   int
+	Feasible bool
+	// Err explains infeasibility.
+	Err error
+	// Containment, MaxNodeCriticality and CommCost are the §5.3 metrics
+	// at this level (valid when Feasible).
+	Containment        float64
+	MaxNodeCriticality float64
+	CommCost           float64
+}
+
+// TradeoffResult is a full integration-level sweep — the study the paper
+// defers: "this however raises the issue of tradeoffs in integrating SW
+// beyond a HW resource threshold. We defer details of the tradeoff
+// analysis to a later study."
+type TradeoffResult struct {
+	Levels []LevelReport
+	// Floor is the smallest feasible target found.
+	Floor int
+	// Recommended is the suggested HW node count: the smallest feasible
+	// target whose marginal containment gain over the next level up stays
+	// above the knee threshold — integrating further buys less than it
+	// costs in criticality concentration.
+	Recommended int
+}
+
+// Table renders the sweep as fixed-width text.
+func (t TradeoffResult) Table() string {
+	var b strings.Builder
+	b.WriteString("target  feasible  containment  max-crit  comm-cost\n")
+	for _, l := range t.Levels {
+		if !l.Feasible {
+			fmt.Fprintf(&b, "%6d  %8v  %s\n", l.Target, false, l.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%6d  %8v  %11.3f  %8.1f  %9.3f\n",
+			l.Target, true, l.Containment, l.MaxNodeCriticality, l.CommCost)
+	}
+	fmt.Fprintf(&b, "floor=%d recommended=%d\n", t.Floor, t.Recommended)
+	return b.String()
+}
+
+// TradeoffConfig parameterises AnalyzeTradeoff.
+type TradeoffConfig struct {
+	// MaxTarget and MinTarget bound the sweep; zero values default to the
+	// replica count (fully split) down to 1.
+	MaxTarget, MinTarget int
+	// Knee is the marginal containment gain below which further
+	// integration is not recommended (default 0.02: integrating one more
+	// level must buy at least 2 percentage points of containment).
+	Knee float64
+	// Options are applied to every Integrate call.
+	Options []Option
+}
+
+// AnalyzeTradeoff sweeps the HW-node target downward, integrating at each
+// level, and recommends the level past which further integration stops
+// paying: the empirical answer to the paper's closing question, "Is there
+// a limit to the level of integration one should design for?"
+func AnalyzeTradeoff(sys *System, cfg TradeoffConfig) (TradeoffResult, error) {
+	if sys == nil {
+		return TradeoffResult{}, ErrNilSystem
+	}
+	if err := sys.Validate(); err != nil {
+		return TradeoffResult{}, fmt.Errorf("depint: %w", err)
+	}
+	maxT := cfg.MaxTarget
+	if maxT <= 0 {
+		maxT = sys.TotalReplicas()
+	}
+	minT := cfg.MinTarget
+	if minT <= 0 {
+		minT = 1
+	}
+	knee := cfg.Knee
+	if knee <= 0 {
+		knee = 0.02
+	}
+
+	res := TradeoffResult{Floor: maxT}
+	// Work on a copy so the caller's HWNodes is untouched.
+	work := *sys
+	for target := maxT; target >= minT; target-- {
+		work.HWNodes = target
+		lr := LevelReport{Target: target}
+		r, err := Integrate(&work, cfg.Options...)
+		if err != nil {
+			lr.Err = err
+		} else {
+			lr.Feasible = true
+			lr.Containment = r.Report.Containment
+			lr.MaxNodeCriticality = r.Report.MaxNodeCriticality
+			lr.CommCost = r.Report.CommCost
+			if target < res.Floor {
+				res.Floor = target
+			}
+		}
+		res.Levels = append(res.Levels, lr)
+	}
+
+	// Recommendation: walk from the most-split level downward; keep
+	// integrating while the marginal containment gain clears the knee.
+	res.Recommended = 0
+	var prev *LevelReport
+	for i := range res.Levels {
+		l := &res.Levels[i]
+		if !l.Feasible {
+			continue
+		}
+		if prev == nil {
+			res.Recommended = l.Target
+			prev = l
+			continue
+		}
+		if l.Containment-prev.Containment >= knee {
+			res.Recommended = l.Target
+		}
+		prev = l
+	}
+	if res.Recommended == 0 && res.Floor <= maxT {
+		res.Recommended = res.Floor
+	}
+	return res, nil
+}

@@ -1,0 +1,30 @@
+# Tier-1 gate for the repository (see README "Development"): everything a
+# change must pass before merging. `make check` is the one-shot entry.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test race bench
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench is a smoke run (fixed iteration count) of the end-to-end pipeline
+# benchmarks, including the nil-observer telemetry fast path; use
+# `go test -bench=. -benchmem` for real measurements.
+bench:
+	$(GO) test -run NONE -bench 'Integrate(Pipeline|NilObserver|WithObserver)$$' -benchtime 50x .

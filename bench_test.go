@@ -15,6 +15,8 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 func BenchmarkTable1Attributes(b *testing.B) {
@@ -254,6 +256,33 @@ func BenchmarkIntegratePipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkIntegrateNilObserver measures the pipeline with the observer
+// option present but nil — the fast path WithObserver documents. Compare
+// against BenchmarkIntegratePipeline: the two should be within noise.
+func BenchmarkIntegrateNilObserver(b *testing.B) {
+	sys := PaperExample()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Integrate(sys, WithObserver(nil)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIntegrateWithObserver measures the fully instrumented pipeline
+// (spans, merge events, sched counters) to quantify telemetry overhead.
+func BenchmarkIntegrateWithObserver(b *testing.B) {
+	sys := PaperExample()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Integrate(sys, WithObserver(obs.New())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	sched.Observe(nil)
 }
 
 // BenchmarkIntegrateSynthetic48 measures the pipeline on a 48-process

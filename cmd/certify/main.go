@@ -7,6 +7,10 @@
 //
 //	certify [-hier hierarchy.json] -modify kalman,blit,pid
 //	certify -emit-example > hierarchy.json
+//	certify -modify pid -trace out.json -log-level info
+//
+// With telemetry enabled the tool records one span per modification's
+// retest step, carrying the retest-set size as attributes.
 package main
 
 import (
@@ -16,7 +20,9 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/verify"
 )
@@ -28,15 +34,26 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("certify", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	hierPath := fs.String("hier", "", "path to a hierarchy JSON (default: built-in example)")
 	modify := fs.String("modify", "", "comma-separated FCM names to modify in order")
 	emit := fs.Bool("emit-example", false, "write the built-in hierarchy example as JSON and exit")
+	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	observer, oerr := obsFlags.Observer()
+	if oerr != nil {
+		return oerr
+	}
+	// Flush telemetry at exit; a failed trace write must fail the run.
+	defer func() {
+		if ferr := obsFlags.Finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	if *emit {
 		return spec.ExampleHierarchy().Encode(stdout)
@@ -44,7 +61,6 @@ func run(args []string, stdout io.Writer) error {
 
 	hs := spec.ExampleHierarchy()
 	var h *core.Hierarchy
-	var err error
 	if *hierPath != "" {
 		f, ferr := os.Open(*hierPath)
 		if ferr != nil {
@@ -80,11 +96,15 @@ func run(args []string, stdout io.Writer) error {
 		mods[i] = strings.TrimSpace(mods[i])
 	}
 
-	// Per-modification retest sets on a fresh certifier.
+	// Per-modification retest sets on a fresh certifier. Each step gets
+	// its own telemetry span carrying the retest-set size.
+	root := observer.StartSpan("certify", obs.String("hierarchy", hs.Name), obs.Int("modifications", len(mods)))
+	defer root.End()
 	c := verify.NewCertifier(h)
 	c.CertifyAll()
 	fmt.Fprintln(stdout, "\nper-modification retest sets (rule R5):")
 	for _, m := range mods {
+		span := root.StartChild("retest", obs.String("modified", m))
 		fcms, interfaces, err := h.RetestSet(m)
 		if err != nil {
 			return err
@@ -92,6 +112,10 @@ func run(args []string, stdout io.Writer) error {
 		if err := c.Modify(m); err != nil {
 			return err
 		}
+		if span != nil {
+			span.SetAttr(obs.Int("fcms_retested", len(fcms)), obs.Int("interfaces_retested", len(interfaces)))
+		}
+		span.End()
 		fmt.Fprintf(stdout, "  modify %-10s -> retest FCMs {%s}", m, strings.Join(fcms, ", "))
 		if len(interfaces) > 0 {
 			fmt.Fprintf(stdout, " and interfaces {%s}", strings.Join(interfaces, ", "))

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	faultsim [-spec system.json] [-trials N] [-seed S]
+//	         [-trace out.json] [-log-level info] [-metrics-addr :9090]
+//
+// With telemetry enabled each strategy's campaign records a span with
+// checkpoint events every 10% of trials (running escape-rate estimates)
+// and feeds trial counters into the metrics registry.
 package main
 
 import (
@@ -14,7 +19,9 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/faultsim"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -25,16 +32,27 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	specPath := fs.String("spec", "", "path to a system specification JSON (default: paper example)")
 	trials := fs.Int("trials", 50000, "injection trials per strategy")
 	seed := fs.Uint64("seed", 7, "campaign seed")
 	comm := fs.Float64("comm", 0, "fraction of trials injecting communication faults (0..1)")
+	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	observer, err := obsFlags.Observer()
+	if err != nil {
+		return err
+	}
+	// Flush telemetry at exit; a failed trace write must fail the run.
+	defer func() {
+		if ferr := obsFlags.Finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	sys := depint.PaperExample()
 	if *specPath != "" {
@@ -56,11 +74,13 @@ func run(args []string, stdout io.Writer) error {
 		depint.H1, depint.H1PairAll, depint.H2, depint.H3,
 		depint.Criticality, depint.TimingOrder,
 	} {
-		res, err := depint.Integrate(sys, depint.WithStrategy(s))
+		res, err := depint.Integrate(sys, depint.WithStrategy(s), depint.WithObserver(observer))
 		if err != nil {
 			fmt.Fprintf(stdout, "%-12s  FAILED: %v\n", s, err)
 			continue
 		}
+		span := observer.StartSpan("campaign",
+			obs.String("strategy", s.String()), obs.Int("trials", *trials))
 		fi, err := faultsim.Run(faultsim.Campaign{
 			Graph:             res.Expanded,
 			HWOf:              res.HWOf(),
@@ -68,7 +88,10 @@ func run(args []string, stdout io.Writer) error {
 			Seed:              *seed,
 			CriticalThreshold: 10,
 			CommFaultFraction: *comm,
+			Span:              span,
+			Metrics:           observer.Metrics(),
 		})
+		span.End()
 		if err != nil {
 			return err
 		}

@@ -5,14 +5,18 @@
 // Usage:
 //
 //	fcmtool [-spec system.json] [-strategy h1|h1pair|h2|h2st|h3|crit|timing|sep]
-//	        [-approach importance|lex|fcr] [-refine N] [-compare]
+//	        [-approach importance|lex|fcr] [-refine N] [-compare] [-json]
 //	        [-dot initial|expanded|condensed] [-emit-example] [-v]
+//	        [-trace out.json] [-log-level debug] [-metrics-addr :9090]
 //
 // With -emit-example the tool writes the paper's worked example as JSON to
-// stdout (a starting point for custom specifications) and exits.
+// stdout (a starting point for custom specifications) and exits. The
+// telemetry flags record one span per pipeline stage plus every merge
+// decision of the condenser; see the README's Observability section.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,7 +24,10 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -31,7 +38,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("fcmtool", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	specPath := fs.String("spec", "", "path to a system specification JSON (default: built-in paper example)")
@@ -42,6 +49,8 @@ func run(args []string, stdout io.Writer) error {
 	refine := fs.Int("refine", 0, "dilation-refinement move budget (0 disables)")
 	compare := fs.Bool("compare", false, "run every strategy and print the comparison table")
 	dot := fs.String("dot", "", "write the influence graph in Graphviz DOT to stdout: initial, expanded, condensed")
+	jsonOut := fs.Bool("json", false, "emit the integration result as JSON (includes telemetry when enabled)")
+	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,10 +90,21 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown approach %q", *approach)
 	}
 
+	observer, err := obsFlags.Observer()
+	if err != nil {
+		return err
+	}
+	// Flush telemetry at exit; a failed trace write must fail the run.
+	defer func() {
+		if ferr := obsFlags.Finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+
 	if *compare {
 		cmp, err := depint.CompareStrategies(sys, depint.CompareConfig{
 			InjectTrials: 20000, Seed: 7,
-			Options: []depint.Option{depint.WithApproach(a)},
+			Options: []depint.Option{depint.WithApproach(a), depint.WithObserver(observer)},
 		})
 		if err != nil {
 			return err
@@ -100,6 +120,9 @@ func run(args []string, stdout io.Writer) error {
 	opts := []depint.Option{depint.WithStrategy(s), depint.WithApproach(a)}
 	if *refine != 0 {
 		opts = append(opts, depint.WithRefinement(*refine))
+	}
+	if observer != nil {
+		opts = append(opts, depint.WithObserver(observer))
 	}
 	res, err := depint.Integrate(sys, opts...)
 	if err != nil {
@@ -119,10 +142,45 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return target.WriteDOT(stdout, sys.Name)
 	}
+	if *jsonOut {
+		return writeResultJSON(stdout, res, observer)
+	}
 	if !*verbose {
 		// Trim the trace from the dossier for the terse view.
 		res.Trace = nil
 	}
 	fmt.Fprint(stdout, res.Summary())
 	return nil
+}
+
+// resultJSON is the -json output shape: the machine-readable core of the
+// Result plus, when telemetry is on, the same Trace export -trace writes.
+type resultJSON struct {
+	System      string               `json:"system"`
+	Strategy    string               `json:"strategy"`
+	Approach    string               `json:"approach"`
+	Assignment  depint.Assignment    `json:"assignment"`
+	Report      depint.Report        `json:"report"`
+	Trace       []depint.Step        `json:"reduction_trace,omitempty"`
+	Reliability metrics.SystemReport `json:"reliability"`
+	Telemetry   *obs.Trace           `json:"telemetry,omitempty"`
+}
+
+func writeResultJSON(w io.Writer, res *depint.Result, observer *obs.Observer) error {
+	out := resultJSON{
+		System:      res.System.Name,
+		Strategy:    res.Strategy.String(),
+		Approach:    res.ApproachUsed.String(),
+		Assignment:  res.Assignment,
+		Report:      res.Report,
+		Trace:       res.Trace,
+		Reliability: res.Reliability,
+	}
+	if observer != nil {
+		t := observer.Export()
+		out.Telemetry = &t
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

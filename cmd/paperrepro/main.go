@@ -9,6 +9,9 @@
 //	paperrepro -only fig6 # one artifact: table1, fig1..fig8, e1..e15
 //	paperrepro -trials N  # Monte-Carlo trial count (default 20000)
 //	paperrepro -seed S    # campaign seed (default 1998)
+//
+// The telemetry flags (-trace, -log-level, -metrics-addr) record one span
+// per regenerated artifact, so -trace exposes where reproduction time goes.
 package main
 
 import (
@@ -18,7 +21,9 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,15 +33,26 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("paperrepro", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	only := fs.String("only", "", "regenerate a single artifact (table1, fig1..fig8, e1..e15)")
 	trials := fs.Int("trials", 20000, "Monte-Carlo trials for injection experiments")
 	seed := fs.Uint64("seed", 1998, "seed for randomized experiments")
+	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	observer, err := obsFlags.Observer()
+	if err != nil {
+		return err
+	}
+	// Flush telemetry at exit; a failed trace write must fail the run.
+	defer func() {
+		if ferr := obsFlags.Finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	type artifact struct {
 		name string
@@ -90,12 +106,16 @@ func run(args []string, stdout io.Writer) error {
 		{"e15", func() (string, error) { r, err := experiments.E15(5e5, *seed); return r.Text, err }},
 	}
 
+	root := observer.StartSpan("paperrepro", obs.Int("trials", *trials))
+	defer root.End()
 	ran := 0
 	for _, a := range artifacts {
 		if *only != "" && !strings.EqualFold(*only, a.name) {
 			continue
 		}
+		span := root.StartChild(a.name)
 		text, err := a.run()
+		span.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", a.name, err)
 		}

@@ -40,6 +40,8 @@ import (
 	"repro/internal/influence"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/spec"
 )
 
@@ -142,6 +144,20 @@ const (
 	FCRAware
 )
 
+// String returns the approach name.
+func (a Approach) String() string {
+	switch a {
+	case ByImportance:
+		return "importance"
+	case Lexicographic:
+		return "lexicographic"
+	case FCRAware:
+		return "fcr-aware"
+	default:
+		return fmt.Sprintf("Approach(%d)", int(a))
+	}
+}
+
 // options collects pipeline configuration.
 type options struct {
 	strategy          Strategy
@@ -153,6 +169,7 @@ type options struct {
 	criticalThreshold float64
 	separationOrder   int
 	refineMoves       int
+	observer          *obs.Observer
 }
 
 // Option configures Integrate.
@@ -197,6 +214,15 @@ func WithSeparationOrder(k int) Option { return func(o *options) { o.separationO
 // performance") with the given move budget; 0 disables it (the default),
 // a negative budget uses the refiner's default.
 func WithRefinement(maxMoves int) Option { return func(o *options) { o.refineMoves = maxMoves } }
+
+// WithObserver installs a telemetry observer on the run: Integrate records
+// one span per pipeline stage (partition, influence, replicate, condense,
+// map, evaluate), the condenser logs every merge decision with its mutual
+// influence, and the feasibility oracle counts calls and latencies into
+// the observer's metrics registry (a process-global installation — see
+// sched.Observe). A nil observer (the default) keeps the pipeline on its
+// uninstrumented fast path.
+func WithObserver(o *obs.Observer) Option { return func(opt *options) { opt.observer = o } }
 
 // Result is the complete output of an integration run.
 type Result struct {
@@ -245,11 +271,34 @@ func Integrate(sys *System, opts ...Option) (*Result, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+
+	// Telemetry: one root span with a child per pipeline stage. Every span
+	// handle below is nil — and every span call a no-op — when no observer
+	// is installed, keeping the default path uninstrumented.
+	var root *obs.Span
+	if o.observer != nil {
+		sched.Observe(o.observer.Metrics())
+		root = o.observer.StartSpan("integrate",
+			obs.String("system", sys.Name),
+			obs.String("strategy", o.strategy.String()),
+			obs.String("approach", o.approach.String()),
+			obs.Int("hw_nodes", sys.HWNodes))
+	}
+	defer root.End()
+
+	// Stage 1: partition — the specification names the process-level FCMs.
+	stage := root.StartChild("partition")
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("depint: %w", err)
 	}
+	if stage != nil {
+		stage.SetAttr(obs.Int("processes", len(sys.Processes)))
+	}
+	stage.End()
 
-	// Stages 1–2: partition + influence graph.
+	// Stage 2: influence — the directed influence graph plus the Eq. (3)
+	// separation analysis over it.
+	stage = root.StartChild("influence")
 	initial, err := sys.Graph()
 	if err != nil {
 		return nil, fmt.Errorf("depint: %w", err)
@@ -260,24 +309,33 @@ func Integrate(sys *System, opts ...Option) (*Result, error) {
 		Strategy:     o.strategy,
 		ApproachUsed: o.approach,
 	}
-
-	// Separation analysis over the process graph.
 	p, idx := initial.Matrix()
 	sep, err := influence.SeparationMatrix(p, o.separationOrder)
 	if err != nil {
 		return nil, fmt.Errorf("depint: separation: %w", err)
 	}
 	res.Separation, res.SeparationIndex = sep, idx
+	if stage != nil {
+		stage.SetAttr(obs.Int("nodes", initial.NumNodes()), obs.Int("edges", len(initial.Edges())))
+	}
+	stage.End()
 
 	// Stage 3: replication expansion.
+	stage = root.StartChild("replicate")
 	exp, err := cluster.Expand(initial, sys.Jobs())
 	if err != nil {
 		return nil, fmt.Errorf("depint: %w", err)
 	}
 	res.Expanded = exp.Graph.Clone()
+	if stage != nil {
+		stage.SetAttr(obs.Int("replicas", exp.Graph.NumNodes()))
+	}
+	stage.End()
 
 	// Stage 4: condensation.
+	stage = root.StartChild("condense", obs.String("strategy", o.strategy.String()))
 	cond := cluster.NewCondenser(exp.Graph, exp.Jobs)
+	cond.Observe(stage, o.observer.Metrics())
 	target := sys.HWNodes
 	switch o.strategy {
 	case H1:
@@ -304,8 +362,13 @@ func Integrate(sys *System, opts ...Option) (*Result, error) {
 	}
 	res.Condensed = cond.G
 	res.Trace = cond.Trace
+	if stage != nil {
+		stage.SetAttr(obs.Int("clusters", cond.G.NumNodes()), obs.Int("merges", len(cond.Trace)))
+	}
+	stage.End()
 
 	// Stage 5: mapping.
+	stage = root.StartChild("map", obs.String("approach", o.approach.String()))
 	platform := o.platform
 	if platform == nil {
 		platform, err = hw.Complete(sys.HWNodes)
@@ -358,8 +421,13 @@ func Integrate(sys *System, opts ...Option) (*Result, error) {
 		res.Assignment = refined
 		res.RefinementMoves = moves
 	}
+	if stage != nil {
+		stage.SetAttr(obs.Int("refinement_moves", res.RefinementMoves))
+	}
+	stage.End()
 
 	// Stage 6: evaluation.
+	stage = root.StartChild("evaluate")
 	res.Report = mapping.Evaluate(res.Expanded, res.Assignment, platform, mapping.EvalConfig{
 		CriticalThreshold: o.criticalThreshold,
 		Requirements:      req,
@@ -381,6 +449,12 @@ func Integrate(sys *System, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("depint: reliability: %w", err)
 	}
+	if stage != nil {
+		stage.SetAttr(
+			obs.Float("containment", res.Report.Containment),
+			obs.Bool("constraints_ok", res.Report.ConstraintsOK))
+	}
+	stage.End()
 	return res, nil
 }
 
@@ -429,10 +503,10 @@ func (r *Result) InjectFaults(trials int, seed uint64) (faultsim.Result, error) 
 func (r *Result) SeparationOf(a, b string) (float64, error) {
 	ia, ib := -1, -1
 	for i, id := range r.SeparationIndex {
-		switch id {
-		case a:
+		if id == a {
 			ia = i
-		case b:
+		}
+		if id == b {
 			ib = i
 		}
 	}

@@ -6,7 +6,10 @@ import (
 	"testing"
 
 	"repro/internal/attrs"
+	"repro/internal/graph"
 	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 func TestIntegrateDefaultsOnPaperExample(t *testing.T) {
@@ -171,6 +174,78 @@ func TestResultInjectFaults(t *testing.T) {
 	}
 }
 
+func TestResultHWOfConsistentWithAssignment(t *testing.T) {
+	res, err := Integrate(PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwOf := res.HWOf()
+	// Every member of every assigned cluster must map to that cluster's
+	// node, and nothing else may appear in the flattened view.
+	want := 0
+	for clusterID, node := range res.Assignment {
+		for _, m := range graph.Members(clusterID) {
+			want++
+			if hwOf[m] != node {
+				t.Errorf("HWOf[%s] = %q, want %q (cluster %s)", m, hwOf[m], node, clusterID)
+			}
+		}
+	}
+	if len(hwOf) != want {
+		t.Errorf("HWOf has %d entries, assignment members total %d", len(hwOf), want)
+	}
+	// Replica separation must be visible in the flattened map: p1a/p1b/p1c
+	// live on three distinct nodes.
+	seen := map[string]string{}
+	for _, rep := range []string{"p1a", "p1b", "p1c"} {
+		node, ok := hwOf[rep]
+		if !ok {
+			t.Fatalf("replica %s missing from HWOf", rep)
+		}
+		if prev, dup := seen[node]; dup {
+			t.Errorf("replicas %s and %s share node %s", prev, rep, node)
+		}
+		seen[node] = rep
+	}
+}
+
+func TestResultInjectFaultsDeterministicBySeed(t *testing.T) {
+	res, err := Integrate(PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := res.InjectFaults(1500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.InjectFaults(1500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TrialsWithEscape != b.TrialsWithEscape || a.CrossNodeTransmissions != b.CrossNodeTransmissions {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c, err := res.InjectFaults(1500, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TrialsWithEscape == c.TrialsWithEscape && a.CrossNodeTransmissions == c.CrossNodeTransmissions {
+		t.Error("different seeds produced identical campaign statistics")
+	}
+}
+
+func TestResultInjectFaultsRejectsBadTrials(t *testing.T) {
+	res, err := Integrate(PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, trials := range []int{0, -5} {
+		if _, err := res.InjectFaults(trials, 7); err == nil {
+			t.Errorf("trials=%d accepted", trials)
+		}
+	}
+}
+
 func TestSeparationQueries(t *testing.T) {
 	res, err := Integrate(PaperExample())
 	if err != nil {
@@ -200,6 +275,107 @@ func TestSeparationQueries(t *testing.T) {
 	}
 	if _, err := res.SeparationOf("p1", "zz"); err == nil {
 		t.Error("unknown process accepted")
+	}
+}
+
+func TestSeparationOfEdgeCases(t *testing.T) {
+	res, err := Integrate(PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown on either side (and both sides) must error.
+	for _, q := range [][2]string{{"zz", "p1"}, {"p1", "zz"}, {"zz", "yy"}} {
+		if _, err := res.SeparationOf(q[0], q[1]); err == nil {
+			t.Errorf("SeparationOf(%q,%q) accepted unknown process", q[0], q[1])
+		}
+	}
+	// Self-queries resolve to the matrix diagonal, not an error.
+	s, err := res.SeparationOf("p1", "p1")
+	if err != nil {
+		t.Fatalf("self separation: %v", err)
+	}
+	if s < 0 || s > 1 {
+		t.Errorf("separation(p1,p1) = %g, want in [0,1]", s)
+	}
+	// Every pairwise value sits in [0,1].
+	for _, a := range res.SeparationIndex {
+		for _, b := range res.SeparationIndex {
+			v, err := res.SeparationOf(a, b)
+			if err != nil {
+				t.Fatalf("SeparationOf(%s,%s): %v", a, b, err)
+			}
+			if v < 0 || v > 1 {
+				t.Errorf("separation(%s,%s) = %g out of [0,1]", a, b, v)
+			}
+		}
+	}
+}
+
+func TestIntegrateWithObserverRecordsStages(t *testing.T) {
+	defer sched.Observe(nil) // uninstall the process-global instruments
+
+	o := obs.New()
+	if _, err := Integrate(PaperExample(), WithObserver(o)); err != nil {
+		t.Fatal(err)
+	}
+	roots := o.Roots()
+	if len(roots) != 1 || roots[0].Name() != "integrate" {
+		t.Fatalf("roots = %v, want single integrate span", roots)
+	}
+	want := []string{"partition", "influence", "replicate", "condense", "map", "evaluate"}
+	children := roots[0].Children()
+	if len(children) != len(want) {
+		t.Fatalf("got %d stage spans, want %d", len(children), len(want))
+	}
+	var condense *obs.Span
+	for i, c := range children {
+		if c.Name() != want[i] {
+			t.Errorf("stage %d = %q, want %q", i, c.Name(), want[i])
+		}
+		if c.Name() == "condense" {
+			condense = c
+		}
+	}
+	// The worked example condenses via six H1 merges; one has the paper's
+	// 0.76 mutual influence (Fig. 5).
+	merges, saw76 := 0, false
+	for _, ev := range condense.Events() {
+		if ev.Name != "merge" {
+			continue
+		}
+		merges++
+		for _, a := range ev.Attrs {
+			if a.Key == "mutual" && a.Value == 0.76 {
+				saw76 = true
+			}
+		}
+	}
+	if merges != 6 {
+		t.Errorf("condense recorded %d merges, want 6", merges)
+	}
+	if !saw76 {
+		t.Error("no merge event carries the Fig. 5 mutual influence 0.76")
+	}
+	// The feasibility oracle's counters were installed and ticked.
+	snap := o.Metrics().Snapshot()
+	calls := int64(-1)
+	for _, c := range snap.Counters {
+		if c.Name == "sched_feasible_calls_total" {
+			calls = c.Value
+		}
+	}
+	if calls <= 0 {
+		t.Errorf("sched_feasible_calls_total = %d, want > 0", calls)
+	}
+}
+
+func TestIntegrateNilObserverIsNoop(t *testing.T) {
+	res, err := Integrate(PaperExample(), WithObserver(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignment) == 0 {
+		t.Error("nil-observer run produced no assignment")
 	}
 }
 

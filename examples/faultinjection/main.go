@@ -16,6 +16,8 @@ import (
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/faultsim"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -42,6 +44,47 @@ func main() {
 	fmt.Println("that reached an FCM on a different processor; the influence-driven")
 	fmt.Println("heuristics (H1/H2/H3) should sit below the criticality-driven and")
 	fmt.Println("timing-driven reductions, which optimise for different goals.")
+
+	fmt.Println("\n== campaign progress: H1 on the worked example, observed ==")
+	observed(depint.PaperExample(), trials)
+}
+
+// observed runs one instrumented campaign and prints the telemetry
+// checkpoints emitted every 10% of trials, showing the running escape-rate
+// estimator converge toward its final value.
+func observed(sys *depint.System, trials int) {
+	o := obs.New()
+	res, err := depint.Integrate(sys, depint.WithObserver(o))
+	if err != nil {
+		log.Fatal(err)
+	}
+	span := o.StartSpan("campaign")
+	inj, err := faultsim.Run(faultsim.Campaign{
+		Graph:             res.Expanded,
+		HWOf:              res.HWOf(),
+		Trials:            trials,
+		Seed:              7,
+		CriticalThreshold: 10,
+		Span:              span,
+		Metrics:           o.Metrics(),
+	})
+	span.End()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  trials  escape-rate  mean-affected   (running estimates)")
+	for _, ev := range span.Events() {
+		if ev.Name != "checkpoint" {
+			continue
+		}
+		attrs := map[string]any{}
+		for _, a := range ev.Attrs {
+			attrs[a.Key] = a.Value
+		}
+		fmt.Printf("  %6d  %11.4f  %13.4f\n",
+			attrs["trials_done"], attrs["escape_rate"], attrs["mean_affected"])
+	}
+	fmt.Printf("   final  %11.4f  %13.4f\n", inj.EscapeRate(), inj.MeanAffected())
 }
 
 func compare(sys *depint.System, trials int) {

@@ -1,0 +1,118 @@
+// Package cli holds helpers shared by the command-line tools under cmd/.
+//
+// Its centerpiece is the telemetry flag trio every tool exposes:
+//
+//	-trace <file>       write a JSON trace (span tree + Chrome events +
+//	                    metrics snapshot) at exit
+//	-log-level <level>  mirror pipeline events to stderr via log/slog
+//	                    (debug, info, warn, error)
+//	-metrics-addr <a>   serve the Prometheus/JSON metrics endpoint on a
+//	                    for the lifetime of the run
+//
+// An Observer is only constructed when at least one flag is given, so the
+// default invocation of every tool stays on the uninstrumented fast path.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// ObsFlags owns the shared telemetry flags and the observer lifecycle they
+// configure. Register with RegisterObsFlags, read Observer after parsing,
+// and defer Finish.
+type ObsFlags struct {
+	tracePath   string
+	logLevel    string
+	metricsAddr string
+
+	errw     io.Writer
+	observer *obs.Observer
+	server   *obs.MetricsServer
+}
+
+// RegisterObsFlags binds -trace, -log-level and -metrics-addr onto fs.
+// Diagnostics (the metrics listen address, trace-write confirmations) go to
+// errw; pass nil for os.Stderr.
+func RegisterObsFlags(fs *flag.FlagSet, errw io.Writer) *ObsFlags {
+	if errw == nil {
+		errw = os.Stderr
+	}
+	f := &ObsFlags{errw: errw}
+	fs.StringVar(&f.tracePath, "trace", "", "write a JSON telemetry trace (spans, events, metrics) to this file at exit")
+	fs.StringVar(&f.logLevel, "log-level", "", "mirror telemetry to stderr at this level: debug, info, warn, error")
+	fs.StringVar(&f.metricsAddr, "metrics-addr", "", "serve Prometheus metrics on this address (e.g. :9090) during the run")
+	return f
+}
+
+// Enabled reports whether any telemetry flag was set.
+func (f *ObsFlags) Enabled() bool {
+	return f != nil && (f.tracePath != "" || f.logLevel != "" || f.metricsAddr != "")
+}
+
+// Observer lazily constructs the observer the flags describe. It returns
+// (nil, nil) when no telemetry flag was given — the fast path — and starts
+// the metrics server as a side effect when -metrics-addr was set.
+func (f *ObsFlags) Observer() (*obs.Observer, error) {
+	if !f.Enabled() {
+		return nil, nil
+	}
+	if f.observer != nil {
+		return f.observer, nil
+	}
+	var opts []obs.Option
+	if f.logLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(f.logLevel)); err != nil {
+			return nil, fmt.Errorf("bad -log-level %q: %w", f.logLevel, err)
+		}
+		h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})
+		opts = append(opts, obs.WithLogger(slog.New(h)))
+	}
+	f.observer = obs.New(opts...)
+	if f.metricsAddr != "" {
+		srv, err := f.observer.Metrics().Serve(f.metricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("metrics server: %w", err)
+		}
+		f.server = srv
+		fmt.Fprintf(f.errw, "metrics: serving on http://%s/metrics\n", srv.Addr())
+	}
+	return f.observer, nil
+}
+
+// Finish flushes the telemetry the run accumulated: the trace file is
+// written (when -trace was given) and the metrics server shut down. Safe to
+// call when telemetry is off, and safe to defer before Observer.
+func (f *ObsFlags) Finish() error {
+	if f == nil {
+		return nil
+	}
+	var firstErr error
+	if f.server != nil {
+		if err := f.server.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		f.server = nil
+	}
+	if f.observer != nil && f.tracePath != "" {
+		file, err := os.Create(f.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := f.observer.WriteTrace(file); err != nil {
+			file.Close()
+			return err
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(f.errw, "trace: wrote %s\n", f.tracePath)
+	}
+	return firstErr
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/attrs"
 	"repro/internal/graph"
 	"repro/internal/influence"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -61,6 +62,43 @@ type Condenser struct {
 	jobs map[string]sched.Job
 	// Trace accumulates the combination steps in order.
 	Trace []Step
+	// span receives one event per merge / backtrack; metrics count the
+	// candidate pairs examined and their feasibility verdicts. Both are
+	// nil (and cost one pointer check) unless Observe installs them.
+	span    *obs.Span
+	metrics *condMetrics
+}
+
+// condMetrics caches the condenser's instrument handles.
+type condMetrics struct {
+	pairsConsidered  *obs.Counter
+	pairsFeasible    *obs.Counter
+	rejectedReplica  *obs.Counter
+	rejectedTiming   *obs.Counter
+	merges           *obs.Counter
+	backtracks       *obs.Counter
+	mergeMutual      *obs.Histogram
+	clusterSizeAfter *obs.Gauge
+}
+
+// Observe installs telemetry on the condenser: merge and backtrack events
+// are appended to span, candidate-pair counters to reg. Either may be nil.
+func (c *Condenser) Observe(span *obs.Span, reg *obs.Registry) {
+	c.span = span
+	if reg == nil {
+		c.metrics = nil
+		return
+	}
+	c.metrics = &condMetrics{
+		pairsConsidered:  reg.Counter("cluster_candidate_pairs_total", "candidate pairs examined by CanCombine"),
+		pairsFeasible:    reg.Counter("cluster_feasible_pairs_total", "candidate pairs passing replica and timing checks"),
+		rejectedReplica:  reg.Counter("cluster_rejected_replica_total", "pairs rejected for replica separation"),
+		rejectedTiming:   reg.Counter("cluster_rejected_timing_total", "pairs rejected as timing infeasible"),
+		merges:           reg.Counter("cluster_merges_total", "combination steps applied"),
+		backtracks:       reg.Counter("cluster_backtracks_total", "criticality-pairing backtracks"),
+		mergeMutual:      reg.Histogram("cluster_merge_mutual_influence", "mutual influence of applied merges", nil),
+		clusterSizeAfter: reg.Gauge("cluster_nodes_current", "working-graph node count"),
+	}
 }
 
 // NewCondenser wraps a graph (typically the output of Expand) and the jobs
@@ -89,8 +127,12 @@ func (c *Condenser) JobsOf(id string) []sched.Job {
 
 // CanCombine reports whether nodes a and b may be combined, and if not,
 // why: replicas must stay apart (§5.2), and the union of their jobs must be
-// schedulable on one processor (§6).
+// schedulable on one processor (§6). Verdicts are counted when the
+// condenser is observed.
 func (c *Condenser) CanCombine(a, b string) (bool, string) {
+	if m := c.metrics; m != nil {
+		m.pairsConsidered.Inc()
+	}
 	if !c.G.HasNode(a) || !c.G.HasNode(b) {
 		return false, "unknown node"
 	}
@@ -98,6 +140,9 @@ func (c *Condenser) CanCombine(a, b string) (bool, string) {
 		return false, "same node"
 	}
 	if c.G.AreReplicas(a, b) {
+		if m := c.metrics; m != nil {
+			m.rejectedReplica.Inc()
+		}
 		return false, "replicas of one module"
 	}
 	jobs := append(c.JobsOf(a), c.JobsOf(b)...)
@@ -106,7 +151,13 @@ func (c *Condenser) CanCombine(a, b string) (bool, string) {
 		return false, err.Error()
 	}
 	if !ok {
+		if m := c.metrics; m != nil {
+			m.rejectedTiming.Inc()
+		}
 		return false, "timing infeasible: " + witness
+	}
+	if m := c.metrics; m != nil {
+		m.pairsFeasible.Inc()
 	}
 	return true, ""
 }
@@ -124,7 +175,35 @@ func (c *Condenser) Combine(a, b, rule string) (string, error) {
 		return "", fmt.Errorf("cluster: contract: %w", err)
 	}
 	c.Trace = append(c.Trace, Step{A: a, B: b, Mutual: mutual, Result: id, Rule: rule})
+	if c.span != nil {
+		c.span.Event("merge",
+			obs.String("rule", rule),
+			obs.String("a", a),
+			obs.String("b", b),
+			obs.Float("mutual", mutual),
+			obs.String("result", id),
+			obs.Int("nodes_left", c.G.NumNodes()))
+	}
+	if m := c.metrics; m != nil {
+		m.merges.Inc()
+		m.mergeMutual.Observe(mutual)
+		m.clusterSizeAfter.Set(float64(c.G.NumNodes()))
+	}
 	return id, nil
+}
+
+// backtrack books one undone pairing decision of the criticality search
+// (§6.2's conflict resolution) as an event and a counter tick.
+func (c *Condenser) backtrack(hi, lo string) {
+	if c.span != nil {
+		c.span.Event("backtrack",
+			obs.String("high", hi),
+			obs.String("low", lo),
+			obs.String("why", "pairing conflict, partner choice undone"))
+	}
+	if m := c.metrics; m != nil {
+		m.backtracks.Inc()
+	}
 }
 
 // Partition returns the current node groups as member lists, sorted.

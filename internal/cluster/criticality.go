@@ -102,6 +102,10 @@ func (c *Condenser) pairRound() ([][2]string, bool) {
 				if solve(hi+1, single) {
 					return true
 				}
+				// The paper's conflict resolution: a later process found no
+				// partner, so this tentative pairing is undone and p_hi tries
+				// "the process preceding p_l on the criticality list".
+				c.backtrack(nodes[hi], nodes[lo])
 				pairs = pairs[:len(pairs)-1]
 				used[lo] = false
 			}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Policy selects the per-processor scheduling policy.
@@ -99,6 +101,10 @@ type Config struct {
 	PolicyOf map[string]Policy
 	Tasks    []Task
 	Horizon  float64 // 0 = default
+	// Span, when set, receives the scheduler event stream (start, finish,
+	// preempt, abort, taint, message) with simulated timestamps, mirroring
+	// the textual Trace in structured form.
+	Span *obs.Span
 }
 
 // Outcome describes one task's simulated fate.
@@ -253,6 +259,14 @@ func Run(cfg Config) (*Report, error) {
 	logf := func(t float64, format string, args ...any) {
 		rep.Trace = append(rep.Trace, fmt.Sprintf("[%8.3f] %s", t, fmt.Sprintf(format, args...)))
 	}
+	// emit mirrors scheduler decisions onto the observer span with the
+	// simulated clock attached; no-op when unobserved.
+	emit := func(t float64, name string, attrs ...obs.Attr) {
+		if cfg.Span == nil {
+			return
+		}
+		cfg.Span.Event(name, append(attrs, obs.Float("sim_time", t))...)
+	}
 
 	running := map[string]*taskState{} // processor -> running task (non-preemptive continuity)
 	type delivery struct {
@@ -284,9 +298,12 @@ func Run(cfg Config) (*Report, error) {
 			if reg := regions[r]; reg != nil && reg.written && reg.tainted {
 				if st.task.Guarded {
 					logf(t, "%s: guarded read discarded tainted region %s", st.task.Name, r)
+					emit(t, "guard", obs.String("task", st.task.Name), obs.String("region", r))
 				} else {
 					taint = true
 					logf(t, "%s: read tainted region %s", st.task.Name, r)
+					emit(t, "taint", obs.String("task", st.task.Name),
+						obs.String("via", "shared-memory"), obs.String("region", r))
 				}
 			}
 		}
@@ -294,6 +311,8 @@ func Run(cfg Config) (*Report, error) {
 			st.tainted = true
 		}
 		logf(t, "%s started on %s", st.task.Name, st.task.Processor)
+		emit(t, "task-start", obs.String("task", st.task.Name),
+			obs.String("processor", st.task.Processor))
 	}
 
 	// deliver hands a message to its receiver, applying guard semantics.
@@ -302,11 +321,15 @@ func Run(cfg Config) (*Report, error) {
 		switch {
 		case corrupt && rcv.task.Guarded:
 			logf(t, "message %s->%s: tainted, discarded by guard", from, rcv.task.Name)
+			emit(t, "guard", obs.String("task", rcv.task.Name), obs.String("from", from))
 		case corrupt:
 			rcv.taintsIn = true
 			logf(t, "message %s->%s: tainted", from, rcv.task.Name)
+			emit(t, "taint", obs.String("task", rcv.task.Name),
+				obs.String("via", "message"), obs.String("from", from))
 		default:
 			logf(t, "message %s->%s", from, rcv.task.Name)
+			emit(t, "message", obs.String("from", from), obs.String("to", rcv.task.Name))
 		}
 	}
 
@@ -329,6 +352,8 @@ func Run(cfg Config) (*Report, error) {
 			reg.tainted = corrupt
 			if corrupt {
 				logf(t, "%s wrote corrupt data to region %s", st.task.Name, w)
+				emit(t, "taint", obs.String("task", st.task.Name),
+					obs.String("via", "corrupt-write"), obs.String("region", w))
 			}
 		}
 		for _, dst := range st.task.SendsTo {
@@ -342,6 +367,9 @@ func Run(cfg Config) (*Report, error) {
 			deliver(states[dst], st.task.Name, corrupt, t)
 		}
 		logf(t, "%s finished", st.task.Name)
+		emit(t, "task-finish", obs.String("task", st.task.Name),
+			obs.Bool("tainted", st.tainted),
+			obs.Bool("missed", t > st.task.Deadline+1e-12))
 	}
 
 	for now < horizon {
@@ -382,6 +410,8 @@ func Run(cfg Config) (*Report, error) {
 					if policy == Preemptive && (st.budget <= 1e-12 || now >= st.task.Deadline) {
 						st.aborted = true
 						logf(now, "%s aborted (budget/deadline enforcement)", st.task.Name)
+						emit(now, "abort", obs.String("task", st.task.Name),
+							obs.String("reason", "budget/deadline enforcement"))
 						continue
 					}
 					if pick == nil || st.task.Deadline < pick.task.Deadline ||
@@ -391,6 +421,12 @@ func Run(cfg Config) (*Report, error) {
 				}
 			}
 			if pick != nil {
+				if prev := running[proc]; prev != nil && prev != pick &&
+					!prev.finished && !prev.aborted && prev.started {
+					logf(now, "%s preempted by %s on %s", prev.task.Name, pick.task.Name, proc)
+					emit(now, "preempt", obs.String("task", prev.task.Name),
+						obs.String("by", pick.task.Name), obs.String("processor", proc))
+				}
 				dispatches = append(dispatches, dispatch{proc, pick})
 				running[proc] = pick
 				if !pick.started {
@@ -450,6 +486,8 @@ func Run(cfg Config) (*Report, error) {
 			} else if policyFor(d.proc) == Preemptive && d.st.budget <= 1e-12 {
 				d.st.aborted = true
 				logf(nextEvent, "%s aborted (budget exhausted)", d.st.task.Name)
+				emit(nextEvent, "abort", obs.String("task", d.st.task.Name),
+					obs.String("reason", "budget exhausted"))
 				running[d.proc] = nil
 			}
 		}
@@ -460,6 +498,8 @@ func Run(cfg Config) (*Report, error) {
 				if !d.st.finished && !d.st.aborted && now >= d.st.task.Deadline {
 					d.st.aborted = true
 					logf(now, "%s aborted (deadline reached)", d.st.task.Name)
+					emit(now, "abort", obs.String("task", d.st.task.Name),
+						obs.String("reason", "deadline reached"))
 					running[d.proc] = nil
 				}
 			}

@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestRunValidation(t *testing.T) {
@@ -207,6 +209,52 @@ func TestGuardedReaderContainsTaint(t *testing.T) {
 	}
 	if rep.Outcomes["r"].Tainted {
 		t.Error("guarded reader absorbed taint")
+	}
+}
+
+func TestSpanEventStream(t *testing.T) {
+	// One scenario exercising preemption, corrupt shared memory and a
+	// guarded reader; the installed span must stream the scheduler events.
+	o := obs.New()
+	span := o.StartSpan("exec")
+	_, err := Run(Config{
+		Policy: Preemptive,
+		Span:   span,
+		Tasks: []Task{
+			{Name: "long", Processor: "cpu0", Release: 0, Deadline: 20, Budget: 8,
+				Writes: []string{"shm"}, CorruptsOutputs: true},
+			{Name: "urgent", Processor: "cpu0", Release: 2, Deadline: 6, Budget: 3},
+			{Name: "reader", Processor: "cpu0", Release: 12, Deadline: 30, Budget: 2,
+				Reads: []string{"shm"}, Guarded: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	span.End()
+	counts := map[string]int{}
+	for _, ev := range span.Events() {
+		counts[ev.Name]++
+	}
+	for _, want := range []string{"task-start", "task-finish", "preempt", "taint", "guard"} {
+		if counts[want] == 0 {
+			t.Errorf("no %q event in span stream; got %v", want, counts)
+		}
+	}
+	if counts["task-start"] != 3 || counts["task-finish"] != 3 {
+		t.Errorf("start/finish counts = %v, want 3 each", counts)
+	}
+	// Every event carries the simulation timestamp.
+	for _, ev := range span.Events() {
+		found := false
+		for _, a := range ev.Attrs {
+			if a.Key == "sim_time" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("event %q lacks sim_time attr", ev.Name)
+		}
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/attrs"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Errors returned by campaign configuration.
@@ -54,6 +55,12 @@ type Campaign struct {
 	// communication makes the edge's target faulty directly; propagation
 	// continues from there. 0 means all faults originate in FCMs.
 	CommFaultFraction float64
+	// Span, when set, receives a "checkpoint" event at every 10% of the
+	// campaign with the running containment estimates — the convergence
+	// trail of the paper's measurement loop. Metrics, when set, counts
+	// trials, transmissions and escapes as the campaign runs.
+	Span    *obs.Span
+	Metrics *obs.Registry
 }
 
 // Result aggregates a campaign.
@@ -185,9 +192,38 @@ func Run(c Campaign) (Result, error) {
 		return c.Graph.Attrs(n).Value(attrs.Criticality)
 	}
 
+	// Campaign telemetry: per-10% checkpoint events carrying the running
+	// estimators, plus live counters and gauges.
+	var trialsCtr, escapesCtr, crossCtr *obs.Counter
+	var escapeGauge *obs.Gauge
+	if c.Metrics != nil {
+		trialsCtr = c.Metrics.Counter("faultsim_trials_total", "injection trials executed")
+		escapesCtr = c.Metrics.Counter("faultsim_escape_trials_total", "trials whose fault crossed a HW boundary")
+		crossCtr = c.Metrics.Counter("faultsim_cross_transmissions_total", "fault transmissions across HW boundaries")
+		escapeGauge = c.Metrics.Gauge("faultsim_escape_rate", "running escape-rate estimate")
+	}
+	checkpointEvery := c.Trials / 10
+	if checkpointEvery == 0 {
+		checkpointEvery = 1
+	}
+	checkpoint := func(done int) {
+		rate := float64(res.TrialsWithEscape) / float64(done)
+		escapeGauge.Set(rate)
+		if c.Span != nil {
+			c.Span.Event("checkpoint",
+				obs.Int("trials_done", done),
+				obs.Int("trials_total", c.Trials),
+				obs.Float("escape_rate", rate),
+				obs.Float("mean_affected", float64(res.TotalAffected)/float64(done)),
+				obs.Int("cross_transmissions", res.CrossNodeTransmissions),
+				obs.Float("mean_crit_loss", res.CriticalityLoss/float64(done)))
+		}
+	}
+
 	for trial := 0; trial < c.Trials; trial++ {
 		var origin string
 		escaped := false
+		crossBefore := res.CrossNodeTransmissions
 		if len(commEdges) > 0 && rng.Float64() < c.CommFaultFraction {
 			// Communication fault: a message between a pair of FCMs is
 			// corrupted in transit; the receiving FCM becomes faulty.
@@ -247,6 +283,17 @@ func Run(c Campaign) (Result, error) {
 			if c.CriticalThreshold > 0 && cv >= c.CriticalThreshold {
 				res.CriticalAffected++
 			}
+		}
+		if trialsCtr != nil {
+			trialsCtr.Inc()
+			if escaped {
+				escapesCtr.Inc()
+			}
+			crossCtr.Add(int64(res.CrossNodeTransmissions - crossBefore))
+		}
+		if (c.Span != nil || c.Metrics != nil) &&
+			((trial+1)%checkpointEvery == 0 || trial+1 == c.Trials) {
+			checkpoint(trial + 1)
 		}
 	}
 	return res, nil

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// SpanJSON is the JSON shape of one span: attributes flattened into an
+// object, events and children nested.
+type SpanJSON struct {
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	End        *time.Time     `json:"end,omitempty"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Events     []EventJSON    `json:"events,omitempty"`
+	Children   []SpanJSON     `json:"children,omitempty"`
+}
+
+// EventJSON is the JSON shape of one event.
+type EventJSON struct {
+	Time  time.Time      `json:"time"`
+	Name  string         `json:"name"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+func attrsMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// Export converts the span (and its subtree) to its JSON shape.
+func (s *Span) Export() SpanJSON {
+	if s == nil {
+		return SpanJSON{}
+	}
+	s.o.mu.Lock()
+	name, start, end := s.name, s.start, s.end
+	attrs := append([]Attr(nil), s.attrs...)
+	events := append([]Event(nil), s.events...)
+	children := append([]*Span(nil), s.children...)
+	s.o.mu.Unlock()
+
+	out := SpanJSON{Name: name, Start: start, Attrs: attrsMap(attrs)}
+	if !end.IsZero() {
+		e := end
+		out.End = &e
+		out.DurationMS = float64(end.Sub(start)) / float64(time.Millisecond)
+	}
+	for _, ev := range events {
+		out.Events = append(out.Events, EventJSON{Time: ev.Time, Name: ev.Name, Attrs: attrsMap(ev.Attrs)})
+	}
+	for _, c := range children {
+		out.Children = append(out.Children, c.Export())
+	}
+	return out
+}
+
+// MarshalJSON renders the span tree.
+func (s *Span) MarshalJSON() ([]byte, error) { return json.Marshal(s.Export()) }
+
+// ChromeEvent is one entry of the Chrome trace-event format ("X" complete
+// spans, "i" instant events), loadable in chrome://tracing and Perfetto.
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds since trace epoch
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace flattens every recorded span into the Chrome trace-event
+// list. Span depth maps to the tid column so nesting renders as stacked
+// tracks.
+func (o *Observer) ChromeTrace() []ChromeEvent {
+	if o == nil {
+		return nil
+	}
+	epoch := o.epoch
+	var out []ChromeEvent
+	var walk func(s SpanJSON, depth int)
+	walk = func(s SpanJSON, depth int) {
+		ts := float64(s.Start.Sub(epoch)) / float64(time.Microsecond)
+		ev := ChromeEvent{Name: s.Name, Phase: "X", TS: ts, PID: 1, TID: depth, Args: s.Attrs}
+		if s.End != nil {
+			ev.Dur = float64(s.End.Sub(s.Start)) / float64(time.Microsecond)
+		}
+		out = append(out, ev)
+		for _, e := range s.Events {
+			out = append(out, ChromeEvent{
+				Name:  e.Name,
+				Phase: "i",
+				TS:    float64(e.Time.Sub(epoch)) / float64(time.Microsecond),
+				PID:   1,
+				TID:   depth,
+				Scope: "t",
+				Args:  e.Attrs,
+			})
+		}
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, root := range o.Roots() {
+		walk(root.Export(), 0)
+	}
+	return out
+}
+
+// Trace is the complete export of one observed run: the span trees, the
+// flat Chrome-compatible event list, and a metrics snapshot.
+type Trace struct {
+	Spans        []SpanJSON       `json:"spans"`
+	ChromeEvents []ChromeEvent    `json:"chrome_events,omitempty"`
+	Metrics      RegistrySnapshot `json:"metrics"`
+}
+
+// Export snapshots the observer into its serialisable Trace form.
+func (o *Observer) Export() Trace {
+	var t Trace
+	if o == nil {
+		return t
+	}
+	for _, root := range o.Roots() {
+		t.Spans = append(t.Spans, root.Export())
+	}
+	t.ChromeEvents = o.ChromeTrace()
+	t.Metrics = o.Metrics().Snapshot()
+	return t
+}
+
+// WriteTrace writes the indented JSON Trace export to w.
+func (o *Observer) WriteTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o.Export())
+}
+
+// writeJSON writes v as indented JSON, ignoring encode errors (HTTP path).
+func writeJSON(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -79,13 +79,19 @@ var ErrBadJob = errors.New("sched: invalid job")
 // on one processor (preemptive EDF feasibility, decided exactly by the
 // processor-demand criterion). It also returns the tightest window as a
 // human-readable witness when infeasible.
+//
+// When instrumentation is installed via Observe, every call books its
+// verdict and latency; otherwise the overhead is one atomic load.
 func Feasible(jobs []Job) (bool, string, error) {
+	start, observed := observedNow()
 	for _, j := range jobs {
 		if err := j.Validate(); err != nil {
+			record(start, false, observed)
 			return false, "", err
 		}
 	}
 	if len(jobs) <= 1 {
+		record(start, true, observed)
 		return true, "", nil
 	}
 	starts := make([]float64, 0, len(jobs))
@@ -119,6 +125,7 @@ func Feasible(jobs []Job) (bool, string, error) {
 			}
 		}
 	}
+	record(start, worstSlack >= 0, observed)
 	return worstSlack >= 0, witness, nil
 }
 

@@ -2,10 +2,11 @@
 # change must pass before merging. `make check` is the one-shot entry.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench fuzz-smoke
 
-check: fmt vet build test race bench
+check: fmt vet build test race bench fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -28,3 +29,10 @@ race:
 # `go test -bench=. -benchmem` for real measurements.
 bench:
 	$(GO) test -run NONE -bench 'Integrate(Pipeline|NilObserver|WithObserver)$$' -benchtime 50x .
+
+# fuzz-smoke gives each native fuzz target a short budget (FUZZTIME,
+# default 30s) — enough to catch shallow regressions in the decoder and
+# the resilience layer without turning the gate into a fuzzing session.
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz 'FuzzDecodeSystem$$' -fuzztime $(FUZZTIME) ./internal/spec
+	$(GO) test -run NONE -fuzz 'FuzzIntegrate$$' -fuzztime $(FUZZTIME) .

@@ -40,10 +40,13 @@ func run(args []string, stdout io.Writer) (err error) {
 	hierPath := fs.String("hier", "", "path to a hierarchy JSON (default: built-in example)")
 	modify := fs.String("modify", "", "comma-separated FCM names to modify in order")
 	emit := fs.Bool("emit-example", false, "write the built-in hierarchy example as JSON and exit")
+	timeout := cli.RegisterTimeout(fs)
 	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, stop := cli.RunContext(*timeout)
+	defer stop()
 	observer, oerr := obsFlags.Observer()
 	if oerr != nil {
 		return oerr
@@ -104,6 +107,9 @@ func run(args []string, stdout io.Writer) (err error) {
 	c.CertifyAll()
 	fmt.Fprintln(stdout, "\nper-modification retest sets (rule R5):")
 	for _, m := range mods {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("cancelled before retest of %q: %w", m, err)
+		}
 		span := root.StartChild("retest", obs.String("modified", m))
 		fcms, interfaces, err := h.RetestSet(m)
 		if err != nil {

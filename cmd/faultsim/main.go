@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	faultsim [-spec system.json] [-trials N] [-seed S]
+//	faultsim [-spec system.json] [-trials N] [-seed S] [-timeout 2m]
+//	         [-checkpoint path] [-checkpoint-every N] [-resume]
 //	         [-trace out.json] [-log-level info] [-metrics-addr :9090]
 //
 // With telemetry enabled each strategy's campaign records a span with
 // checkpoint events every 10% of trials (running escape-rate estimates)
 // and feeds trial counters into the metrics registry.
+//
+// With -checkpoint the per-strategy campaign state (RNG position and
+// running counters) is persisted atomically to <path>.<strategy> as the
+// campaign runs, and on SIGINT/SIGTERM or -timeout expiry; rerunning with
+// -resume continues each campaign from its checkpoint and produces results
+// bit-identical to an uninterrupted run.
 package main
 
 import (
@@ -39,10 +46,19 @@ func run(args []string, stdout io.Writer) (err error) {
 	trials := fs.Int("trials", 50000, "injection trials per strategy")
 	seed := fs.Uint64("seed", 7, "campaign seed")
 	comm := fs.Float64("comm", 0, "fraction of trials injecting communication faults (0..1)")
+	ckpt := fs.String("checkpoint", "", "persist campaign state to <path>.<strategy> for crash-safe resume")
+	ckptEvery := fs.Int("checkpoint-every", 0, "trials between checkpoint writes (default trials/10)")
+	resume := fs.Bool("resume", false, "resume campaigns from their -checkpoint files when present")
+	timeout := cli.RegisterTimeout(fs)
 	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *resume && *ckpt == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	ctx, stop := cli.RunContext(*timeout)
+	defer stop()
 	observer, err := obsFlags.Observer()
 	if err != nil {
 		return err
@@ -74,14 +90,17 @@ func run(args []string, stdout io.Writer) (err error) {
 		depint.H1, depint.H1PairAll, depint.H2, depint.H3,
 		depint.Criticality, depint.TimingOrder,
 	} {
-		res, err := depint.Integrate(sys, depint.WithStrategy(s), depint.WithObserver(observer))
+		res, err := depint.IntegrateContext(ctx, sys, depint.WithStrategy(s), depint.WithObserver(observer))
 		if err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
 			fmt.Fprintf(stdout, "%-12s  FAILED: %v\n", s, err)
 			continue
 		}
 		span := observer.StartSpan("campaign",
 			obs.String("strategy", s.String()), obs.Int("trials", *trials))
-		fi, err := faultsim.Run(faultsim.Campaign{
+		campaign := faultsim.Campaign{
 			Graph:             res.Expanded,
 			HWOf:              res.HWOf(),
 			Trials:            *trials,
@@ -90,7 +109,14 @@ func run(args []string, stdout io.Writer) (err error) {
 			CommFaultFraction: *comm,
 			Span:              span,
 			Metrics:           observer.Metrics(),
-		})
+			Ctx:               ctx,
+		}
+		if *ckpt != "" {
+			campaign.CheckpointPath = fmt.Sprintf("%s.%s", *ckpt, s)
+			campaign.CheckpointEvery = *ckptEvery
+			campaign.Resume = *resume
+		}
+		fi, err := faultsim.Run(campaign)
 		span.End()
 		if err != nil {
 			return err

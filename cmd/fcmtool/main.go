@@ -50,10 +50,13 @@ func run(args []string, stdout io.Writer) (err error) {
 	compare := fs.Bool("compare", false, "run every strategy and print the comparison table")
 	dot := fs.String("dot", "", "write the influence graph in Graphviz DOT to stdout: initial, expanded, condensed")
 	jsonOut := fs.Bool("json", false, "emit the integration result as JSON (includes telemetry when enabled)")
+	timeout := cli.RegisterTimeout(fs)
 	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, stop := cli.RunContext(*timeout)
+	defer stop()
 
 	if *emit {
 		return depint.PaperExample().Encode(stdout)
@@ -102,9 +105,13 @@ func run(args []string, stdout io.Writer) (err error) {
 	}()
 
 	if *compare {
+		compareOpts := []depint.Option{depint.WithApproach(a), depint.WithObserver(observer)}
+		if *timeout > 0 {
+			compareOpts = append(compareOpts, depint.WithTimeout(*timeout))
+		}
 		cmp, err := depint.CompareStrategies(sys, depint.CompareConfig{
 			InjectTrials: 20000, Seed: 7,
-			Options: []depint.Option{depint.WithApproach(a), depint.WithObserver(observer)},
+			Options: compareOpts,
 		})
 		if err != nil {
 			return err
@@ -124,7 +131,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	if observer != nil {
 		opts = append(opts, depint.WithObserver(observer))
 	}
-	res, err := depint.Integrate(sys, opts...)
+	res, err := depint.IntegrateContext(ctx, sys, opts...)
 	if err != nil {
 		return err
 	}

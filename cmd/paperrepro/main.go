@@ -39,10 +39,13 @@ func run(args []string, stdout io.Writer) (err error) {
 	only := fs.String("only", "", "regenerate a single artifact (table1, fig1..fig8, e1..e15)")
 	trials := fs.Int("trials", 20000, "Monte-Carlo trials for injection experiments")
 	seed := fs.Uint64("seed", 1998, "seed for randomized experiments")
+	timeout := cli.RegisterTimeout(fs)
 	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, stop := cli.RunContext(*timeout)
+	defer stop()
 	observer, err := obsFlags.Observer()
 	if err != nil {
 		return err
@@ -112,6 +115,9 @@ func run(args []string, stdout io.Writer) (err error) {
 	for _, a := range artifacts {
 		if *only != "" && !strings.EqualFold(*only, a.name) {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("cancelled before %s: %w", a.name, err)
 		}
 		span := root.StartChild(a.name)
 		text, err := a.run()

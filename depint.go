@@ -29,8 +29,10 @@
 package depint
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/attrs"
 	"repro/internal/cluster"
@@ -43,6 +45,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/spec"
+	"repro/internal/stage"
 )
 
 // Re-exported spec types: callers describe systems with these.
@@ -170,6 +173,10 @@ type options struct {
 	separationOrder   int
 	refineMoves       int
 	observer          *obs.Observer
+	fallback          []Strategy
+	timeout           time.Duration
+	attemptTimeout    time.Duration
+	weightsSet        bool
 }
 
 // Option configures Integrate.
@@ -187,7 +194,9 @@ func WithApproach(a Approach) Option { return func(o *options) { o.approach = a 
 func WithPlatform(p *hw.Platform) Option { return func(o *options) { o.platform = p } }
 
 // WithWeights overrides the importance weights.
-func WithWeights(w attrs.Weights) Option { return func(o *options) { o.weights = w } }
+func WithWeights(w attrs.Weights) Option {
+	return func(o *options) { o.weights, o.weightsSet = w, true }
+}
 
 // WithLexicographicKinds orders the attribute kinds for Approach B.
 func WithLexicographicKinds(kinds ...attrs.Kind) Option {
@@ -224,6 +233,31 @@ func WithRefinement(maxMoves int) Option { return func(o *options) { o.refineMov
 // uninstrumented fast path.
 func WithObserver(o *obs.Observer) Option { return func(opt *options) { opt.observer = o } }
 
+// WithFallback installs a graceful-degradation chain after the selected
+// strategy: when condensation or mapping under the current strategy fails,
+// times out (see WithAttemptTimeout), or yields an infeasible mapping, the
+// pipeline retries with the next strategy in the chain on a fresh copy of
+// the replicated graph. Every abandoned strategy is recorded in
+// Result.Degradations and as a "degrade" telemetry event. Cancellation of
+// the caller's context is never retried — it aborts the whole run.
+func WithFallback(next ...Strategy) Option {
+	return func(o *options) { o.fallback = append(o.fallback, next...) }
+}
+
+// WithTimeout bounds the whole integration run: the context handed to
+// IntegrateContext is wrapped with this deadline. Expiry surfaces as a
+// *StageError wrapping context.DeadlineExceeded from whichever stage the
+// pipeline was in. Zero (the default) means no deadline beyond the
+// caller's context.
+func WithTimeout(d time.Duration) Option { return func(o *options) { o.timeout = d } }
+
+// WithAttemptTimeout bounds each strategy attempt of the condense+map
+// phase separately. When an attempt exceeds the budget it is abandoned
+// and — if WithFallback configured further strategies — the next one is
+// tried with a fresh budget; without a fallback the deadline error is
+// returned. Zero (the default) means attempts share the run's deadline.
+func WithAttemptTimeout(d time.Duration) Option { return func(o *options) { o.attemptTimeout = d } }
+
 // Result is the complete output of an integration run.
 type Result struct {
 	// System echoes the input specification.
@@ -249,7 +283,11 @@ type Result struct {
 	// RefinementMoves counts dilation-refinement moves applied (0 when
 	// refinement was disabled or unnecessary).
 	RefinementMoves int
-	// Strategy and ApproachUsed echo the configuration.
+	// Degradations records every strategy the fallback chain gave up on
+	// before Strategy succeeded (empty on a first-try success).
+	Degradations []Degradation
+	// Strategy and ApproachUsed echo the configuration; with a fallback
+	// chain, Strategy is the strategy that actually produced the mapping.
 	Strategy     Strategy
 	ApproachUsed Approach
 }
@@ -257,19 +295,106 @@ type Result struct {
 // ErrNilSystem is returned when Integrate receives a nil specification.
 var ErrNilSystem = errors.New("depint: nil system")
 
-// Integrate runs the full pipeline on a system specification.
+// StageError is the structured error every pipeline failure is classified
+// into: the stage it escaped from, the heuristic or rule involved, the
+// offending node when known, and the cause (errors.Is/As see through it).
+// A StageError born from a recovered panic wraps ErrPanic and carries the
+// goroutine stack.
+type StageError = stage.Error
+
+// Taxonomy sentinels, re-exported for callers routing on errors.Is.
+var (
+	// ErrPanic marks a StageError produced by the panic firewall at a
+	// stage boundary — library callers never see a raw panic.
+	ErrPanic = stage.ErrPanic
+	// ErrFallbackExhausted marks a run whose every fallback strategy
+	// failed; the last strategy's error is joined alongside.
+	ErrFallbackExhausted = stage.ErrExhausted
+)
+
+// Degradation records one abandoned strategy of a fallback chain.
+type Degradation struct {
+	// Stage is the pipeline stage the strategy failed in ("condense" or
+	// "map").
+	Stage string
+	// Strategy is the heuristic given up on.
+	Strategy Strategy
+	// Reason is the rendered failure that triggered the fallback.
+	Reason string
+}
+
+// String renders "H2-min-cut failed in condense: …".
+func (d Degradation) String() string {
+	return fmt.Sprintf("%s failed in %s: %s", d.Strategy, d.Stage, d.Reason)
+}
+
+// Integrate runs the full pipeline on a system specification with no
+// deadline (beyond WithTimeout, when given).
 func Integrate(sys *System, opts ...Option) (*Result, error) {
+	return IntegrateContext(context.Background(), sys, opts...)
+}
+
+// runStage executes fn as one pipeline stage: a cooperative cancellation
+// check first, then the body behind the panic firewall. Failures are
+// classified into *StageError and recorded on the stage's telemetry span;
+// a recovered panic additionally lands its stack there as a "panic" event.
+func runStage(ctx context.Context, sp *obs.Span, name string, fn func() error) error {
+	defer sp.End()
+	if err := stage.Check(ctx, name); err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+		return err
+	}
+	err := stage.Run(name, fn)
+	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+		var se *stage.Error
+		if errors.As(err, &se) && len(se.Stack) > 0 {
+			sp.Event("panic", obs.String("stage", se.Stage), obs.String("stack", string(se.Stack)))
+		}
+	}
+	return err
+}
+
+// stageOf extracts the stage name a classified error escaped from.
+func stageOf(err error, fallback string) string {
+	var se *stage.Error
+	if errors.As(err, &se) && se.Stage != "" {
+		return se.Stage
+	}
+	return fallback
+}
+
+// IntegrateContext runs the full pipeline under a context: the deadline or
+// cancellation of ctx propagates into the condensation heuristics, the
+// Eq. (3) separation series, the mapping refiner and every stage boundary,
+// so a cancelled run returns promptly with a *StageError wrapping
+// ctx.Err() — never a partial result and never a panic.
+func IntegrateContext(ctx context.Context, sys *System, opts ...Option) (*Result, error) {
 	if sys == nil {
 		return nil, ErrNilSystem
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	o := options{
 		strategy:          H1,
 		approach:          ByImportance,
-		weights:           attrs.DefaultWeights(),
 		criticalThreshold: 10,
 	}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if !o.weightsSet {
+		w, err := attrs.DefaultWeights()
+		if err != nil {
+			return nil, err
+		}
+		o.weights = w
+	}
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
 	}
 
 	// Telemetry: one root span with a child per pipeline stage. Every span
@@ -287,93 +412,67 @@ func Integrate(sys *System, opts ...Option) (*Result, error) {
 	defer root.End()
 
 	// Stage 1: partition — the specification names the process-level FCMs.
-	stage := root.StartChild("partition")
-	if err := sys.Validate(); err != nil {
-		return nil, fmt.Errorf("depint: %w", err)
+	sp := root.StartChild("partition")
+	if err := runStage(ctx, sp, "partition", func() error {
+		if err := sys.Validate(); err != nil {
+			return err
+		}
+		sp.SetAttr(obs.Int("processes", len(sys.Processes)))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	if stage != nil {
-		stage.SetAttr(obs.Int("processes", len(sys.Processes)))
-	}
-	stage.End()
 
 	// Stage 2: influence — the directed influence graph plus the Eq. (3)
 	// separation analysis over it.
-	stage = root.StartChild("influence")
-	initial, err := sys.Graph()
-	if err != nil {
-		return nil, fmt.Errorf("depint: %w", err)
-	}
 	res := &Result{
 		System:       sys,
-		Initial:      initial,
 		Strategy:     o.strategy,
 		ApproachUsed: o.approach,
 	}
-	p, idx := initial.Matrix()
-	sep, err := influence.SeparationMatrix(p, o.separationOrder)
-	if err != nil {
-		return nil, fmt.Errorf("depint: separation: %w", err)
+	sp = root.StartChild("influence")
+	if err := runStage(ctx, sp, "influence", func() error {
+		initial, err := sys.Graph()
+		if err != nil {
+			return err
+		}
+		res.Initial = initial
+		p, idx := initial.Matrix()
+		sep, err := influence.SeparationMatrixCtx(ctx, p, o.separationOrder)
+		if err != nil {
+			return fmt.Errorf("separation: %w", err)
+		}
+		res.Separation, res.SeparationIndex = sep, idx
+		sp.SetAttr(obs.Int("nodes", initial.NumNodes()), obs.Int("edges", len(initial.Edges())))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	res.Separation, res.SeparationIndex = sep, idx
-	if stage != nil {
-		stage.SetAttr(obs.Int("nodes", initial.NumNodes()), obs.Int("edges", len(initial.Edges())))
-	}
-	stage.End()
 
 	// Stage 3: replication expansion.
-	stage = root.StartChild("replicate")
-	exp, err := cluster.Expand(initial, sys.Jobs())
-	if err != nil {
-		return nil, fmt.Errorf("depint: %w", err)
+	var exp *cluster.Expansion
+	sp = root.StartChild("replicate")
+	if err := runStage(ctx, sp, "replicate", func() error {
+		var err error
+		exp, err = cluster.Expand(res.Initial, sys.Jobs())
+		if err != nil {
+			return err
+		}
+		res.Expanded = exp.Graph.Clone()
+		sp.SetAttr(obs.Int("replicas", exp.Graph.NumNodes()))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	res.Expanded = exp.Graph.Clone()
-	if stage != nil {
-		stage.SetAttr(obs.Int("replicas", exp.Graph.NumNodes()))
-	}
-	stage.End()
 
-	// Stage 4: condensation.
-	stage = root.StartChild("condense", obs.String("strategy", o.strategy.String()))
-	cond := cluster.NewCondenser(exp.Graph, exp.Jobs)
-	cond.Observe(stage, o.observer.Metrics())
-	target := sys.HWNodes
-	switch o.strategy {
-	case H1:
-		err = cond.ReduceByInfluence(target)
-	case H1PairAll:
-		err = cond.ReduceByInfluencePairAll(target)
-	case H2:
-		err = cond.ReduceByMinCut(target)
-	case H3:
-		err = cond.ReduceBySpheres(target, o.weights)
-	case Criticality:
-		err = cond.ReduceByCriticality(target)
-	case TimingOrder:
-		err = cond.ReduceByTiming(target)
-	case SeparationGuided:
-		err = cond.ReduceBySeparation(target, o.separationOrder)
-	case H2SourceTarget:
-		err = cond.ReduceByMinCutST(target, o.weights)
-	default:
-		err = fmt.Errorf("depint: unknown strategy %d", int(o.strategy))
-	}
-	if err != nil {
-		return nil, fmt.Errorf("depint: condense (%s): %w", o.strategy, err)
-	}
-	res.Condensed = cond.G
-	res.Trace = cond.Trace
-	if stage != nil {
-		stage.SetAttr(obs.Int("clusters", cond.G.NumNodes()), obs.Int("merges", len(cond.Trace)))
-	}
-	stage.End()
-
-	// Stage 5: mapping.
-	stage = root.StartChild("map", obs.String("approach", o.approach.String()))
+	// The HW platform and resource requirements are strategy-independent;
+	// build them once, before the condense+map attempts.
 	platform := o.platform
 	if platform == nil {
+		var err error
 		platform, err = hw.Complete(sys.HWNodes)
 		if err != nil {
-			return nil, fmt.Errorf("depint: platform: %w", err)
+			return nil, stage.Wrapf("map", "", "", err, "platform")
 		}
 		// The paper's HW model: homogeneous processors "with access to
 		// equivalent sets of resources" — the default platform offers
@@ -381,7 +480,7 @@ func Integrate(sys *System, opts ...Option) (*Result, error) {
 		for _, nodeName := range platform.Nodes() {
 			node, nerr := platform.Node(nodeName)
 			if nerr != nil {
-				return nil, fmt.Errorf("depint: platform: %w", nerr)
+				return nil, stage.Wrapf("map", "", nodeName, nerr, "platform")
 			}
 			for _, p := range sys.Processes {
 				for _, res := range p.Resources {
@@ -394,68 +493,178 @@ func Integrate(sys *System, opts ...Option) (*Result, error) {
 	if req == nil {
 		req = requirementsFromSpec(sys, exp)
 	}
-	switch o.approach {
-	case ByImportance:
-		res.Assignment, err = mapping.AssignByImportance(cond.G, platform, o.weights, req)
-	case Lexicographic:
-		res.Assignment, err = mapping.AssignLexicographic(cond.G, platform, o.lexKinds, req)
-	case FCRAware:
-		res.Assignment, err = mapping.AssignCriticalityAware(cond.G, platform, req, o.criticalThreshold)
-	default:
-		err = fmt.Errorf("depint: unknown approach %d", int(o.approach))
-	}
-	if err != nil {
-		return nil, fmt.Errorf("depint: map: %w", err)
-	}
 
-	// Optional dilation-refinement pass over the assignment.
-	if o.refineMoves != 0 {
-		budget := o.refineMoves
-		if budget < 0 {
-			budget = 0 // refiner default
+	// Stages 4+5: condensation and mapping, under the heuristic fallback
+	// chain. Each attempt runs on its own copy of the replicated graph
+	// (the sole attempt of a chain-free run uses it directly), under its
+	// own deadline when WithAttemptTimeout is set. A failed attempt is
+	// recorded as a degradation and the next strategy tried; cancellation
+	// of the run's context aborts immediately instead of degrading.
+	chain := append([]Strategy{o.strategy}, o.fallback...)
+	var lastErr error
+	for i, strat := range chain {
+		attemptCtx := ctx
+		var cancel context.CancelFunc
+		if o.attemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, o.attemptTimeout)
 		}
-		refined, moves, rerr := mapping.Refine(res.Assignment, res.Expanded, platform, req, budget)
-		if rerr != nil {
-			return nil, fmt.Errorf("depint: refine: %w", rerr)
+		work := exp.Graph
+		if len(chain) > 1 {
+			work = exp.Graph.Clone()
 		}
-		res.Assignment = refined
-		res.RefinementMoves = moves
+		err := integrateAttempt(attemptCtx, &o, root, res, sys, exp, platform, req, strat, work, i)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			res.Strategy = strat
+			lastErr = nil
+			break
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The run itself is cancelled or out of time: no fallback.
+			return nil, err
+		}
+		if i+1 < len(chain) {
+			deg := Degradation{Stage: stageOf(err, "condense"), Strategy: strat, Reason: err.Error()}
+			res.Degradations = append(res.Degradations, deg)
+			root.Event("degrade",
+				obs.String("stage", deg.Stage),
+				obs.String("from", strat.String()),
+				obs.String("to", chain[i+1].String()),
+				obs.String("reason", deg.Reason))
+		}
 	}
-	if stage != nil {
-		stage.SetAttr(obs.Int("refinement_moves", res.RefinementMoves))
+	if lastErr != nil {
+		if len(chain) > 1 {
+			return nil, &StageError{
+				Stage: stageOf(lastErr, "condense"),
+				Rule:  chain[len(chain)-1].String(),
+				Err:   errors.Join(ErrFallbackExhausted, lastErr),
+			}
+		}
+		return nil, lastErr
 	}
-	stage.End()
 
 	// Stage 6: evaluation.
-	stage = root.StartChild("evaluate")
-	res.Report = mapping.Evaluate(res.Expanded, res.Assignment, platform, mapping.EvalConfig{
-		CriticalThreshold: o.criticalThreshold,
-		Requirements:      req,
-	})
-
-	// Analytic reliability (intrinsic fault probability defaults to a
-	// uniform placeholder; see Reliability option on faultsim for the
-	// measured path).
-	mods := make([]metrics.ModuleSpec, 0, len(sys.Processes))
-	for _, proc := range sys.Processes {
-		mods = append(mods, metrics.ModuleSpec{
-			Name:      proc.Name,
-			FaultProb: 0.1,
-			Replicas:  proc.FT,
-			Majority:  proc.FT >= 3,
+	sp = root.StartChild("evaluate")
+	if err := runStage(ctx, sp, "evaluate", func() error {
+		res.Report = mapping.Evaluate(res.Expanded, res.Assignment, platform, mapping.EvalConfig{
+			CriticalThreshold: o.criticalThreshold,
+			Requirements:      req,
 		})
-	}
-	res.Reliability, err = metrics.SystemReliability(mods)
-	if err != nil {
-		return nil, fmt.Errorf("depint: reliability: %w", err)
-	}
-	if stage != nil {
-		stage.SetAttr(
+
+		// Analytic reliability (intrinsic fault probability defaults to a
+		// uniform placeholder; see Reliability option on faultsim for the
+		// measured path).
+		mods := make([]metrics.ModuleSpec, 0, len(sys.Processes))
+		for _, proc := range sys.Processes {
+			mods = append(mods, metrics.ModuleSpec{
+				Name:      proc.Name,
+				FaultProb: 0.1,
+				Replicas:  proc.FT,
+				Majority:  proc.FT >= 3,
+			})
+		}
+		var err error
+		res.Reliability, err = metrics.SystemReliability(mods)
+		if err != nil {
+			return fmt.Errorf("reliability: %w", err)
+		}
+		sp.SetAttr(
 			obs.Float("containment", res.Report.Containment),
 			obs.Bool("constraints_ok", res.Report.ConstraintsOK))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	stage.End()
 	return res, nil
+}
+
+// integrateAttempt runs the condense and map stages for one strategy of
+// the fallback chain, writing Condensed/Trace/Assignment/RefinementMoves
+// into res on success. work is the graph the condenser may mutate.
+func integrateAttempt(ctx context.Context, o *options, root *obs.Span, res *Result,
+	sys *System, exp *cluster.Expansion, platform *hw.Platform, req mapping.Requirements,
+	strat Strategy, work *graph.Graph, attempt int) error {
+
+	// Stage 4: condensation.
+	sp := root.StartChild("condense",
+		obs.String("strategy", strat.String()), obs.Int("attempt", attempt))
+	cond := cluster.NewCondenser(work, exp.Jobs)
+	cond.SetContext(ctx)
+	cond.Observe(sp, o.observer.Metrics())
+	target := sys.HWNodes
+	if err := runStage(ctx, sp, "condense", func() error {
+		var err error
+		switch strat {
+		case H1:
+			err = cond.ReduceByInfluence(target)
+		case H1PairAll:
+			err = cond.ReduceByInfluencePairAll(target)
+		case H2:
+			err = cond.ReduceByMinCut(target)
+		case H3:
+			err = cond.ReduceBySpheres(target, o.weights)
+		case Criticality:
+			err = cond.ReduceByCriticality(target)
+		case TimingOrder:
+			err = cond.ReduceByTiming(target)
+		case SeparationGuided:
+			err = cond.ReduceBySeparation(target, o.separationOrder)
+		case H2SourceTarget:
+			err = cond.ReduceByMinCutST(target, o.weights)
+		default:
+			err = fmt.Errorf("depint: unknown strategy %d", int(strat))
+		}
+		if err != nil {
+			return stage.Wrap("condense", strat.String(), "", err)
+		}
+		sp.SetAttr(obs.Int("clusters", cond.G.NumNodes()), obs.Int("merges", len(cond.Trace)))
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Stage 5: mapping.
+	sp = root.StartChild("map",
+		obs.String("approach", o.approach.String()), obs.Int("attempt", attempt))
+	return runStage(ctx, sp, "map", func() error {
+		var asg Assignment
+		var err error
+		switch o.approach {
+		case ByImportance:
+			asg, err = mapping.AssignByImportance(cond.G, platform, o.weights, req)
+		case Lexicographic:
+			asg, err = mapping.AssignLexicographic(cond.G, platform, o.lexKinds, req)
+		case FCRAware:
+			asg, err = mapping.AssignCriticalityAware(cond.G, platform, req, o.criticalThreshold)
+		default:
+			err = fmt.Errorf("depint: unknown approach %d", int(o.approach))
+		}
+		if err != nil {
+			return stage.Wrap("map", o.approach.String(), "", err)
+		}
+		moves := 0
+		// Optional dilation-refinement pass over the assignment.
+		if o.refineMoves != 0 {
+			budget := o.refineMoves
+			if budget < 0 {
+				budget = 0 // refiner default
+			}
+			asg, moves, err = mapping.RefineCtx(ctx, asg, exp.Graph, platform, req, budget)
+			if err != nil {
+				return stage.Wrap("map", "refine", "", err)
+			}
+		}
+		res.Condensed = cond.G
+		res.Trace = cond.Trace
+		res.Assignment = asg
+		res.RefinementMoves = moves
+		sp.SetAttr(obs.Int("refinement_moves", moves))
+		return nil
+	})
 }
 
 // requirementsFromSpec expands per-process resource requirements onto

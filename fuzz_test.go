@@ -1,0 +1,64 @@
+package depint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// FuzzIntegrate drives the whole pipeline with decoder-accepted systems
+// and arbitrary strategy/approach selectors. The contract under test is
+// the resilience layer's: Integrate never panics — every failure comes
+// back as an error — and a success carries a complete result. Inputs are
+// capped small and the run deadlined so the fuzzer spends its budget on
+// shapes, not on giant instances.
+func FuzzIntegrate(f *testing.F) {
+	var seed bytes.Buffer
+	if err := PaperExample().Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String(), uint8(0), uint8(0))
+	f.Add(seed.String(), uint8(2), uint8(1)) // H2 + Lexicographic
+	f.Add(seed.String(), uint8(4), uint8(2)) // Criticality + FCRAware
+	f.Add(seed.String(), uint8(200), uint8(200))
+	f.Add(`{"name":"x","processes":[{"name":"a","criticality":1,"ft":1,"est":0,"tcd":10,"ct":5},`+
+		`{"name":"b","criticality":5,"ft":2,"est":0,"tcd":10,"ct":5}],`+
+		`"influences":[{"from":"a","to":"b","weight":0.5}],"hw_nodes":2}`, uint8(1), uint8(0))
+
+	f.Fuzz(func(t *testing.T, data string, strat, approach uint8) {
+		sys, err := spec.Decode(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Keep instances small: the fuzzer should explore shapes, not
+		// spend the budget condensing big graphs.
+		if len(sys.Processes) > 32 || len(sys.Influences) > 128 {
+			return
+		}
+		replicas := 0
+		for _, p := range sys.Processes {
+			replicas += p.FT
+		}
+		if replicas > 64 {
+			return
+		}
+		res, err := Integrate(sys,
+			WithStrategy(Strategy(strat)),
+			WithApproach(Approach(approach)),
+			WithTimeout(2*time.Second))
+		if err != nil {
+			return // classified failure is fine; a panic is the bug
+		}
+		if res == nil || res.Assignment == nil || res.Condensed == nil {
+			t.Fatalf("success with incomplete result: %+v", res)
+		}
+		for _, id := range res.Condensed.Nodes() {
+			if res.Assignment[id] == "" {
+				t.Fatalf("cluster %q has no HW node in a successful result", id)
+			}
+		}
+	})
+}

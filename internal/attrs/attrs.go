@@ -16,6 +16,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/stage"
 )
 
 // Kind identifies a standard attribute of an FCM.
@@ -300,8 +302,10 @@ func NewWeights(w map[Kind]float64) (Weights, error) {
 
 // DefaultWeights returns the weight table used throughout the reproduction:
 // criticality dominates, fault tolerance and deadline-tightness contribute.
-// (The paper leaves the weights application-defined.)
-func DefaultWeights() Weights {
+// (The paper leaves the weights application-defined.) The error path is
+// unreachable for the literal weights but reported through the stage
+// taxonomy rather than panicking, so hardened callers stay panic-free.
+func DefaultWeights() (Weights, error) {
 	w, err := NewWeights(map[Kind]float64{
 		Criticality:    1.0,
 		FaultTolerance: 0.5,
@@ -309,10 +313,9 @@ func DefaultWeights() Weights {
 		Security:       0.25,
 	})
 	if err != nil {
-		// Unreachable: the literal weights above are non-negative.
-		panic(err)
+		return Weights{}, stage.Wrap("map", "default-weights", "", err)
 	}
-	return w
+	return w, nil
 }
 
 // Importance computes I_i = Σ_k w_k · v_k over the kinds present in s.

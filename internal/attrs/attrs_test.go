@@ -322,7 +322,10 @@ func TestImportanceWeightedSum(t *testing.T) {
 }
 
 func TestDefaultWeightsOrderCriticalityFirst(t *testing.T) {
-	w := DefaultWeights()
+	w, err := DefaultWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
 	hi := Timing(15, 3, 0, 20, 5)
 	lo := Timing(1, 1, 12, 20, 3)
 	if w.Importance(hi) <= w.Importance(lo) {
@@ -335,7 +338,10 @@ func TestDefaultWeightsOrderCriticalityFirst(t *testing.T) {
 }
 
 func TestImportanceMonotoneInCriticality(t *testing.T) {
-	w := DefaultWeights()
+	w, err := DefaultWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
 	f := func(c1, c2 uint8) bool {
 		a := New(map[Kind]float64{Criticality: float64(c1)})
 		b := New(map[Kind]float64{Criticality: float64(c2)})

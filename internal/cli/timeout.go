@@ -1,0 +1,34 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// RegisterTimeout binds the shared -timeout flag onto fs. Zero (the
+// default) means no deadline.
+func RegisterTimeout(fs *flag.FlagSet) *time.Duration {
+	return fs.Duration("timeout", 0,
+		"overall deadline for the run (e.g. 30s, 2m); 0 disables")
+}
+
+// RunContext builds the root context of a CLI run: it carries the -timeout
+// deadline when one was given, and is cancelled on SIGINT/SIGTERM so
+// long-running work (an Eq. 3 sweep, a fault campaign) shuts down
+// cooperatively — checkpointing campaigns persist their state on the way
+// out instead of losing the run. The returned stop function releases the
+// signal handler; defer it.
+func RunContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() {
+		cancel()
+		stop()
+	}
+}

@@ -220,7 +220,7 @@ func TestReduceByMinCutH2(t *testing.T) {
 func TestReduceBySpheresH3(t *testing.T) {
 	exp := expandPaper(t)
 	c := exp.Condenser()
-	if err := c.ReduceBySpheres(6, attrs.DefaultWeights()); err != nil {
+	if err := c.ReduceBySpheres(6, defaultWeights(t)); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.G.NumNodes(); got != 6 {
@@ -396,7 +396,7 @@ func TestCrossWeightDropsAsReductionProceeds(t *testing.T) {
 func TestReduceByMinCutSTVariant(t *testing.T) {
 	exp := expandPaper(t)
 	c := exp.Condenser()
-	if err := c.ReduceByMinCutST(6, attrs.DefaultWeights()); err != nil {
+	if err := c.ReduceByMinCutST(6, defaultWeights(t)); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.G.NumNodes(); got != 6 {
@@ -427,7 +427,16 @@ func TestReduceByMinCutSTVariant(t *testing.T) {
 func TestReduceByMinCutSTBadTarget(t *testing.T) {
 	exp := expandPaper(t)
 	c := exp.Condenser()
-	if err := c.ReduceByMinCutST(0, attrs.DefaultWeights()); !errors.Is(err, ErrBadTarget) {
+	if err := c.ReduceByMinCutST(0, defaultWeights(t)); !errors.Is(err, ErrBadTarget) {
 		t.Errorf("err = %v, want ErrBadTarget", err)
 	}
+}
+
+func defaultWeights(t *testing.T) attrs.Weights {
+	t.Helper()
+	w, err := attrs.DefaultWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
 }

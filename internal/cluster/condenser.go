@@ -10,6 +10,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/influence"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/stage"
 )
 
 // Errors returned by reduction operations.
@@ -67,6 +69,21 @@ type Condenser struct {
 	// nil (and cost one pointer check) unless Observe installs them.
 	span    *obs.Span
 	metrics *condMetrics
+	// ctx, when set via SetContext, is polled cooperatively at the head
+	// of every reduction loop so a deadline or cancellation aborts the
+	// condensation promptly instead of after the full O(n²·sched) sweep.
+	ctx context.Context
+}
+
+// SetContext installs a cancellation context on the condenser. All Reduce*
+// loops poll it and return a stage-classified error wrapping ctx.Err()
+// when it fires. A nil context (the default) disables the checks.
+func (c *Condenser) SetContext(ctx context.Context) { c.ctx = ctx }
+
+// checkCtx is the cooperative cancellation check-point of the reduction
+// hot loops.
+func (c *Condenser) checkCtx() error {
+	return stage.Check(c.ctx, "condense")
 }
 
 // condMetrics caches the condenser's instrument handles.

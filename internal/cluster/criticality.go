@@ -31,8 +31,15 @@ func (c *Condenser) ReduceByCriticality(target int) error {
 		return err
 	}
 	for c.G.NumNodes() > target {
+		if err := c.checkCtx(); err != nil {
+			return err
+		}
 		pairs, ok := c.pairRound()
 		if !ok || len(pairs) == 0 {
+			// Distinguish "cancelled mid-search" from "genuinely stuck".
+			if err := c.checkCtx(); err != nil {
+				return err
+			}
 			return fmt.Errorf("%w: %d nodes remain, target %d",
 				ErrCannotReduce, c.G.NumNodes(), target)
 		}
@@ -84,6 +91,10 @@ func (c *Condenser) pairRound() ([][2]string, bool) {
 				return true
 			}
 			if budget <= 0 {
+				return false
+			}
+			if c.ctx != nil && budget%256 == 0 && c.ctx.Err() != nil {
+				budget = 0 // drain the search; the caller reports ctx.Err()
 				return false
 			}
 			budget--

@@ -21,8 +21,15 @@ func (c *Condenser) ReduceByInfluence(target int) error {
 		return err
 	}
 	for c.G.NumNodes() > target {
+		if err := c.checkCtx(); err != nil {
+			return err
+		}
 		a, b, found := c.bestFeasiblePair()
 		if !found {
+			// Distinguish "cancelled mid-sweep" from "genuinely stuck".
+			if err := c.checkCtx(); err != nil {
+				return err
+			}
 			return fmt.Errorf("%w: %d nodes remain, target %d",
 				ErrCannotReduce, c.G.NumNodes(), target)
 		}
@@ -43,6 +50,9 @@ func (c *Condenser) bestFeasiblePair() (string, string, bool) {
 	bestMutual := -1.0
 	bestSize := 0
 	for i, a := range nodes {
+		if c.ctx != nil && c.ctx.Err() != nil {
+			return "", "", false // caller re-checks and reports the cancellation
+		}
 		for _, b := range nodes[i+1:] {
 			m := c.G.MutualInfluence(a, b)
 			size := len(graph.Members(a)) + len(graph.Members(b))
@@ -78,6 +88,9 @@ func (c *Condenser) ReduceByInfluencePairAll(target int) error {
 		return err
 	}
 	for c.G.NumNodes() > target {
+		if err := c.checkCtx(); err != nil {
+			return err
+		}
 		type pair struct {
 			a, b   string
 			mutual float64
@@ -138,6 +151,9 @@ func (c *Condenser) ReduceByMinCut(target int) error {
 	}
 	parts := [][]string{c.G.Nodes()}
 	for len(parts) < target {
+		if err := c.checkCtx(); err != nil {
+			return err
+		}
 		// Cut the largest part next.
 		idx := -1
 		for i, p := range parts {
@@ -161,6 +177,9 @@ func (c *Condenser) ReduceByMinCut(target int) error {
 	}
 	parts = c.repairPartition(parts)
 	if parts == nil {
+		if err := c.checkCtx(); err != nil {
+			return err
+		}
 		return fmt.Errorf("%w: H2 partition cannot satisfy feasibility", ErrCannotReduce)
 	}
 	return c.materialise(parts, "H2")
@@ -177,6 +196,9 @@ func (c *Condenser) ReduceByMinCutST(target int, w attrs.Weights) error {
 	}
 	parts := [][]string{c.G.Nodes()}
 	for len(parts) < target {
+		if err := c.checkCtx(); err != nil {
+			return err
+		}
 		idx := -1
 		for i, p := range parts {
 			if len(p) < 2 {
@@ -209,6 +231,9 @@ func (c *Condenser) ReduceByMinCutST(target int, w attrs.Weights) error {
 	}
 	parts = c.repairPartition(parts)
 	if parts == nil {
+		if err := c.checkCtx(); err != nil {
+			return err
+		}
 		return fmt.Errorf("%w: H2-st partition cannot satisfy feasibility", ErrCannotReduce)
 	}
 	return c.materialise(parts, "H2-st")
@@ -273,6 +298,9 @@ func schedFeasibleFor(c *Condenser, baseMembers []string) bool {
 // materialise merges each multi-node part into one cluster node.
 func (c *Condenser) materialise(parts [][]string, rule string) error {
 	for _, p := range parts {
+		if err := c.checkCtx(); err != nil {
+			return err
+		}
 		if len(p) < 2 {
 			continue
 		}
@@ -294,6 +322,9 @@ func (c *Condenser) materialise(parts [][]string, rule string) error {
 func (c *Condenser) repairPartition(parts [][]string) [][]string {
 	const maxPasses = 16
 	for pass := 0; pass < maxPasses; pass++ {
+		if c.ctx != nil && c.ctx.Err() != nil {
+			return nil // callers re-check and report the cancellation
+		}
 		fixed := true
 		for gi := range parts {
 			if c.groupFeasible(parts[gi]) {
@@ -405,6 +436,9 @@ func (c *Condenser) ReduceBySpheres(target int, w attrs.Weights) error {
 		groups[i] = []string{rs[i].id}
 	}
 	for _, r := range rs[target:] {
+		if err := c.checkCtx(); err != nil {
+			return err
+		}
 		bestG, bestScore := -1, -1.0
 		bestLoad := 0
 		for gi, grp := range groups {

@@ -99,7 +99,7 @@ func TestReductionPreservesBaseMembers(t *testing.T) {
 		{"H1", func(c *Condenser, tgt int) error { return c.ReduceByInfluence(tgt) }},
 		{"H1pair", func(c *Condenser, tgt int) error { return c.ReduceByInfluencePairAll(tgt) }},
 		{"H2", func(c *Condenser, tgt int) error { return c.ReduceByMinCut(tgt) }},
-		{"H3", func(c *Condenser, tgt int) error { return c.ReduceBySpheres(tgt, attrs.DefaultWeights()) }},
+		{"H3", func(c *Condenser, tgt int) error { return c.ReduceBySpheres(tgt, defaultWeights(t)) }},
 		{"crit", func(c *Condenser, tgt int) error { return c.ReduceByCriticality(tgt) }},
 		{"sep", func(c *Condenser, tgt int) error { return c.ReduceBySeparation(tgt, 4) }},
 	}

@@ -21,8 +21,11 @@ func (c *Condenser) ReduceBySeparation(target, order int) error {
 		return err
 	}
 	for c.G.NumNodes() > target {
+		if err := c.checkCtx(); err != nil {
+			return err
+		}
 		p, ids := c.G.Matrix()
-		sep, err := influence.SeparationMatrix(p, order)
+		sep, err := influence.SeparationMatrixCtx(c.ctx, p, order)
 		if err != nil {
 			return fmt.Errorf("cluster: separation: %w", err)
 		}

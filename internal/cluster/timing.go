@@ -55,6 +55,9 @@ func (c *Condenser) ReduceByTiming(maxGroups int) error {
 
 	var groups [][]string
 	for _, id := range nodes {
+		if err := c.checkCtx(); err != nil {
+			return err
+		}
 		placed := false
 		for gi := range groups {
 			candidate := append(append([]string(nil), groups[gi]...), id)

@@ -46,11 +46,19 @@ func E12(mods int, seed uint64) (E12Result, error) {
 	if err != nil {
 		return E12Result{}, err
 	}
+	three, err := hierarchy.ThreeLevel()
+	if err != nil {
+		return E12Result{}, err
+	}
+	four, err := hierarchy.WithObjects()
+	if err != nil {
+		return E12Result{}, err
+	}
 	shapes := []shape{
 		// 64 leaves in every shape.
 		{"2-level (64 per process)", two, []int{64}},
-		{"3-level (8x8)", hierarchy.ThreeLevel(), []int{8, 8}},
-		{"4-level (4x4x4)", hierarchy.WithObjects(), []int{4, 4, 4}},
+		{"3-level (8x8)", three, []int{8, 8}},
+		{"4-level (4x4x4)", four, []int{4, 4, 4}},
 	}
 	var res E12Result
 	var b strings.Builder

@@ -70,6 +70,10 @@ func E2(sizes []int, seed uint64) (E2Result, error) {
 	if len(sizes) == 0 {
 		sizes = []int{12, 24, 48}
 	}
+	dw, err := attrs.DefaultWeights()
+	if err != nil {
+		return E2Result{}, err
+	}
 	var res E2Result
 	var b strings.Builder
 	b.WriteString("E2: heuristic containment comparison (synthetic workloads)\n")
@@ -119,7 +123,7 @@ func E2(sizes []int, seed uint64) (E2Result, error) {
 		run("H1", func(c *cluster.Condenser) error { return c.ReduceByInfluence(target) })
 		run("H1-pair-all", func(c *cluster.Condenser) error { return c.ReduceByInfluencePairAll(target) })
 		run("H2-min-cut", func(c *cluster.Condenser) error { return c.ReduceByMinCut(target) })
-		run("H3-spheres", func(c *cluster.Condenser) error { return c.ReduceBySpheres(target, attrs.DefaultWeights()) })
+		run("H3-spheres", func(c *cluster.Condenser) error { return c.ReduceBySpheres(target, dw) })
 		run("criticality", func(c *cluster.Condenser) error { return c.ReduceByCriticality(target) })
 		run("random", func(c *cluster.Condenser) error { return randomReduce(c, target, seed+uint64(n)) })
 	}
@@ -210,6 +214,10 @@ func E3(trials int, seed uint64) (E3Result, error) {
 		return E3Result{}, err
 	}
 	full := exp.Graph
+	dw, err := attrs.DefaultWeights()
+	if err != nil {
+		return E3Result{}, err
+	}
 
 	var res E3Result
 	var b strings.Builder
@@ -222,7 +230,7 @@ func E3(trials int, seed uint64) (E3Result, error) {
 	}{
 		{"H1", func(c *cluster.Condenser) error { return c.ReduceByInfluence(6) }},
 		{"H2-min-cut", func(c *cluster.Condenser) error { return c.ReduceByMinCut(6) }},
-		{"H3-spheres", func(c *cluster.Condenser) error { return c.ReduceBySpheres(6, attrs.DefaultWeights()) }},
+		{"H3-spheres", func(c *cluster.Condenser) error { return c.ReduceBySpheres(6, dw) }},
 		{"criticality", func(c *cluster.Condenser) error { return c.ReduceByCriticality(6) }},
 		{"random", func(c *cluster.Condenser) error { return randomReduce(c, 6, seed) }},
 	}

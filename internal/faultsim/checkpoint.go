@@ -1,0 +1,148 @@
+package faultsim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/attrs"
+)
+
+// ErrCheckpointMismatch is returned when a checkpoint file exists but was
+// written by a campaign with a different identity (graph, seed, fault
+// model, …). The trial count is deliberately NOT part of the identity, so
+// a finished campaign can be resumed with a larger Trials to extend it.
+var ErrCheckpointMismatch = errors.New("faultsim: checkpoint does not match campaign")
+
+const checkpointVersion = 1
+
+// checkpointFile is the on-disk snapshot of a campaign in flight: the
+// partial Result, the exact PCG state, and a fingerprint of everything
+// that determines the trial sequence. Writes are atomic (temp file in the
+// destination directory, then rename), so a crash mid-write leaves the
+// previous checkpoint intact and a resumed run is bit-identical to an
+// uninterrupted one.
+type checkpointFile struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	TrialsDone  int    `json:"trials_done"`
+	RNG         []byte `json:"rng"`
+	Result      Result `json:"result"`
+}
+
+// fingerprint hashes the campaign identity: everything that influences the
+// deterministic trial sequence except the trial count. Graph node and edge
+// enumerations are sorted, so equal campaigns hash equally.
+func (c Campaign) fingerprint() string {
+	h := fnv.New64a()
+	ws := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	wf := func(f float64) { ws(strconv.FormatUint(math.Float64bits(f), 16)) }
+	ws("faultsim-campaign-v1")
+	ws(strconv.FormatUint(c.Seed, 16))
+	ws(strconv.Itoa(c.MaxHops))
+	wf(c.CriticalThreshold)
+	wf(c.CommFaultFraction)
+	for _, n := range c.Graph.Nodes() {
+		ws(n)
+		ws(c.HWOf[n])
+		wf(c.OccurrenceWeights[n])
+		wf(c.Graph.Attrs(n).Value(attrs.Criticality))
+	}
+	for _, e := range c.Graph.Edges() {
+		ws(e.From)
+		ws(e.To)
+		wf(e.Weight)
+		ws(strconv.FormatBool(e.Replica))
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// saveCheckpoint atomically persists the campaign state after done trials.
+func saveCheckpoint(path, fp string, done int, src *rand.PCG, res Result) error {
+	state, err := src.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("faultsim: checkpoint rng state: %w", err)
+	}
+	data, err := json.Marshal(checkpointFile{
+		Version:     checkpointVersion,
+		Fingerprint: fp,
+		TrialsDone:  done,
+		RNG:         state,
+		Result:      res,
+	})
+	if err != nil {
+		return fmt.Errorf("faultsim: checkpoint encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".faultsim-ckpt-*")
+	if err != nil {
+		return fmt.Errorf("faultsim: checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, path)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("faultsim: checkpoint write %s: %w", path, err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads a checkpoint if one exists at path. ok is false
+// when the file is simply absent; a present-but-foreign checkpoint is an
+// error (ErrCheckpointMismatch), never silently ignored.
+func loadCheckpoint(path, fp string) (checkpointFile, bool, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return checkpointFile{}, false, nil
+	}
+	if err != nil {
+		return checkpointFile{}, false, fmt.Errorf("faultsim: checkpoint read: %w", err)
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return checkpointFile{}, false, fmt.Errorf("faultsim: checkpoint decode %s: %w", path, err)
+	}
+	if cf.Version != checkpointVersion {
+		return checkpointFile{}, false, fmt.Errorf("%w: version %d, want %d",
+			ErrCheckpointMismatch, cf.Version, checkpointVersion)
+	}
+	if cf.Fingerprint != fp {
+		return checkpointFile{}, false, fmt.Errorf("%w: fingerprint %s, want %s",
+			ErrCheckpointMismatch, cf.Fingerprint, fp)
+	}
+	return cf, true, nil
+}
+
+// stopZ converts a two-sided confidence level into the normal quantile used
+// by the early-stopping interval (0.95 → 1.96).
+func stopZ(confidence float64) float64 {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	return math.Sqrt2 * math.Erfinv(confidence)
+}
+
+// waldHalfWidth is the half-width of the normal-approximation confidence
+// interval for a proportion p̂ observed over n trials.
+func waldHalfWidth(p float64, n int, z float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return z * math.Sqrt(p*(1-p)/float64(n))
+}

@@ -12,6 +12,7 @@
 package faultsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -61,6 +62,36 @@ type Campaign struct {
 	// trials, transmissions and escapes as the campaign runs.
 	Span    *obs.Span
 	Metrics *obs.Registry
+	// Ctx, when non-nil, is polled at every trial boundary: a cancelled or
+	// expired context aborts the campaign promptly (after persisting a
+	// checkpoint when CheckpointPath is set) with an error wrapping
+	// ctx.Err().
+	Ctx context.Context
+	// CheckpointPath, when non-empty, makes the campaign crash-safe: the
+	// partial Result and the exact RNG state are persisted atomically
+	// (write to a temp file, then rename) every CheckpointEvery trials and
+	// on cancellation. A run resumed from a checkpoint produces a Result
+	// bit-identical to an uninterrupted run with the same configuration.
+	CheckpointPath string
+	// CheckpointEvery is the trial interval between checkpoint writes
+	// (default Trials/10, minimum 1).
+	CheckpointEvery int
+	// Resume restores state from CheckpointPath when a checkpoint written
+	// by this same campaign (graph, seed, fault model — everything except
+	// the trial count) is present. A checkpoint from a different campaign
+	// is ErrCheckpointMismatch; an absent file starts from trial zero.
+	Resume bool
+	// StopHalfWidth, when positive, enables confidence-interval early
+	// stopping: the campaign ends once the normal-approximation interval
+	// for the escape rate at StopConfidence is narrower than ±StopHalfWidth
+	// (checked every CheckpointEvery trials, after at least StopMinTrials).
+	StopHalfWidth float64
+	// StopConfidence is the two-sided confidence level of the stopping
+	// interval (default 0.95).
+	StopConfidence float64
+	// StopMinTrials is the minimum number of trials before early stopping
+	// may trigger (default 100).
+	StopMinTrials int
 }
 
 // Result aggregates a campaign.
@@ -90,6 +121,10 @@ type Result struct {
 	// EdgeTrials[from+">"+to] counts how often each edge had a faulty
 	// source (the denominator of the transmission estimate).
 	EdgeTrials map[string]int
+	// EarlyStopped reports that confidence-interval early stopping ended
+	// the campaign before the configured trial count; Trials holds the
+	// number actually executed.
+	EarlyStopped bool
 }
 
 // MeanAffected returns the average number of FCMs affected per trial.
@@ -140,7 +175,11 @@ func Run(c Campaign) (Result, error) {
 	if c.CommFaultFraction < 0 || c.CommFaultFraction > 1 {
 		return Result{}, fmt.Errorf("faultsim: comm fault fraction %g out of range", c.CommFaultFraction)
 	}
-	rng := rand.New(rand.NewPCG(c.Seed, c.Seed^0x9e3779b97f4a7c15))
+	// The source is kept separate from the Rand so its exact state can be
+	// checkpointed; rand.Rand buffers nothing, so marshaling the PCG at a
+	// trial boundary captures the full stream position.
+	src := rand.NewPCG(c.Seed, c.Seed^0x9e3779b97f4a7c15)
+	rng := rand.New(src)
 	nodes := c.Graph.Nodes()
 	var commEdges []graph.Edge
 	if c.CommFaultFraction > 0 {
@@ -192,6 +231,41 @@ func Run(c Campaign) (Result, error) {
 		return c.Graph.Attrs(n).Value(attrs.Criticality)
 	}
 
+	// Crash-safe checkpointing: resolve the campaign fingerprint once,
+	// restore a prior snapshot when resuming, and persist every
+	// persistEvery trials from here on.
+	persistEvery := c.CheckpointEvery
+	if persistEvery <= 0 {
+		persistEvery = c.Trials / 10
+	}
+	if persistEvery == 0 {
+		persistEvery = 1
+	}
+	var fp string
+	if c.CheckpointPath != "" {
+		fp = c.fingerprint()
+	}
+	start := 0
+	if c.Resume && c.CheckpointPath != "" {
+		cf, ok, err := loadCheckpoint(c.CheckpointPath, fp)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			if cf.TrialsDone > c.Trials {
+				return Result{}, fmt.Errorf("%w: checkpoint has %d trials done, campaign wants %d",
+					ErrCheckpointMismatch, cf.TrialsDone, c.Trials)
+			}
+			if err := src.UnmarshalBinary(cf.RNG); err != nil {
+				return Result{}, fmt.Errorf("faultsim: checkpoint rng state: %w", err)
+			}
+			res = cf.Result
+			res.Trials = c.Trials
+			res.EarlyStopped = false
+			start = cf.TrialsDone
+		}
+	}
+
 	// Campaign telemetry: per-10% checkpoint events carrying the running
 	// estimators, plus live counters and gauges.
 	var trialsCtr, escapesCtr, crossCtr *obs.Counter
@@ -220,7 +294,26 @@ func Run(c Campaign) (Result, error) {
 		}
 	}
 
-	for trial := 0; trial < c.Trials; trial++ {
+	minStop := c.StopMinTrials
+	if minStop <= 0 {
+		minStop = 100
+	}
+	z := stopZ(c.StopConfidence)
+
+	for trial := start; trial < c.Trials; trial++ {
+		if c.Ctx != nil {
+			if err := c.Ctx.Err(); err != nil {
+				// Persist the exact trial boundary the cancellation landed
+				// on, so a resumed run replays nothing and skips nothing.
+				if c.CheckpointPath != "" {
+					if serr := saveCheckpoint(c.CheckpointPath, fp, trial, src, res); serr != nil {
+						return Result{}, errors.Join(serr, err)
+					}
+				}
+				return Result{}, fmt.Errorf("faultsim: cancelled after %d/%d trials: %w",
+					trial, c.Trials, err)
+			}
+		}
 		var origin string
 		escaped := false
 		crossBefore := res.CrossNodeTransmissions
@@ -294,6 +387,31 @@ func Run(c Campaign) (Result, error) {
 		if (c.Span != nil || c.Metrics != nil) &&
 			((trial+1)%checkpointEvery == 0 || trial+1 == c.Trials) {
 			checkpoint(trial + 1)
+		}
+		done := trial + 1
+		if c.CheckpointPath != "" && (done%persistEvery == 0 || done == c.Trials) {
+			if err := saveCheckpoint(c.CheckpointPath, fp, done, src, res); err != nil {
+				return Result{}, err
+			}
+		}
+		if c.StopHalfWidth > 0 && done < c.Trials && done >= minStop && done%persistEvery == 0 {
+			rate := float64(res.TrialsWithEscape) / float64(done)
+			if waldHalfWidth(rate, done, z) <= c.StopHalfWidth {
+				res.Trials = done
+				res.EarlyStopped = true
+				if c.Span != nil {
+					c.Span.Event("early_stop",
+						obs.Int("trials_done", done),
+						obs.Float("escape_rate", rate),
+						obs.Float("half_width", waldHalfWidth(rate, done, z)))
+				}
+				if c.CheckpointPath != "" {
+					if err := saveCheckpoint(c.CheckpointPath, fp, done, src, res); err != nil {
+						return Result{}, err
+					}
+				}
+				break
+			}
 		}
 	}
 	return res, nil

@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"repro/internal/stage"
 )
 
 // Errors returned by scheme and tree operations.
@@ -62,23 +64,24 @@ func NewScheme(levels ...string) (Scheme, error) {
 	return s, nil
 }
 
-// ThreeLevel is the paper's canonical scheme.
-func ThreeLevel() Scheme {
+// ThreeLevel is the paper's canonical scheme. The error path is
+// unreachable for the literal levels but reported through the stage
+// taxonomy rather than panicking, so hardened callers stay panic-free.
+func ThreeLevel() (Scheme, error) {
 	s, err := NewScheme("procedure", "task", "process")
 	if err != nil {
-		// Unreachable: the literal levels are valid.
-		panic(err)
+		return Scheme{}, stage.Wrap("partition", "three-level", "", err)
 	}
-	return s
+	return s, nil
 }
 
 // WithObjects is the OO extension the paper's footnote describes.
-func WithObjects() Scheme {
+func WithObjects() (Scheme, error) {
 	s, err := NewScheme("procedure", "object", "task", "process")
 	if err != nil {
-		panic(err)
+		return Scheme{}, stage.Wrap("partition", "with-objects", "", err)
 	}
-	return s
+	return s, nil
 }
 
 // Levels returns the level names, lowest first.

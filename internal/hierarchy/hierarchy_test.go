@@ -32,17 +32,17 @@ func TestNewSchemeValidation(t *testing.T) {
 }
 
 func TestCanonicalSchemes(t *testing.T) {
-	if got := strings.Join(ThreeLevel().Levels(), ","); got != "procedure,task,process" {
+	if got := strings.Join(threeLevel(t).Levels(), ","); got != "procedure,task,process" {
 		t.Errorf("ThreeLevel = %s", got)
 	}
-	if got := strings.Join(WithObjects().Levels(), ","); got != "procedure,object,task,process" {
+	if got := strings.Join(withObjects(t).Levels(), ","); got != "procedure,object,task,process" {
 		t.Errorf("WithObjects = %s", got)
 	}
 }
 
 func buildOO(t *testing.T) *Tree {
 	t.Helper()
-	tr := New(WithObjects())
+	tr := New(withObjects(t))
 	adds := [][3]string{
 		{"P0", "process", ""},
 		{"T0", "task", "P0"},
@@ -192,7 +192,7 @@ func TestRetestSetDepthIndependent(t *testing.T) {
 
 func TestBuildUniformShapes(t *testing.T) {
 	// 3-level: 4 tasks x 4 procedures = 16 leaves, 1+4+16 = 21 FCMs.
-	tr, leaves, err := BuildUniform(ThreeLevel(), []int{4, 4})
+	tr, leaves, err := BuildUniform(threeLevel(t), []int{4, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestBuildUniformShapes(t *testing.T) {
 		t.Error(err)
 	}
 	// 4-level: 2 tasks x 2 objects x 4 procedures = 16 leaves.
-	tr4, leaves4, err := BuildUniform(WithObjects(), []int{4, 2, 2})
+	tr4, leaves4, err := BuildUniform(withObjects(t), []int{4, 2, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestBuildUniformShapes(t *testing.T) {
 		t.Errorf("FCMs = %d, want 23", tr4.Len())
 	}
 	// Wrong branching length.
-	if _, _, err := BuildUniform(ThreeLevel(), []int{4}); !errors.Is(err, ErrBadScheme) {
+	if _, _, err := BuildUniform(threeLevel(t), []int{4}); !errors.Is(err, ErrBadScheme) {
 		t.Errorf("err = %v", err)
 	}
 }
@@ -232,4 +232,22 @@ func TestValidateDetectsCorruption(t *testing.T) {
 	if err := tr.Validate(); !errors.Is(err, ErrRuleR1) {
 		t.Errorf("err = %v", err)
 	}
+}
+
+func threeLevel(t *testing.T) Scheme {
+	t.Helper()
+	s, err := ThreeLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func withObjects(t *testing.T) Scheme {
+	t.Helper()
+	s, err := WithObjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }

@@ -20,6 +20,7 @@
 package influence
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -171,10 +172,22 @@ func Separation(p [][]float64, i, j, maxOrder int) (float64, error) {
 // SeparationMatrix computes the separation of every ordered pair over the
 // influence matrix, at the given truncation order.
 func SeparationMatrix(p [][]float64, maxOrder int) ([][]float64, error) {
+	return SeparationMatrixCtx(nil, p, maxOrder)
+}
+
+// SeparationMatrixCtx is SeparationMatrix with cooperative cancellation:
+// the O(n³·maxOrder) power-series sweep polls ctx once per source row and
+// returns ctx.Err() when it fires. A nil ctx disables the checks.
+func SeparationMatrixCtx(ctx context.Context, p [][]float64, maxOrder int) ([][]float64, error) {
 	n := len(p)
 	out := make([][]float64, n)
 	backing := make([]float64, n*n)
 	for i := range out {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("influence: separation matrix row %d/%d: %w", i, n, err)
+			}
+		}
 		out[i] = backing[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
 			s, err := Separation(p, i, j, maxOrder)

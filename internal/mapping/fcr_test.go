@@ -73,7 +73,7 @@ func TestPlainImportancePlacementMayShareFCR(t *testing.T) {
 	// critical clusters on n1/n2 — the same cabinet.
 	g := critGraph(t)
 	p := cabinetPlatform(t)
-	asg, err := AssignByImportance(g, p, attrs.DefaultWeights(), nil)
+	asg, err := AssignByImportance(g, p, defaultWeights(t), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,7 +46,7 @@ func completePlatform(t *testing.T, n int) *hw.Platform {
 func TestAssignByImportancePaperExample(t *testing.T) {
 	full, condensed := reducedPaper(t)
 	p := completePlatform(t, 6)
-	asg, err := AssignByImportance(condensed, p, attrs.DefaultWeights(), nil)
+	asg, err := AssignByImportance(condensed, p, defaultWeights(t), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestAssignByImportancePaperExample(t *testing.T) {
 func TestAssignmentNodeOf(t *testing.T) {
 	_, condensed := reducedPaper(t)
 	p := completePlatform(t, 6)
-	asg, err := AssignByImportance(condensed, p, attrs.DefaultWeights(), nil)
+	asg, err := AssignByImportance(condensed, p, defaultWeights(t), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestAssignmentNodeOf(t *testing.T) {
 func TestAssignTooManyClusters(t *testing.T) {
 	_, condensed := reducedPaper(t)
 	p := completePlatform(t, 3)
-	if _, err := AssignByImportance(condensed, p, attrs.DefaultWeights(), nil); !errors.Is(err, ErrTooManyClusters) {
+	if _, err := AssignByImportance(condensed, p, defaultWeights(t), nil); !errors.Is(err, ErrTooManyClusters) {
 		t.Errorf("err = %v, want ErrTooManyClusters", err)
 	}
 }
@@ -121,7 +121,7 @@ func TestAssignWithResourceRequirements(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := Requirements{"a": {"adc"}}
-	asg, err := AssignByImportance(g, p, attrs.DefaultWeights(), req)
+	asg, err := AssignByImportance(g, p, defaultWeights(t), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestAssignWithResourceRequirements(t *testing.T) {
 	}
 	// Conflicting requirement: both need the single adc node.
 	req["b"] = []string{"adc"}
-	if _, err := AssignByImportance(g, p, attrs.DefaultWeights(), req); !errors.Is(err, ErrNoFeasibleNode) {
+	if _, err := AssignByImportance(g, p, defaultWeights(t), req); !errors.Is(err, ErrNoFeasibleNode) {
 		t.Errorf("err = %v, want ErrNoFeasibleNode", err)
 	}
 }
@@ -153,7 +153,7 @@ func TestPlacementMinimisesDilation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	asg, err := AssignByImportance(g, ring, attrs.DefaultWeights(), nil)
+	asg, err := AssignByImportance(g, ring, defaultWeights(t), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestApproachBBeatsAOnCriticalityDispersion(t *testing.T) {
 			t.Fatal(err)
 		}
 		p := completePlatform(t, 6)
-		asg, err := AssignByImportance(c.G, p, attrs.DefaultWeights(), nil)
+		asg, err := AssignByImportance(c.G, p, defaultWeights(t), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -316,4 +316,13 @@ func TestRequirementsForCluster(t *testing.T) {
 	if got := req.forCluster("c"); len(got) != 0 {
 		t.Errorf("empty requirements = %v", got)
 	}
+}
+
+func defaultWeights(t *testing.T) attrs.Weights {
+	t.Helper()
+	w, err := attrs.DefaultWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
 }

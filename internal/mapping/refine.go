@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -22,6 +23,14 @@ import (
 // assignment is not modified; the refined copy is returned with the number
 // of moves applied.
 func Refine(asg Assignment, g *graph.Graph, p *hw.Platform, req Requirements, maxMoves int) (Assignment, int, error) {
+	return RefineCtx(nil, asg, g, p, req, maxMoves)
+}
+
+// RefineCtx is Refine with cooperative cancellation: the local search polls
+// ctx before every move evaluation round (each round is an O(clusters² +
+// clusters·free) sweep of candidate moves) and returns ctx.Err() when it
+// fires. A nil ctx disables the checks.
+func RefineCtx(ctx context.Context, asg Assignment, g *graph.Graph, p *hw.Platform, req Requirements, maxMoves int) (Assignment, int, error) {
 	if maxMoves <= 0 {
 		maxMoves = 64
 	}
@@ -99,6 +108,11 @@ func Refine(asg Assignment, g *graph.Graph, p *hw.Platform, req Requirements, ma
 	moves := 0
 	curCost := cost(cur)
 	for moves < maxMoves {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, fmt.Errorf("mapping: refine cancelled after %d moves: %w", moves, err)
+			}
+		}
 		bestDelta := -1e-12 // strict improvement required
 		var apply func()
 		// Swap moves.

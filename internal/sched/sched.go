@@ -54,8 +54,19 @@ func (j Job) Demand() float64 {
 // Window returns the length of the job's feasible window TCD − EST.
 func (j Job) Window() float64 { return j.TCD - j.EST }
 
-// Validate checks the job's internal consistency.
+// Validate checks the job's internal consistency. EST, TCD and CT must be
+// finite — the comparisons below are all false for NaN, so NaN is rejected
+// explicitly. Actual is NOT constrained: +Inf there legitimately models a
+// task stuck in an infinite loop (the paper's R4 discussion).
 func (j Job) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{{"EST", j.EST}, {"TCD", j.TCD}, {"CT", j.CT}} {
+		if math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+			return fmt.Errorf("%w: %s has non-finite %s %g", ErrBadJob, j.Name, v.name, v.val)
+		}
+	}
 	switch {
 	case j.CT < 0:
 		return fmt.Errorf("%w: %s has CT %g", ErrBadJob, j.Name, j.CT)

@@ -19,6 +19,11 @@ func TestJobValidate(t *testing.T) {
 		{"negative ct", Job{Name: "a", EST: 0, TCD: 10, CT: -1}, true},
 		{"deadline before release", Job{Name: "a", EST: 5, TCD: 3, CT: 1}, true},
 		{"ct exceeds window", Job{Name: "a", EST: 0, TCD: 3, CT: 4}, true},
+		{"nan est", Job{Name: "a", EST: math.NaN(), TCD: 10, CT: 5}, true},
+		{"nan tcd", Job{Name: "a", EST: 0, TCD: math.NaN(), CT: 5}, true},
+		{"nan ct", Job{Name: "a", EST: 0, TCD: 10, CT: math.NaN()}, true},
+		{"inf tcd", Job{Name: "a", EST: 0, TCD: math.Inf(1), CT: 5}, true},
+		{"inf actual is fine", Job{Name: "a", EST: 0, TCD: 10, CT: 5, Actual: math.Inf(1)}, false},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

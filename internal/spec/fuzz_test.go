@@ -6,15 +6,23 @@ import (
 	"testing"
 )
 
-// FuzzDecode checks that arbitrary input never panics the decoder and that
-// anything it accepts round-trips losslessly through Encode/Decode.
-func FuzzDecode(f *testing.F) {
+// FuzzDecodeSystem checks that arbitrary input never panics the decoder
+// and that anything it accepts round-trips losslessly through
+// Encode/Decode. The seed corpus includes non-finite numerics (NaN cannot
+// appear in JSON literals but huge exponents decode to +Inf) so validation
+// gaps around them stay covered.
+func FuzzDecodeSystem(f *testing.F) {
 	var seed bytes.Buffer
 	if err := PaperExample().Encode(&seed); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(seed.String())
 	f.Add(`{"name":"x","processes":[{"name":"a","criticality":1,"ft":1,"est":0,"tcd":10,"ct":5}],"hw_nodes":1}`)
+	f.Add(`{"name":"x","processes":[{"name":"a","criticality":1e999,"ft":1,"est":0,"tcd":10,"ct":5}],"hw_nodes":1}`)
+	f.Add(`{"name":"x","processes":[{"name":"a","criticality":1,"ft":1,"est":0,"tcd":1e999,"ct":5}],"hw_nodes":1}`)
+	f.Add(`{"name":"x","processes":[{"name":"a","criticality":1,"ft":1,"est":0,"tcd":10,"ct":5},` +
+		`{"name":"b","criticality":1,"ft":1,"est":0,"tcd":10,"ct":5}],` +
+		`"influences":[{"from":"a","to":"b","weight":-1e-9}],"hw_nodes":1}`)
 	f.Add(`{}`)
 	f.Add(`[]`)
 	f.Add(``)

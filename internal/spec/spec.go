@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"repro/internal/attrs"
@@ -91,7 +92,10 @@ func (s *System) Validate() error {
 		if p.FT < 1 {
 			return fmt.Errorf("%w: %s has FT %d (must be >= 1)", ErrBadValue, p.Name, p.FT)
 		}
-		if p.Criticality < 0 {
+		// The comparison alone lets NaN through (every comparison with
+		// NaN is false); reject non-finite criticality explicitly so it
+		// cannot poison the Eq. (2) products downstream.
+		if p.Criticality < 0 || math.IsNaN(p.Criticality) || math.IsInf(p.Criticality, 0) {
 			return fmt.Errorf("%w: %s has criticality %g", ErrBadValue, p.Name, p.Criticality)
 		}
 		if err := p.Job().Validate(); err != nil {
@@ -108,7 +112,7 @@ func (s *System) Validate() error {
 		if e.From == e.To {
 			return fmt.Errorf("%w: self influence on %q", ErrBadValue, e.From)
 		}
-		if e.Weight < 0 || e.Weight > 1 {
+		if e.Weight < 0 || e.Weight > 1 || math.IsNaN(e.Weight) {
 			return fmt.Errorf("%w: influence %s->%s weight %g", ErrBadValue, e.From, e.To, e.Weight)
 		}
 	}

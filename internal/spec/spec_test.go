@@ -155,6 +155,12 @@ func TestValidateCatchesErrors(t *testing.T) {
 		{"bad weight", func(s *System) {
 			s.Influences = []Influence{{From: "a", To: "b", Weight: 1.5}}
 		}, ErrBadValue},
+		{"nan weight", func(s *System) {
+			s.Influences = []Influence{{From: "a", To: "b", Weight: math.NaN()}}
+		}, ErrBadValue},
+		{"nan criticality", func(s *System) { s.Processes[0].Criticality = math.NaN() }, ErrBadValue},
+		{"inf criticality", func(s *System) { s.Processes[0].Criticality = math.Inf(1) }, ErrBadValue},
+		{"nan timing", func(s *System) { s.Processes[0].TCD = math.NaN() }, sched.ErrBadJob},
 		{"bad hw", func(s *System) { s.HWNodes = 0 }, ErrBadValue},
 	}
 	for _, tt := range tests {

@@ -1,0 +1,113 @@
+// Package stage is the framework's structured error taxonomy. Every error
+// that escapes a pipeline stage — partition, influence, replicate,
+// condense, map, evaluate, inject — is wrapped in an *Error carrying the
+// stage name, the heuristic or framework rule involved (H1, H2, R1…), and
+// the offending node when one is known, so library callers can route on
+// errors.As/Is instead of parsing strings.
+//
+// The package also supplies the panic firewall of the resilience layer:
+// Run executes a stage body with recovery, converting any panic into an
+// *Error wrapping ErrPanic that carries the recovered stack. Library
+// callers of depint.Integrate therefore never see a raw panic from a
+// pathological specification.
+package stage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// Sentinel errors of the taxonomy.
+var (
+	// ErrPanic marks an error produced by recovering a panic at a stage
+	// boundary. The wrapping *Error carries the recovered stack.
+	ErrPanic = errors.New("panic recovered")
+	// ErrExhausted marks a fallback chain whose every strategy failed.
+	ErrExhausted = errors.New("fallback chain exhausted")
+)
+
+// Error is one classified pipeline failure.
+type Error struct {
+	// Stage names the pipeline stage (or subsystem) the error escaped
+	// from: "partition", "condense", "map", "inject", "hierarchy", …
+	Stage string
+	// Rule names the heuristic or framework rule involved, when one is:
+	// a condensation strategy ("H2-min-cut"), a composition rule ("R1"),
+	// an attribute policy, …
+	Rule string
+	// Node names the offending FCM / cluster / HW node, when known.
+	Node string
+	// Err is the underlying cause; never nil.
+	Err error
+	// Stack holds the recovered goroutine stack when the error came from
+	// a panic (nil otherwise).
+	Stack []byte
+}
+
+// Error renders "stage condense [rule H2-min-cut] [node p3]: cause".
+func (e *Error) Error() string {
+	s := "stage " + e.Stage
+	if e.Rule != "" {
+		s += " [rule " + e.Rule + "]"
+	}
+	if e.Node != "" {
+		s += " [node " + e.Node + "]"
+	}
+	return s + ": " + e.Err.Error()
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Wrap classifies err under (stage, rule, node). A nil err returns nil;
+// an err that is already an *Error is returned unchanged, preserving the
+// innermost (most precise) classification.
+func Wrap(stageName, rule, node string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *Error
+	if errors.As(err, &se) {
+		return err
+	}
+	return &Error{Stage: stageName, Rule: rule, Node: node, Err: err}
+}
+
+// Wrapf is Wrap with a formatted cause that wraps err via %w.
+func Wrapf(stageName, rule, node string, err error, format string, args ...any) error {
+	if err == nil {
+		return nil
+	}
+	args = append(args, err)
+	return Wrap(stageName, rule, node, fmt.Errorf(format+": %w", args...))
+}
+
+// Run executes fn as the body of the named stage with a panic firewall:
+// a panic is recovered into an *Error wrapping ErrPanic (with the stack
+// attached), and any plain error return is classified under the stage.
+func Run(stageName string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &Error{
+				Stage: stageName,
+				Err:   fmt.Errorf("%w: %v", ErrPanic, r),
+				Stack: debug.Stack(),
+			}
+		}
+	}()
+	return Wrap(stageName, "", "", fn())
+}
+
+// Check returns a classified cancellation error when ctx is done, nil
+// otherwise — the cooperative check-point the hot loops call.
+func Check(ctx context.Context, stageName string) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return &Error{Stage: stageName, Err: err}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package stage
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestErrorRendering(t *testing.T) {
+	cause := errors.New("boom")
+	e := &Error{Stage: "condense", Rule: "H2-min-cut", Node: "p3", Err: cause}
+	got := e.Error()
+	for _, want := range []string{"stage condense", "rule H2-min-cut", "node p3", "boom"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Error() = %q, missing %q", got, want)
+		}
+	}
+	if !errors.Is(e, cause) {
+		t.Error("errors.Is must see through the taxonomy wrapper")
+	}
+}
+
+func TestWrapPreservesInnermostClassification(t *testing.T) {
+	inner := &Error{Stage: "map", Rule: "importance", Err: errors.New("no node")}
+	outer := Wrap("condense", "H1", "", inner)
+	var got *Error
+	if !errors.As(outer, &got) {
+		t.Fatal("Wrap lost the *Error")
+	}
+	if got.Stage != "map" {
+		t.Errorf("Wrap re-classified an already classified error: stage %q", got.Stage)
+	}
+	if Wrap("x", "", "", nil) != nil {
+		t.Error("Wrap(nil) must be nil")
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	err := Run("condense", func() error { panic("index out of range") })
+	if err == nil {
+		t.Fatal("panic must surface as an error")
+	}
+	var se *Error
+	if !errors.As(err, &se) {
+		t.Fatalf("want *Error, got %T: %v", err, err)
+	}
+	if !errors.Is(err, ErrPanic) {
+		t.Error("recovered panic must wrap ErrPanic")
+	}
+	if len(se.Stack) == 0 {
+		t.Error("recovered panic must carry the stack")
+	}
+	if !strings.Contains(se.Err.Error(), "index out of range") {
+		t.Errorf("panic value lost: %v", se.Err)
+	}
+}
+
+func TestRunPassesThroughResults(t *testing.T) {
+	if err := Run("map", func() error { return nil }); err != nil {
+		t.Fatalf("nil-error body: %v", err)
+	}
+	cause := errors.New("infeasible")
+	err := Run("map", func() error { return cause })
+	if !errors.Is(err, cause) {
+		t.Fatalf("cause lost: %v", err)
+	}
+	var se *Error
+	if !errors.As(err, &se) || se.Stage != "map" {
+		t.Fatalf("plain error not classified under the stage: %v", err)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if err := Check(context.Background(), "condense"); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	if err := Check(nil, "condense"); err != nil { //nolint:staticcheck // nil ctx is the uninstrumented path
+		t.Fatalf("nil context: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Check(ctx, "condense")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	var se *Error
+	if !errors.As(err, &se) || se.Stage != "condense" {
+		t.Fatalf("cancellation not classified: %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+package depint
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stage"
+)
+
+func TestIntegrateContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := IntegrateContext(ctx, PaperExample())
+	if res != nil {
+		t.Error("cancelled run returned a partial result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapping context.Canceled", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *StageError", err)
+	}
+	if se.Stage == "" {
+		t.Error("StageError has no stage")
+	}
+}
+
+func TestIntegrateContextCancelMidCondense(t *testing.T) {
+	// A context that dies mid-run: the partition and influence stages pass,
+	// then the deadline lands inside condensation's cooperative checks.
+	// Whatever stage it lands in, the pipeline must surface the deadline as
+	// a classified StageError, never a partial result or a panic.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // ensure the deadline has passed
+	for _, s := range []Strategy{H1, H2, H3, Criticality, SeparationGuided} {
+		res, err := IntegrateContext(ctx, PaperExample(), WithStrategy(s))
+		if res != nil {
+			t.Errorf("%s: expired run returned a partial result", s)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: err = %v, want wrapping context.DeadlineExceeded", s, err)
+		}
+		var se *StageError
+		if !errors.As(err, &se) {
+			t.Errorf("%s: err = %T, want *StageError", s, err)
+		}
+	}
+}
+
+func TestIntegrateWithTimeoutExpires(t *testing.T) {
+	res, err := Integrate(PaperExample(), WithTimeout(time.Nanosecond))
+	if res != nil {
+		t.Error("timed-out run returned a result")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapping context.DeadlineExceeded", err)
+	}
+}
+
+func TestFallbackChainRecordsDegradation(t *testing.T) {
+	// Strategy(42) fails deterministically ("unknown strategy"); the chain
+	// must degrade to H1 and record why.
+	bogus := Strategy(42)
+	res, err := Integrate(PaperExample(), WithStrategy(bogus), WithFallback(H1))
+	if err != nil {
+		t.Fatalf("fallback run failed: %v", err)
+	}
+	if res.Strategy != H1 {
+		t.Errorf("Strategy = %v, want H1", res.Strategy)
+	}
+	if len(res.Degradations) != 1 {
+		t.Fatalf("Degradations = %v, want exactly one", res.Degradations)
+	}
+	d := res.Degradations[0]
+	if d.Strategy != bogus || d.Stage != "condense" {
+		t.Errorf("degradation = %+v", d)
+	}
+	if !strings.Contains(d.Reason, "unknown strategy") {
+		t.Errorf("degradation reason %q does not name the failure", d.Reason)
+	}
+	if !strings.Contains(d.String(), "condense") {
+		t.Errorf("String() = %q", d.String())
+	}
+}
+
+func TestFallbackChainExhausted(t *testing.T) {
+	res, err := Integrate(PaperExample(), WithStrategy(Strategy(42)), WithFallback(Strategy(43)))
+	if res != nil {
+		t.Error("exhausted chain returned a result")
+	}
+	if !errors.Is(err, ErrFallbackExhausted) {
+		t.Fatalf("err = %v, want wrapping ErrFallbackExhausted", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *StageError", err)
+	}
+}
+
+func TestFallbackDoesNotRetryCancellation(t *testing.T) {
+	// A dead parent context must abort the run, not walk the whole chain.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := IntegrateContext(ctx, PaperExample(),
+		WithStrategy(H2), WithFallback(H1, H3, Criticality))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapping context.Canceled", err)
+	}
+	if errors.Is(err, ErrFallbackExhausted) {
+		t.Error("cancellation was treated as chain exhaustion")
+	}
+}
+
+func TestNoFallbackPreservesPlainError(t *testing.T) {
+	// Without a chain, a failing strategy surfaces its own classified
+	// error, not an exhaustion wrapper.
+	_, err := Integrate(PaperExample(), WithStrategy(Strategy(42)))
+	if err == nil {
+		t.Fatal("bogus strategy succeeded")
+	}
+	if errors.Is(err, ErrFallbackExhausted) {
+		t.Error("single-strategy failure reported as chain exhaustion")
+	}
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *StageError", err)
+	}
+	if se.Stage != "condense" {
+		t.Errorf("Stage = %q, want condense", se.Stage)
+	}
+}
+
+func TestStagePanicIsRecovered(t *testing.T) {
+	// Drive the panic firewall directly: a panicking stage body must come
+	// back as a *stage.Error wrapping ErrPanic with a captured stack.
+	err := stage.Run("condense", func() error { panic("boom") })
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want wrapping ErrPanic", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *StageError", err)
+	}
+	if len(se.Stack) == 0 {
+		t.Error("recovered panic carries no stack")
+	}
+	if se.Stage != "condense" {
+		t.Errorf("Stage = %q, want condense", se.Stage)
+	}
+}
+
+func TestIntegrateContextNilContext(t *testing.T) {
+	res, err := IntegrateContext(nil, PaperExample()) //nolint:staticcheck // nil ctx tolerance is the contract under test
+	if err != nil {
+		t.Fatalf("nil ctx run failed: %v", err)
+	}
+	if res == nil || res.Assignment == nil {
+		t.Error("nil ctx run produced no assignment")
+	}
+}

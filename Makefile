@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check fmt vet build test race bench fuzz-smoke
+.PHONY: check fmt vet build test race bench bench-json fuzz-smoke
 
 check: fmt vet build test race bench fuzz-smoke
 
@@ -21,6 +21,11 @@ build:
 test:
 	$(GO) test ./...
 
+# race runs the whole tree under the race detector. This is the gate for
+# the parallel execution engine: the determinism suites (faultsim worker
+# pool, Eq. 3 row kernels, strategy racing) and the mid-race cancellation
+# stress test (TestRaceStrategiesCancelStress) all live in ./... and fail
+# here on any data race.
 race:
 	$(GO) test -race ./...
 
@@ -29,6 +34,14 @@ race:
 # `go test -bench=. -benchmem` for real measurements.
 bench:
 	$(GO) test -run NONE -bench 'Integrate(Pipeline|NilObserver|WithObserver)$$' -benchtime 50x .
+
+# bench-json records the parallel-speedup curve — the worker-pool faultsim
+# and the row-parallel Eq. 3 kernel at widths 1/2/4/8 — as `go test -json`
+# events in BENCH_parallel.json, the artifact behind the README's
+# Performance table. Results are bit-identical at every width; only the
+# ns/op column moves with the core count of the runner.
+bench-json:
+	$(GO) test -run NONE -bench '(Campaign|Separation)Parallel$$' -benchtime 3x -json . > BENCH_parallel.json
 
 # fuzz-smoke gives each native fuzz target a short budget (FUZZTIME,
 # default 30s) — enough to catch shallow regressions in the decoder and

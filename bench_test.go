@@ -10,11 +10,14 @@ package depint
 // Run a single artifact with e.g. `go test -bench=Fig6 -benchmem`.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/faultsim"
+	"repro/internal/influence"
 	"repro/internal/obs"
 	"repro/internal/sched"
 )
@@ -407,4 +410,69 @@ func BenchmarkE15Availability(b *testing.B) {
 		}
 	}
 	b.ReportMetric(tmr, "p1-TMR-availability")
+}
+
+// BenchmarkCampaignParallel measures the worker-pool faultsim at widths
+// 1, 2, 4 and 8 over the 48-process synthetic system. The results are
+// bit-identical at every width (the determinism suite proves it), so the
+// sub-benchmarks differ only in wall-clock: on an 8-core runner /8 should
+// land at several times /1, while a single-core runner collapses them all
+// to serial speed. `make bench-json` records the curve in
+// BENCH_parallel.json.
+func BenchmarkCampaignParallel(b *testing.B) {
+	sys, err := experiments.Synthesize(experiments.SynthConfig{
+		Processes: 48, EdgesPerNode: 2.5, ReplicatedFraction: 0.25,
+		Seed: 4242, HWNodes: 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := Integrate(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%d", workers), func(b *testing.B) {
+			var escape float64
+			for i := 0; i < b.N; i++ {
+				fi, err := faultsim.Run(faultsim.Campaign{
+					Graph: res.Expanded, HWOf: res.HWOf(),
+					Trials: 50000, Seed: 7, CriticalThreshold: 10,
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				escape = fi.EscapeRate()
+			}
+			b.ReportMetric(escape, "escape-rate")
+		})
+	}
+}
+
+// BenchmarkSeparationParallel measures the row-parallel Eq. 3 kernel at
+// the same widths over the expanded 48-process influence matrix.
+func BenchmarkSeparationParallel(b *testing.B) {
+	sys, err := experiments.Synthesize(experiments.SynthConfig{
+		Processes: 48, EdgesPerNode: 2.5, ReplicatedFraction: 0.25,
+		Seed: 4242, HWNodes: 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := Integrate(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _ := res.Expanded.Matrix()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := influence.SeparationMatrixWorkers(
+					context.Background(), p, 0, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -40,17 +40,20 @@ func run(args []string, stdout io.Writer) (err error) {
 	hierPath := fs.String("hier", "", "path to a hierarchy JSON (default: built-in example)")
 	modify := fs.String("modify", "", "comma-separated FCM names to modify in order")
 	emit := fs.Bool("emit-example", false, "write the built-in hierarchy example as JSON and exit")
+	workers := cli.RegisterWorkers(fs)
 	timeout := cli.RegisterTimeout(fs)
 	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cli.ApplyWorkers(*workers)
 	ctx, stop := cli.RunContext(*timeout)
 	defer stop()
 	observer, oerr := obsFlags.Observer()
 	if oerr != nil {
 		return oerr
 	}
+	obsFlags.WatchContext(ctx)
 	// Flush telemetry at exit; a failed trace write must fail the run.
 	defer func() {
 		if ferr := obsFlags.Finish(); ferr != nil && err == nil {

@@ -5,12 +5,16 @@
 // Usage:
 //
 //	faultsim [-spec system.json] [-trials N] [-seed S] [-timeout 2m]
-//	         [-checkpoint path] [-checkpoint-every N] [-resume]
+//	         [-checkpoint path] [-checkpoint-every N] [-resume] [-workers N]
 //	         [-trace out.json] [-log-level info] [-metrics-addr :9090]
 //
 // With telemetry enabled each strategy's campaign records a span with
 // checkpoint events every 10% of trials (running escape-rate estimates)
 // and feeds trial counters into the metrics registry.
+//
+// -workers shards each campaign's trials across a worker pool (default
+// GOMAXPROCS). Campaign results — and checkpoints — are bit-identical at
+// every worker count, so -workers composes freely with -resume.
 //
 // With -checkpoint the per-strategy campaign state (RNG position and
 // running counters) is persisted atomically to <path>.<strategy> as the
@@ -49,6 +53,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	ckpt := fs.String("checkpoint", "", "persist campaign state to <path>.<strategy> for crash-safe resume")
 	ckptEvery := fs.Int("checkpoint-every", 0, "trials between checkpoint writes (default trials/10)")
 	resume := fs.Bool("resume", false, "resume campaigns from their -checkpoint files when present")
+	workers := cli.RegisterWorkers(fs)
 	timeout := cli.RegisterTimeout(fs)
 	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
 	if err := fs.Parse(args); err != nil {
@@ -63,6 +68,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
+	obsFlags.WatchContext(ctx)
 	// Flush telemetry at exit; a failed trace write must fail the run.
 	defer func() {
 		if ferr := obsFlags.Finish(); ferr != nil && err == nil {
@@ -90,7 +96,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		depint.H1, depint.H1PairAll, depint.H2, depint.H3,
 		depint.Criticality, depint.TimingOrder,
 	} {
-		res, err := depint.IntegrateContext(ctx, sys, depint.WithStrategy(s), depint.WithObserver(observer))
+		res, err := depint.IntegrateContext(ctx, sys, depint.WithStrategy(s),
+			depint.WithWorkers(*workers), depint.WithObserver(observer))
 		if err != nil {
 			if ctx.Err() != nil {
 				return err
@@ -107,6 +114,7 @@ func run(args []string, stdout io.Writer) (err error) {
 			Seed:              *seed,
 			CriticalThreshold: 10,
 			CommFaultFraction: *comm,
+			Workers:           *workers,
 			Span:              span,
 			Metrics:           observer.Metrics(),
 			Ctx:               ctx,

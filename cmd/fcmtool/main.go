@@ -5,9 +5,15 @@
 // Usage:
 //
 //	fcmtool [-spec system.json] [-strategy h1|h1pair|h2|h2st|h3|crit|timing|sep]
+//	        [-fallback h2,h3] [-race-strategies] [-workers N]
 //	        [-approach importance|lex|fcr] [-refine N] [-compare] [-json]
 //	        [-dot initial|expanded|condensed] [-emit-example] [-v]
 //	        [-trace out.json] [-log-level debug] [-metrics-addr :9090]
+//
+// -fallback names strategies tried in order when -strategy fails;
+// -race-strategies runs the whole chain concurrently instead, first
+// acceptable result winning. -workers sizes the worker pools of the
+// parallel stages (0 = GOMAXPROCS) without changing a single output bit.
 //
 // With -emit-example the tool writes the paper's worked example as JSON to
 // stdout (a starting point for custom specifications) and exits. The
@@ -43,6 +49,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	fs.SetOutput(stdout)
 	specPath := fs.String("spec", "", "path to a system specification JSON (default: built-in paper example)")
 	strategy := fs.String("strategy", "h1", "condensation strategy: h1, h1pair, h2, h2st, h3, crit, timing, sep")
+	fallback := fs.String("fallback", "", "comma-separated fallback strategies tried (or raced) after -strategy")
 	approach := fs.String("approach", "importance", "assignment approach: importance, lex, fcr")
 	emit := fs.Bool("emit-example", false, "write the built-in paper example as JSON and exit")
 	verbose := fs.Bool("v", false, "print the reduction trace")
@@ -50,6 +57,8 @@ func run(args []string, stdout io.Writer) (err error) {
 	compare := fs.Bool("compare", false, "run every strategy and print the comparison table")
 	dot := fs.String("dot", "", "write the influence graph in Graphviz DOT to stdout: initial, expanded, condensed")
 	jsonOut := fs.Bool("json", false, "emit the integration result as JSON (includes telemetry when enabled)")
+	race := fs.Bool("race-strategies", false, "race the -strategy/fallback heuristics concurrently; first acceptable result wins")
+	workers := cli.RegisterWorkers(fs)
 	timeout := cli.RegisterTimeout(fs)
 	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +93,19 @@ func run(args []string, stdout io.Writer) (err error) {
 	if !ok {
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
+	var fallbacks []depint.Strategy
+	if *fallback != "" {
+		for _, name := range strings.Split(*fallback, ",") {
+			fb, ok := strategies[strings.ToLower(strings.TrimSpace(name))]
+			if !ok {
+				return fmt.Errorf("unknown -fallback strategy %q", name)
+			}
+			fallbacks = append(fallbacks, fb)
+		}
+	}
+	if *race && len(fallbacks) == 0 {
+		return fmt.Errorf("-race-strategies needs a -fallback chain to race against")
+	}
 	approaches := map[string]depint.Approach{
 		"importance": depint.ByImportance, "lex": depint.Lexicographic,
 		"fcr": depint.FCRAware,
@@ -97,6 +119,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
+	obsFlags.WatchContext(ctx)
 	// Flush telemetry at exit; a failed trace write must fail the run.
 	defer func() {
 		if ferr := obsFlags.Finish(); ferr != nil && err == nil {
@@ -105,7 +128,8 @@ func run(args []string, stdout io.Writer) (err error) {
 	}()
 
 	if *compare {
-		compareOpts := []depint.Option{depint.WithApproach(a), depint.WithObserver(observer)}
+		compareOpts := []depint.Option{depint.WithApproach(a),
+			depint.WithWorkers(*workers), depint.WithObserver(observer)}
 		if *timeout > 0 {
 			compareOpts = append(compareOpts, depint.WithTimeout(*timeout))
 		}
@@ -124,7 +148,14 @@ func run(args []string, stdout io.Writer) (err error) {
 		return nil
 	}
 
-	opts := []depint.Option{depint.WithStrategy(s), depint.WithApproach(a)}
+	opts := []depint.Option{depint.WithStrategy(s), depint.WithApproach(a),
+		depint.WithWorkers(*workers)}
+	if len(fallbacks) > 0 {
+		opts = append(opts, depint.WithFallback(fallbacks...))
+	}
+	if *race {
+		opts = append(opts, depint.WithRaceStrategies())
+	}
 	if *refine != 0 {
 		opts = append(opts, depint.WithRefinement(*refine))
 	}

@@ -39,17 +39,20 @@ func run(args []string, stdout io.Writer) (err error) {
 	only := fs.String("only", "", "regenerate a single artifact (table1, fig1..fig8, e1..e15)")
 	trials := fs.Int("trials", 20000, "Monte-Carlo trials for injection experiments")
 	seed := fs.Uint64("seed", 1998, "seed for randomized experiments")
+	workers := cli.RegisterWorkers(fs)
 	timeout := cli.RegisterTimeout(fs)
 	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cli.ApplyWorkers(*workers)
 	ctx, stop := cli.RunContext(*timeout)
 	defer stop()
 	observer, err := obsFlags.Observer()
 	if err != nil {
 		return err
 	}
+	obsFlags.WatchContext(ctx)
 	// Flush telemetry at exit; a failed trace write must fail the run.
 	defer func() {
 		if ferr := obsFlags.Finish(); ferr != nil && err == nil {

@@ -177,6 +177,8 @@ type options struct {
 	timeout           time.Duration
 	attemptTimeout    time.Duration
 	weightsSet        bool
+	workers           int
+	race              bool
 }
 
 // Option configures Integrate.
@@ -243,6 +245,25 @@ func WithObserver(o *obs.Observer) Option { return func(opt *options) { opt.obse
 func WithFallback(next ...Strategy) Option {
 	return func(o *options) { o.fallback = append(o.fallback, next...) }
 }
+
+// WithWorkers sizes the worker pools of the pipeline's parallel stages:
+// the Eq. (3) separation sweeps (the influence stage and the
+// SeparationGuided condensation heuristic) shard their row kernels over
+// this many goroutines. 0 (the default) means GOMAXPROCS; 1 forces fully
+// serial execution. Results are bit-identical for every value.
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithRaceStrategies switches the WithFallback chain from serial retry to
+// a portfolio race: every strategy in the chain runs concurrently on its
+// own clone of the replicated graph, the first acceptable (error-free)
+// result wins, and the rest are cancelled and recorded in
+// Result.Degradations — losers carry the reason "lost race to <winner>"
+// when they were merely outpaced, or their own failure when they broke
+// independently. With no fallback chain the option is a no-op. The winning
+// Result is always one a serial run of that same strategy would have
+// produced; which strategy wins may vary run to run (that is the point of
+// racing).
+func WithRaceStrategies() Option { return func(o *options) { o.race = true } }
 
 // WithTimeout bounds the whole integration run: the context handed to
 // IntegrateContext is wrapped with this deadline. Expiry surfaces as a
@@ -438,7 +459,7 @@ func IntegrateContext(ctx context.Context, sys *System, opts ...Option) (*Result
 		}
 		res.Initial = initial
 		p, idx := initial.Matrix()
-		sep, err := influence.SeparationMatrixCtx(ctx, p, o.separationOrder)
+		sep, err := influence.SeparationMatrixWorkers(ctx, p, o.separationOrder, o.workers)
 		if err != nil {
 			return fmt.Errorf("separation: %w", err)
 		}
@@ -502,38 +523,17 @@ func IntegrateContext(ctx context.Context, sys *System, opts ...Option) (*Result
 	// of the run's context aborts immediately instead of degrading.
 	chain := append([]Strategy{o.strategy}, o.fallback...)
 	var lastErr error
-	for i, strat := range chain {
-		attemptCtx := ctx
-		var cancel context.CancelFunc
-		if o.attemptTimeout > 0 {
-			attemptCtx, cancel = context.WithTimeout(ctx, o.attemptTimeout)
-		}
-		work := exp.Graph
-		if len(chain) > 1 {
-			work = exp.Graph.Clone()
-		}
-		err := integrateAttempt(attemptCtx, &o, root, res, sys, exp, platform, req, strat, work, i)
-		if cancel != nil {
-			cancel()
-		}
-		if err == nil {
-			res.Strategy = strat
-			lastErr = nil
-			break
-		}
-		lastErr = err
-		if ctx.Err() != nil {
+	if o.race && len(chain) > 1 {
+		var fatal error
+		lastErr, fatal = raceAttempts(ctx, &o, root, res, sys, exp, platform, req, chain)
+		if fatal != nil {
 			// The run itself is cancelled or out of time: no fallback.
-			return nil, err
+			return nil, fatal
 		}
-		if i+1 < len(chain) {
-			deg := Degradation{Stage: stageOf(err, "condense"), Strategy: strat, Reason: err.Error()}
-			res.Degradations = append(res.Degradations, deg)
-			root.Event("degrade",
-				obs.String("stage", deg.Stage),
-				obs.String("from", strat.String()),
-				obs.String("to", chain[i+1].String()),
-				obs.String("reason", deg.Reason))
+	} else {
+		lastErr = serialAttempts(ctx, &o, root, res, sys, exp, platform, req, chain)
+		if lastErr != nil && ctx.Err() != nil {
+			return nil, lastErr
 		}
 	}
 	if lastErr != nil {
@@ -594,6 +594,7 @@ func integrateAttempt(ctx context.Context, o *options, root *obs.Span, res *Resu
 		obs.String("strategy", strat.String()), obs.Int("attempt", attempt))
 	cond := cluster.NewCondenser(work, exp.Jobs)
 	cond.SetContext(ctx)
+	cond.SetWorkers(o.workers)
 	cond.Observe(sp, o.observer.Metrics())
 	target := sys.HWNodes
 	if err := runStage(ctx, sp, "condense", func() error {

@@ -20,15 +20,15 @@ func FuzzIntegrate(f *testing.F) {
 	if err := PaperExample().Encode(&seed); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(seed.String(), uint8(0), uint8(0))
-	f.Add(seed.String(), uint8(2), uint8(1)) // H2 + Lexicographic
-	f.Add(seed.String(), uint8(4), uint8(2)) // Criticality + FCRAware
-	f.Add(seed.String(), uint8(200), uint8(200))
+	f.Add(seed.String(), uint8(0), uint8(0), uint8(0))
+	f.Add(seed.String(), uint8(2), uint8(1), uint8(1)) // H2 + Lexicographic, serial
+	f.Add(seed.String(), uint8(4), uint8(2), uint8(4)) // Criticality + FCRAware, 4 workers
+	f.Add(seed.String(), uint8(200), uint8(200), uint8(255))
 	f.Add(`{"name":"x","processes":[{"name":"a","criticality":1,"ft":1,"est":0,"tcd":10,"ct":5},`+
 		`{"name":"b","criticality":5,"ft":2,"est":0,"tcd":10,"ct":5}],`+
-		`"influences":[{"from":"a","to":"b","weight":0.5}],"hw_nodes":2}`, uint8(1), uint8(0))
+		`"influences":[{"from":"a","to":"b","weight":0.5}],"hw_nodes":2}`, uint8(1), uint8(0), uint8(7))
 
-	f.Fuzz(func(t *testing.T, data string, strat, approach uint8) {
+	f.Fuzz(func(t *testing.T, data string, strat, approach, workers uint8) {
 		sys, err := spec.Decode(strings.NewReader(data))
 		if err != nil {
 			return
@@ -45,9 +45,14 @@ func FuzzIntegrate(f *testing.F) {
 		if replicas > 64 {
 			return
 		}
+		// Worker counts are fuzzed across the full byte range: the influence
+		// stage must clamp oversized pools and produce the same bits at any
+		// width (TestWithWorkersBitIdentical proves equality; here the claim
+		// is no panic and no incomplete success at odd widths).
 		res, err := Integrate(sys,
 			WithStrategy(Strategy(strat)),
 			WithApproach(Approach(approach)),
+			WithWorkers(int(workers)),
 			WithTimeout(2*time.Second))
 		if err != nil {
 			return // classified failure is fine; a panic is the bug

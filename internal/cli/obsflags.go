@@ -14,6 +14,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -84,6 +85,23 @@ func (f *ObsFlags) Observer() (*obs.Observer, error) {
 		fmt.Fprintf(f.errw, "metrics: serving on http://%s/metrics\n", srv.Addr())
 	}
 	return f.observer, nil
+}
+
+// WatchContext ties the metrics server's lifetime to ctx: when the run's
+// context dies (-timeout deadline, SIGINT/SIGTERM), the server is closed so
+// the process can exit instead of leaving the listener's goroutine serving
+// forever. No-op when -metrics-addr was not given. Call after Observer and
+// pass the context from RunContext; Finish remains the normal-exit path and
+// is safe to run afterwards (Close is idempotent).
+func (f *ObsFlags) WatchContext(ctx context.Context) {
+	if f == nil || f.server == nil {
+		return
+	}
+	srv := f.server
+	go func() {
+		<-ctx.Done()
+		_ = srv.Close()
+	}()
 }
 
 // Finish flushes the telemetry the run accumulated: the trace file is

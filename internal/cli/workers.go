@@ -1,0 +1,29 @@
+package cli
+
+import (
+	"flag"
+	"runtime"
+)
+
+// RegisterWorkers binds the shared -workers flag onto fs. Zero (the
+// default) sizes worker pools to GOMAXPROCS. The parallel stages are
+// deterministic by construction — faultsim campaigns, Eq. 3 separation
+// matrices and everything derived from them produce bit-identical output
+// at every worker count — so this flag trades wall-clock for cores, never
+// results.
+func RegisterWorkers(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0,
+		"worker goroutines for parallel stages (0 = GOMAXPROCS); results are identical at any count")
+}
+
+// ApplyWorkers applies -workers process-wide by setting GOMAXPROCS, the
+// default every parallel stage sizes its pool from. Tools that plumb the
+// count into each call explicitly (fcmtool, faultsim) don't need this;
+// tools whose fan-out happens inside library code they don't parameterize
+// (paperrepro's experiment suite, certify) use it so -workers still
+// governs the whole run. No-op when n <= 0.
+func ApplyWorkers(n int) {
+	if n > 0 {
+		runtime.GOMAXPROCS(n)
+	}
+}

@@ -73,12 +73,20 @@ type Condenser struct {
 	// of every reduction loop so a deadline or cancellation aborts the
 	// condensation promptly instead of after the full O(n²·sched) sweep.
 	ctx context.Context
+	// workers, when set via SetWorkers, sizes the goroutine pool of the
+	// separation sweeps inside ReduceBySeparation (0 = GOMAXPROCS).
+	workers int
 }
 
 // SetContext installs a cancellation context on the condenser. All Reduce*
 // loops poll it and return a stage-classified error wrapping ctx.Err()
 // when it fires. A nil context (the default) disables the checks.
 func (c *Condenser) SetContext(ctx context.Context) { c.ctx = ctx }
+
+// SetWorkers sizes the worker pool used by the Eq. 3 separation sweeps
+// (ReduceBySeparation). 0 or negative means GOMAXPROCS. The reduction is
+// bit-identical for every value; only wall-clock time changes.
+func (c *Condenser) SetWorkers(n int) { c.workers = n }
 
 // checkCtx is the cooperative cancellation check-point of the reduction
 // hot loops.

@@ -25,7 +25,7 @@ func (c *Condenser) ReduceBySeparation(target, order int) error {
 			return err
 		}
 		p, ids := c.G.Matrix()
-		sep, err := influence.SeparationMatrixCtx(c.ctx, p, order)
+		sep, err := influence.SeparationMatrixWorkers(c.ctx, p, order, c.workers)
 		if err != nil {
 			return fmt.Errorf("cluster: separation: %w", err)
 		}

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
-	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -20,19 +19,21 @@ import (
 // a finished campaign can be resumed with a larger Trials to extend it.
 var ErrCheckpointMismatch = errors.New("faultsim: checkpoint does not match campaign")
 
-const checkpointVersion = 1
+// Version 2 dropped the serialized PCG state: per-trial substream seeding
+// means the completed-trial frontier alone positions a resume exactly, for
+// any worker count. Version-1 checkpoints are rejected as mismatches.
+const checkpointVersion = 2
 
 // checkpointFile is the on-disk snapshot of a campaign in flight: the
-// partial Result, the exact PCG state, and a fingerprint of everything
-// that determines the trial sequence. Writes are atomic (temp file in the
-// destination directory, then rename), so a crash mid-write leaves the
-// previous checkpoint intact and a resumed run is bit-identical to an
-// uninterrupted one.
+// merged partial Result, the completed-trial frontier, and a fingerprint
+// of everything that determines the trial sequence. Writes are atomic
+// (temp file in the destination directory, then rename), so a crash
+// mid-write leaves the previous checkpoint intact and a resumed run is
+// bit-identical to an uninterrupted one.
 type checkpointFile struct {
 	Version     int    `json:"version"`
 	Fingerprint string `json:"fingerprint"`
 	TrialsDone  int    `json:"trials_done"`
-	RNG         []byte `json:"rng"`
 	Result      Result `json:"result"`
 }
 
@@ -46,7 +47,7 @@ func (c Campaign) fingerprint() string {
 		h.Write([]byte{0})
 	}
 	wf := func(f float64) { ws(strconv.FormatUint(math.Float64bits(f), 16)) }
-	ws("faultsim-campaign-v1")
+	ws("faultsim-campaign-v2")
 	ws(strconv.FormatUint(c.Seed, 16))
 	ws(strconv.Itoa(c.MaxHops))
 	wf(c.CriticalThreshold)
@@ -67,16 +68,11 @@ func (c Campaign) fingerprint() string {
 }
 
 // saveCheckpoint atomically persists the campaign state after done trials.
-func saveCheckpoint(path, fp string, done int, src *rand.PCG, res Result) error {
-	state, err := src.MarshalBinary()
-	if err != nil {
-		return fmt.Errorf("faultsim: checkpoint rng state: %w", err)
-	}
+func saveCheckpoint(path, fp string, done int, res Result) error {
 	data, err := json.Marshal(checkpointFile{
 		Version:     checkpointVersion,
 		Fingerprint: fp,
 		TrialsDone:  done,
-		RNG:         state,
 		Result:      res,
 	})
 	if err != nil {

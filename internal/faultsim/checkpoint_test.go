@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -39,19 +40,25 @@ func web(t *testing.T) (*graph.Graph, map[string]string) {
 
 // cancelAfter is a context.Context whose Err fires context.Canceled after a
 // fixed number of polls — a deterministic stand-in for a kill signal landing
-// mid-campaign.
+// mid-campaign. The counter is atomic because parallel campaign workers
+// poll Err concurrently.
 type cancelAfter struct {
-	polls int
+	polls atomic.Int64
+}
+
+func newCancelAfter(polls int) *cancelAfter {
+	c := &cancelAfter{}
+	c.polls.Store(int64(polls))
+	return c
 }
 
 func (c *cancelAfter) Deadline() (time.Time, bool) { return time.Time{}, false }
 func (c *cancelAfter) Done() <-chan struct{}       { return nil }
 func (c *cancelAfter) Value(any) any               { return nil }
 func (c *cancelAfter) Err() error {
-	if c.polls <= 0 {
+	if c.polls.Add(-1) < 0 {
 		return context.Canceled
 	}
-	c.polls--
 	return nil
 }
 
@@ -83,7 +90,7 @@ func TestCheckpointKillAndResumeBitIdentical(t *testing.T) {
 	// persist the exact boundary and report the cancellation.
 	path := filepath.Join(dir, "campaign.ckpt")
 	killed := campaign(g, hw, path)
-	killed.Ctx = &cancelAfter{polls: killed.Trials / 2}
+	killed.Ctx = newCancelAfter(killed.Trials / 2)
 	if _, err := Run(killed); !errors.Is(err, context.Canceled) {
 		t.Fatalf("interrupted run err = %v, want context.Canceled", err)
 	}

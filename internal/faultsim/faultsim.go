@@ -9,6 +9,19 @@
 // in single FCMs or in communication between a pair of FCMs; transmission
 // probabilities are independent of dynamic context; an influence edge of
 // weight w transmits a fault from source to target with probability w.
+//
+// # Parallel execution and determinism
+//
+// Campaigns shard their trials across a worker pool (Campaign.Workers).
+// Every trial draws from its own PCG substream derived from (Seed,
+// trialIndex), so no RNG state is shared between trials and the stream a
+// trial sees does not depend on which worker ran it or on where the
+// previous checkpoint landed. Trials are processed in fixed chunks on an
+// absolute grid and merged strictly in chunk order; the one
+// order-sensitive accumulation (the float64 CriticalityLoss sum) is kept
+// per-trial until merge so its addition order is always the trial order.
+// The Result is therefore bit-identical for every Workers value, and
+// checkpoint/resume reproduces an uninterrupted run exactly.
 package faultsim
 
 import (
@@ -16,7 +29,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/attrs"
 	"repro/internal/graph"
@@ -41,6 +56,11 @@ type Campaign struct {
 	Trials int
 	// Seed makes runs reproducible.
 	Seed uint64
+	// Workers is the number of goroutines trials are sharded across
+	// (default GOMAXPROCS). The Result is bit-identical for every value:
+	// each trial is seeded from its own PCG substream derived from (Seed,
+	// trialIndex), and chunk results merge in a fixed order.
+	Workers int
 	// OccurrenceWeights optionally biases which node the initial fault is
 	// injected into (default: uniform over nodes).
 	OccurrenceWeights map[string]float64
@@ -58,8 +78,10 @@ type Campaign struct {
 	CommFaultFraction float64
 	// Span, when set, receives a "checkpoint" event at every 10% of the
 	// campaign with the running containment estimates — the convergence
-	// trail of the paper's measurement loop. Metrics, when set, counts
-	// trials, transmissions and escapes as the campaign runs.
+	// trail of the paper's measurement loop — plus one child span per
+	// worker when the pool is parallel. Metrics, when set, counts trials,
+	// transmissions and escapes as the campaign runs and tracks the number
+	// of active workers in a gauge.
 	Span    *obs.Span
 	Metrics *obs.Registry
 	// Ctx, when non-nil, is polled at every trial boundary: a cancelled or
@@ -68,18 +90,23 @@ type Campaign struct {
 	// ctx.Err().
 	Ctx context.Context
 	// CheckpointPath, when non-empty, makes the campaign crash-safe: the
-	// partial Result and the exact RNG state are persisted atomically
-	// (write to a temp file, then rename) every CheckpointEvery trials and
-	// on cancellation. A run resumed from a checkpoint produces a Result
-	// bit-identical to an uninterrupted run with the same configuration.
+	// merged partial Result and the completed-trial frontier are persisted
+	// atomically (write to a temp file, then rename) every CheckpointEvery
+	// trials and on cancellation. Because every trial has its own RNG
+	// substream, the frontier alone is enough to resume: a run resumed
+	// from a checkpoint produces a Result bit-identical to an
+	// uninterrupted run with the same configuration, for any Workers.
 	CheckpointPath string
 	// CheckpointEvery is the trial interval between checkpoint writes
-	// (default Trials/10, minimum 1).
+	// (default Trials/10, minimum 1). Writes happen at chunk boundaries,
+	// whenever the completed-trial frontier crosses a multiple of the
+	// interval.
 	CheckpointEvery int
 	// Resume restores state from CheckpointPath when a checkpoint written
 	// by this same campaign (graph, seed, fault model — everything except
-	// the trial count) is present. A checkpoint from a different campaign
-	// is ErrCheckpointMismatch; an absent file starts from trial zero.
+	// the trial count and worker count) is present. A checkpoint from a
+	// different campaign is ErrCheckpointMismatch; an absent file starts
+	// from trial zero.
 	Resume bool
 	// StopHalfWidth, when positive, enables confidence-interval early
 	// stopping: the campaign ends once the normal-approximation interval
@@ -164,6 +191,489 @@ func (r Result) EstimatedInfluence(from, to string) (float64, bool) {
 	return float64(r.TransmissionCount[key]) / float64(trials), true
 }
 
+// trialChunkSize is the grain of the worker pool: trials are grouped into
+// fixed chunks on an absolute grid ([0,64), [64,128), …) so the chunk
+// sequence — and with it the merge order and every evaluation point — is
+// the same no matter how many workers run or where a resume started.
+const trialChunkSize = 64
+
+// substreamSalt decorrelates the two PCG seed words of a trial substream.
+const substreamSalt = 0xda942042e4dd58b5
+
+// splitmix64 is the SplitMix64 finalizer, the standard mixer for deriving
+// independent seed material from correlated inputs (consecutive trial
+// indices). Its output is a bijection of its input, so distinct trials
+// never collide on a substream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// chunkResult accumulates the trials of one chunk. All integer counters
+// merge exactly regardless of order; the single order-sensitive value —
+// the float64 criticality loss — is kept per trial so the merged sum's
+// addition order is always the trial order, independent of chunk
+// boundaries and worker count.
+type chunkResult struct {
+	totalAffected      int
+	crossTransmissions int
+	trialsWithEscape   int
+	commFaultTrials    int
+	criticalAffected   int
+	critPerTrial       []float64
+	affectedCount      map[string]int
+	transmissionCount  map[string]int
+	edgeTrials         map[string]int
+}
+
+func newChunkResult() *chunkResult {
+	return &chunkResult{
+		affectedCount:     map[string]int{},
+		transmissionCount: map[string]int{},
+		edgeTrials:        map[string]int{},
+	}
+}
+
+func (ch *chunkResult) reset() {
+	*ch = chunkResult{
+		critPerTrial:      ch.critPerTrial[:0],
+		affectedCount:     map[string]int{},
+		transmissionCount: map[string]int{},
+		edgeTrials:        map[string]int{},
+	}
+}
+
+// absorb folds a chunk into the running Result, trial floats in order.
+func (r *Result) absorb(ch *chunkResult) {
+	r.TotalAffected += ch.totalAffected
+	r.CrossNodeTransmissions += ch.crossTransmissions
+	r.TrialsWithEscape += ch.trialsWithEscape
+	r.CommFaultTrials += ch.commFaultTrials
+	r.CriticalAffected += ch.criticalAffected
+	for _, loss := range ch.critPerTrial {
+		r.CriticalityLoss += loss
+	}
+	for k, v := range ch.affectedCount {
+		r.AffectedCount[k] += v
+	}
+	for k, v := range ch.transmissionCount {
+		r.TransmissionCount[k] += v
+	}
+	for k, v := range ch.edgeTrials {
+		r.EdgeTrials[k] += v
+	}
+}
+
+// campaignEnv is the immutable, precomputed view of a campaign shared by
+// all workers: adjacency, criticality, and the injection-site sampler. It
+// is built once so concurrent trials never touch the graph's mutable
+// accessors.
+type campaignEnv struct {
+	nodes         []string
+	out           map[string][]graph.Edge // non-replica, weight>0, sorted
+	commEdges     []graph.Edge
+	weights       []float64
+	weightTotal   float64
+	crit          map[string]float64
+	hwOf          map[string]string
+	seedBase      uint64
+	maxHops       int
+	commFrac      float64
+	critThreshold float64
+}
+
+func newCampaignEnv(c *Campaign) *campaignEnv {
+	env := &campaignEnv{
+		nodes:         c.Graph.Nodes(),
+		out:           map[string][]graph.Edge{},
+		crit:          map[string]float64{},
+		hwOf:          c.HWOf,
+		seedBase:      splitmix64(c.Seed),
+		maxHops:       c.MaxHops,
+		commFrac:      c.CommFaultFraction,
+		critThreshold: c.CriticalThreshold,
+	}
+	for _, n := range env.nodes {
+		env.crit[n] = c.Graph.Attrs(n).Value(attrs.Criticality)
+		var live []graph.Edge
+		for _, e := range c.Graph.OutEdges(n) {
+			if e.Replica || e.Weight <= 0 {
+				continue
+			}
+			live = append(live, e)
+		}
+		env.out[n] = live
+	}
+	if c.CommFaultFraction > 0 {
+		for _, e := range c.Graph.Edges() {
+			if !e.Replica && e.Weight > 0 {
+				env.commEdges = append(env.commEdges, e)
+			}
+		}
+	}
+	// Injection-site sampler weights.
+	env.weights = make([]float64, len(env.nodes))
+	for i, n := range env.nodes {
+		w := 1.0
+		if c.OccurrenceWeights != nil {
+			w = c.OccurrenceWeights[n]
+		}
+		if w < 0 {
+			w = 0
+		}
+		env.weights[i] = w
+		env.weightTotal += w
+	}
+	if env.weightTotal == 0 {
+		for i := range env.weights {
+			env.weights[i] = 1
+		}
+		env.weightTotal = float64(len(env.weights))
+	}
+	return env
+}
+
+// reseed positions the PCG on the substream of one trial. The substream
+// depends only on (Seed, trial), never on execution history, which is what
+// makes sharding and resume bit-exact.
+func (env *campaignEnv) reseed(pcg *rand.PCG, trial int) {
+	base := env.seedBase + uint64(trial)
+	pcg.Seed(splitmix64(base), splitmix64(base^substreamSalt))
+}
+
+func (env *campaignEnv) pick(rng *rand.Rand) string {
+	x := rng.Float64() * env.weightTotal
+	for i, w := range env.weights {
+		x -= w
+		if x < 0 {
+			return env.nodes[i]
+		}
+	}
+	return env.nodes[len(env.nodes)-1]
+}
+
+// runChunk executes trials [begin, end) on their own substreams,
+// accumulating into ch. The context is polled at every trial boundary; a
+// cancelled chunk is all-or-nothing and contributes no trials.
+func (env *campaignEnv) runChunk(ctx context.Context, pcg *rand.PCG, rng *rand.Rand, begin, end int, ch *chunkResult) error {
+	for trial := begin; trial < end; trial++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		env.reseed(pcg, trial)
+		env.runTrial(rng, ch)
+	}
+	return nil
+}
+
+func (env *campaignEnv) runTrial(rng *rand.Rand, ch *chunkResult) {
+	var origin string
+	escaped := false
+	if len(env.commEdges) > 0 && rng.Float64() < env.commFrac {
+		// Communication fault: a message between a pair of FCMs is
+		// corrupted in transit; the receiving FCM becomes faulty.
+		e := env.commEdges[rng.IntN(len(env.commEdges))]
+		origin = e.To
+		ch.commFaultTrials++
+		if env.hwOf != nil && env.hwOf[e.From] != env.hwOf[e.To] {
+			// The corrupted message itself crossed a HW boundary.
+			ch.crossTransmissions++
+			escaped = true
+		}
+	} else {
+		origin = env.pick(rng)
+	}
+	faulty := map[string]bool{origin: true}
+	// order records affected nodes in discovery order so the criticality
+	// sum below never depends on map iteration.
+	order := []string{origin}
+	frontier := []string{origin}
+	hops := 0
+	for len(frontier) > 0 && (env.maxHops == 0 || hops < env.maxHops) {
+		hops++
+		var next []string
+		for _, u := range frontier {
+			for _, e := range env.out[u] {
+				key := u + ">" + e.To
+				// The transmission draw happens whether or not the
+				// target is already faulty — conditioning the draw on
+				// target health would bias the per-edge estimate
+				// downward on convergent paths.
+				ch.edgeTrials[key]++
+				if rng.Float64() >= e.Weight {
+					continue
+				}
+				ch.transmissionCount[key]++
+				if faulty[e.To] {
+					continue
+				}
+				faulty[e.To] = true
+				order = append(order, e.To)
+				next = append(next, e.To)
+				if env.hwOf != nil && env.hwOf[u] != env.hwOf[e.To] {
+					ch.crossTransmissions++
+					escaped = true
+				}
+			}
+		}
+		frontier = next
+	}
+	ch.totalAffected += len(order)
+	if escaped {
+		ch.trialsWithEscape++
+	}
+	loss := 0.0
+	for _, n := range order {
+		ch.affectedCount[n]++
+		cv := env.crit[n]
+		loss += cv
+		if env.critThreshold > 0 && cv >= env.critThreshold {
+			ch.criticalAffected++
+		}
+	}
+	ch.critPerTrial = append(ch.critPerTrial, loss)
+}
+
+// chunkEnd returns the end of the chunk beginning at b: the next absolute
+// grid boundary, capped at the trial count.
+func chunkEnd(b, trials int) int {
+	e := (b/trialChunkSize + 1) * trialChunkSize
+	if e > trials {
+		e = trials
+	}
+	return e
+}
+
+// campaignRun holds the merge-side state of a running campaign: the
+// accumulating Result, the completed-trial frontier, and everything the
+// evaluation points (telemetry checkpoints, persistence, early stopping)
+// need. Chunks are absorbed strictly in chunk order by a single goroutine.
+type campaignRun struct {
+	c            *Campaign
+	env          *campaignEnv
+	res          Result
+	done         int // completed-trial frontier (all trials < done merged)
+	fp           string
+	persistEvery int
+	eventEvery   int
+	minStop      int
+	z            float64
+
+	trialsCtr, escapesCtr, crossCtr *obs.Counter
+	escapeGauge, workersGauge       *obs.Gauge
+}
+
+// checkpointEvent emits the running-estimator telemetry at frontier done.
+func (r *campaignRun) checkpointEvent(done int) {
+	rate := float64(r.res.TrialsWithEscape) / float64(done)
+	r.escapeGauge.Set(rate)
+	if r.c.Span != nil {
+		r.c.Span.Event("checkpoint",
+			obs.Int("trials_done", done),
+			obs.Int("trials_total", r.c.Trials),
+			obs.Float("escape_rate", rate),
+			obs.Float("mean_affected", float64(r.res.TotalAffected)/float64(done)),
+			obs.Int("cross_transmissions", r.res.CrossNodeTransmissions),
+			obs.Float("mean_crit_loss", r.res.CriticalityLoss/float64(done)))
+	}
+}
+
+// merge folds chunk [b, e) into the Result and fires every evaluation
+// point the frontier crossed: telemetry checkpoint, persistence, and the
+// early-stopping test. It reports stop=true when the campaign should end
+// at frontier e. Because the chunk sequence is worker-count-independent,
+// so is every decision made here.
+func (r *campaignRun) merge(b, e int, ch *chunkResult) (stop bool, err error) {
+	r.res.absorb(ch)
+	r.done = e
+	if r.trialsCtr != nil {
+		r.trialsCtr.Add(int64(e - b))
+		r.escapesCtr.Add(int64(ch.trialsWithEscape))
+		r.crossCtr.Add(int64(ch.crossTransmissions))
+	}
+	if (r.c.Span != nil || r.c.Metrics != nil) &&
+		(b/r.eventEvery != e/r.eventEvery || e == r.c.Trials) {
+		r.checkpointEvent(e)
+	}
+	crossedPersist := b/r.persistEvery != e/r.persistEvery || e == r.c.Trials
+	if r.c.CheckpointPath != "" && crossedPersist {
+		if err := saveCheckpoint(r.c.CheckpointPath, r.fp, e, r.res); err != nil {
+			return false, err
+		}
+	}
+	if r.c.StopHalfWidth > 0 && e < r.c.Trials && e >= r.minStop && crossedPersist {
+		rate := float64(r.res.TrialsWithEscape) / float64(e)
+		if waldHalfWidth(rate, e, r.z) <= r.c.StopHalfWidth {
+			r.res.Trials = e
+			r.res.EarlyStopped = true
+			if r.c.Span != nil {
+				r.c.Span.Event("early_stop",
+					obs.Int("trials_done", e),
+					obs.Float("escape_rate", rate),
+					obs.Float("half_width", waldHalfWidth(rate, e, r.z)))
+			}
+			if r.c.CheckpointPath != "" {
+				if err := saveCheckpoint(r.c.CheckpointPath, r.fp, e, r.res); err != nil {
+					return false, err
+				}
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// cancelled persists the completed-trial frontier and wraps the context
+// error, mirroring the serial cancellation contract.
+func (r *campaignRun) cancelled(cause error) error {
+	err := fmt.Errorf("faultsim: cancelled after %d/%d trials: %w",
+		r.done, r.c.Trials, cause)
+	if r.c.CheckpointPath != "" {
+		if serr := saveCheckpoint(r.c.CheckpointPath, r.fp, r.done, r.res); serr != nil {
+			return errors.Join(serr, err)
+		}
+	}
+	return err
+}
+
+// serial runs the chunk sequence inline — the Workers==1 path pays for no
+// goroutines but uses the exact same chunk grid and merge arithmetic as
+// the pool, which is what makes the two bit-identical.
+func (r *campaignRun) serial(start int) error {
+	pcg := rand.NewPCG(0, 0)
+	rng := rand.New(pcg)
+	ch := newChunkResult()
+	for b := start; b < r.c.Trials; {
+		e := chunkEnd(b, r.c.Trials)
+		ch.reset()
+		if err := r.env.runChunk(r.c.Ctx, pcg, rng, b, e, ch); err != nil {
+			return r.cancelled(err)
+		}
+		stop, err := r.merge(b, e, ch)
+		if err != nil || stop {
+			return err
+		}
+		b = e
+	}
+	return nil
+}
+
+// parallel shards the chunk sequence over a worker pool. The coordinator
+// dispatches chunks in order, buffers out-of-order completions, and merges
+// strictly by chunk index, so the accumulated Result — and every
+// evaluation point — matches the serial path bit for bit. Cancellation
+// makes chunks fail individually; the contiguous completed prefix is what
+// gets checkpointed. Early stopping stops dispatch and discards
+// speculative chunks beyond the stopping frontier.
+func (r *campaignRun) parallel(start, workers int) error {
+	type job struct {
+		seq, b, e int
+	}
+	type outcome struct {
+		job
+		ch  *chunkResult
+		err error
+	}
+	maxInFlight := workers * 2
+	jobs := make(chan job)
+	out := make(chan outcome, maxInFlight)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var span *obs.Span
+			if r.c.Span != nil {
+				span = r.c.Span.StartChild("worker", obs.Int("worker", id))
+				defer span.End()
+			}
+			if r.workersGauge != nil {
+				r.workersGauge.Add(1)
+				defer r.workersGauge.Add(-1)
+			}
+			pcg := rand.NewPCG(0, 0)
+			rng := rand.New(pcg)
+			chunks, trials := 0, 0
+			for j := range jobs {
+				ch := newChunkResult()
+				err := r.env.runChunk(r.c.Ctx, pcg, rng, j.b, j.e, ch)
+				if err == nil {
+					chunks++
+					trials += j.e - j.b
+				}
+				out <- outcome{job: j, ch: ch, err: err}
+			}
+			if span != nil {
+				span.SetAttr(obs.Int("chunks", chunks), obs.Int("trials", trials))
+			}
+		}(w)
+	}
+
+	var (
+		nextSeq, inFlight int
+		mergeSeq          int
+		b                 = start
+		pending           = map[int]outcome{}
+		cancelCause       error
+		fatal             error
+		stopped           bool
+	)
+	dispatchDone := b >= r.c.Trials
+	for !dispatchDone || inFlight > 0 {
+		var send chan job
+		next := job{seq: nextSeq, b: b, e: chunkEnd(b, r.c.Trials)}
+		if !dispatchDone && inFlight < maxInFlight {
+			send = jobs
+		}
+		select {
+		case send <- next:
+			inFlight++
+			nextSeq++
+			b = next.e
+			dispatchDone = b >= r.c.Trials
+		case o := <-out:
+			inFlight--
+			if o.err != nil {
+				if cancelCause == nil {
+					cancelCause = o.err
+				}
+				dispatchDone = true
+				continue
+			}
+			pending[o.seq] = o
+			for cancelCause == nil && fatal == nil && !stopped {
+				p, ok := pending[mergeSeq]
+				if !ok {
+					break
+				}
+				delete(pending, mergeSeq)
+				mergeSeq++
+				stop, err := r.merge(p.b, p.e, p.ch)
+				if err != nil {
+					fatal = err
+					dispatchDone = true
+				} else if stop {
+					stopped = true
+					dispatchDone = true
+				}
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	switch {
+	case fatal != nil:
+		return fatal
+	case cancelCause != nil:
+		return r.cancelled(cancelCause)
+	}
+	return nil
+}
+
 // Run executes the campaign.
 func Run(c Campaign) (Result, error) {
 	if c.Trials <= 0 {
@@ -175,79 +685,38 @@ func Run(c Campaign) (Result, error) {
 	if c.CommFaultFraction < 0 || c.CommFaultFraction > 1 {
 		return Result{}, fmt.Errorf("faultsim: comm fault fraction %g out of range", c.CommFaultFraction)
 	}
-	// The source is kept separate from the Rand so its exact state can be
-	// checkpointed; rand.Rand buffers nothing, so marshaling the PCG at a
-	// trial boundary captures the full stream position.
-	src := rand.NewPCG(c.Seed, c.Seed^0x9e3779b97f4a7c15)
-	rng := rand.New(src)
-	nodes := c.Graph.Nodes()
-	var commEdges []graph.Edge
-	if c.CommFaultFraction > 0 {
-		for _, e := range c.Graph.Edges() {
-			if !e.Replica && e.Weight > 0 {
-				commEdges = append(commEdges, e)
-			}
-		}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Injection-site sampler.
-	weights := make([]float64, len(nodes))
-	total := 0.0
-	for i, n := range nodes {
-		w := 1.0
-		if c.OccurrenceWeights != nil {
-			w = c.OccurrenceWeights[n]
-		}
-		if w < 0 {
-			w = 0
-		}
-		weights[i] = w
-		total += w
-	}
-	if total == 0 {
-		for i := range weights {
-			weights[i] = 1
-		}
-		total = float64(len(weights))
-	}
-	pick := func() string {
-		x := rng.Float64() * total
-		for i, w := range weights {
-			x -= w
-			if x < 0 {
-				return nodes[i]
-			}
-		}
-		return nodes[len(nodes)-1]
-	}
-
-	res := Result{
-		Trials:            c.Trials,
-		AffectedCount:     map[string]int{},
-		TransmissionCount: map[string]int{},
-		EdgeTrials:        map[string]int{},
-	}
-	critOf := func(n string) float64 {
-		return c.Graph.Attrs(n).Value(attrs.Criticality)
+	run := &campaignRun{
+		c:   &c,
+		env: newCampaignEnv(&c),
+		res: Result{
+			Trials:            c.Trials,
+			AffectedCount:     map[string]int{},
+			TransmissionCount: map[string]int{},
+			EdgeTrials:        map[string]int{},
+		},
 	}
 
 	// Crash-safe checkpointing: resolve the campaign fingerprint once,
-	// restore a prior snapshot when resuming, and persist every
-	// persistEvery trials from here on.
-	persistEvery := c.CheckpointEvery
-	if persistEvery <= 0 {
-		persistEvery = c.Trials / 10
+	// restore a prior snapshot when resuming, and persist whenever the
+	// completed-trial frontier crosses a persistEvery multiple.
+	run.persistEvery = c.CheckpointEvery
+	if run.persistEvery <= 0 {
+		run.persistEvery = c.Trials / 10
 	}
-	if persistEvery == 0 {
-		persistEvery = 1
+	if run.persistEvery == 0 {
+		run.persistEvery = 1
 	}
-	var fp string
 	if c.CheckpointPath != "" {
-		fp = c.fingerprint()
+		run.fp = c.fingerprint()
 	}
 	start := 0
 	if c.Resume && c.CheckpointPath != "" {
-		cf, ok, err := loadCheckpoint(c.CheckpointPath, fp)
+		cf, ok, err := loadCheckpoint(c.CheckpointPath, run.fp)
 		if err != nil {
 			return Result{}, err
 		}
@@ -256,165 +725,64 @@ func Run(c Campaign) (Result, error) {
 				return Result{}, fmt.Errorf("%w: checkpoint has %d trials done, campaign wants %d",
 					ErrCheckpointMismatch, cf.TrialsDone, c.Trials)
 			}
-			if err := src.UnmarshalBinary(cf.RNG); err != nil {
-				return Result{}, fmt.Errorf("faultsim: checkpoint rng state: %w", err)
+			run.res = cf.Result
+			run.res.Trials = c.Trials
+			run.res.EarlyStopped = false
+			if run.res.AffectedCount == nil {
+				run.res.AffectedCount = map[string]int{}
 			}
-			res = cf.Result
-			res.Trials = c.Trials
-			res.EarlyStopped = false
+			if run.res.TransmissionCount == nil {
+				run.res.TransmissionCount = map[string]int{}
+			}
+			if run.res.EdgeTrials == nil {
+				run.res.EdgeTrials = map[string]int{}
+			}
 			start = cf.TrialsDone
 		}
 	}
+	run.done = start
 
 	// Campaign telemetry: per-10% checkpoint events carrying the running
 	// estimators, plus live counters and gauges.
-	var trialsCtr, escapesCtr, crossCtr *obs.Counter
-	var escapeGauge *obs.Gauge
 	if c.Metrics != nil {
-		trialsCtr = c.Metrics.Counter("faultsim_trials_total", "injection trials executed")
-		escapesCtr = c.Metrics.Counter("faultsim_escape_trials_total", "trials whose fault crossed a HW boundary")
-		crossCtr = c.Metrics.Counter("faultsim_cross_transmissions_total", "fault transmissions across HW boundaries")
-		escapeGauge = c.Metrics.Gauge("faultsim_escape_rate", "running escape-rate estimate")
+		run.trialsCtr = c.Metrics.Counter("faultsim_trials_total", "injection trials executed")
+		run.escapesCtr = c.Metrics.Counter("faultsim_escape_trials_total", "trials whose fault crossed a HW boundary")
+		run.crossCtr = c.Metrics.Counter("faultsim_cross_transmissions_total", "fault transmissions across HW boundaries")
+		run.escapeGauge = c.Metrics.Gauge("faultsim_escape_rate", "running escape-rate estimate")
+		run.workersGauge = c.Metrics.Gauge("faultsim_active_workers", "campaign worker goroutines currently running")
 	}
-	checkpointEvery := c.Trials / 10
-	if checkpointEvery == 0 {
-		checkpointEvery = 1
+	run.eventEvery = c.Trials / 10
+	if run.eventEvery == 0 {
+		run.eventEvery = 1
 	}
-	checkpoint := func(done int) {
-		rate := float64(res.TrialsWithEscape) / float64(done)
-		escapeGauge.Set(rate)
-		if c.Span != nil {
-			c.Span.Event("checkpoint",
-				obs.Int("trials_done", done),
-				obs.Int("trials_total", c.Trials),
-				obs.Float("escape_rate", rate),
-				obs.Float("mean_affected", float64(res.TotalAffected)/float64(done)),
-				obs.Int("cross_transmissions", res.CrossNodeTransmissions),
-				obs.Float("mean_crit_loss", res.CriticalityLoss/float64(done)))
-		}
+	run.minStop = c.StopMinTrials
+	if run.minStop <= 0 {
+		run.minStop = 100
 	}
+	run.z = stopZ(c.StopConfidence)
 
-	minStop := c.StopMinTrials
-	if minStop <= 0 {
-		minStop = 100
-	}
-	z := stopZ(c.StopConfidence)
-
-	for trial := start; trial < c.Trials; trial++ {
+	if start < c.Trials {
+		// Fail fast on a context that is already dead, before spinning up
+		// any pool machinery.
 		if c.Ctx != nil {
 			if err := c.Ctx.Err(); err != nil {
-				// Persist the exact trial boundary the cancellation landed
-				// on, so a resumed run replays nothing and skips nothing.
-				if c.CheckpointPath != "" {
-					if serr := saveCheckpoint(c.CheckpointPath, fp, trial, src, res); serr != nil {
-						return Result{}, errors.Join(serr, err)
-					}
-				}
-				return Result{}, fmt.Errorf("faultsim: cancelled after %d/%d trials: %w",
-					trial, c.Trials, err)
+				return Result{}, run.cancelled(err)
 			}
 		}
-		var origin string
-		escaped := false
-		crossBefore := res.CrossNodeTransmissions
-		if len(commEdges) > 0 && rng.Float64() < c.CommFaultFraction {
-			// Communication fault: a message between a pair of FCMs is
-			// corrupted in transit; the receiving FCM becomes faulty.
-			e := commEdges[rng.IntN(len(commEdges))]
-			origin = e.To
-			res.CommFaultTrials++
-			if c.HWOf != nil && c.HWOf[e.From] != c.HWOf[e.To] {
-				// The corrupted message itself crossed a HW boundary.
-				res.CrossNodeTransmissions++
-				escaped = true
-			}
+		var err error
+		if remaining := (c.Trials - start + trialChunkSize - 1) / trialChunkSize; workers > remaining {
+			workers = remaining
+		}
+		if workers <= 1 {
+			err = run.serial(start)
 		} else {
-			origin = pick()
+			err = run.parallel(start, workers)
 		}
-		faulty := map[string]bool{origin: true}
-		frontier := []string{origin}
-		hops := 0
-		for len(frontier) > 0 && (c.MaxHops == 0 || hops < c.MaxHops) {
-			hops++
-			var next []string
-			for _, u := range frontier {
-				for _, e := range c.Graph.OutEdges(u) {
-					if e.Replica || e.Weight <= 0 {
-						continue
-					}
-					key := u + ">" + e.To
-					// The transmission draw happens whether or not the
-					// target is already faulty — conditioning the draw on
-					// target health would bias the per-edge estimate
-					// downward on convergent paths.
-					res.EdgeTrials[key]++
-					if rng.Float64() >= e.Weight {
-						continue
-					}
-					res.TransmissionCount[key]++
-					if faulty[e.To] {
-						continue
-					}
-					faulty[e.To] = true
-					next = append(next, e.To)
-					if c.HWOf != nil && c.HWOf[u] != c.HWOf[e.To] {
-						res.CrossNodeTransmissions++
-						escaped = true
-					}
-				}
-			}
-			frontier = next
-		}
-		res.TotalAffected += len(faulty)
-		if escaped {
-			res.TrialsWithEscape++
-		}
-		for n := range faulty {
-			res.AffectedCount[n]++
-			cv := critOf(n)
-			res.CriticalityLoss += cv
-			if c.CriticalThreshold > 0 && cv >= c.CriticalThreshold {
-				res.CriticalAffected++
-			}
-		}
-		if trialsCtr != nil {
-			trialsCtr.Inc()
-			if escaped {
-				escapesCtr.Inc()
-			}
-			crossCtr.Add(int64(res.CrossNodeTransmissions - crossBefore))
-		}
-		if (c.Span != nil || c.Metrics != nil) &&
-			((trial+1)%checkpointEvery == 0 || trial+1 == c.Trials) {
-			checkpoint(trial + 1)
-		}
-		done := trial + 1
-		if c.CheckpointPath != "" && (done%persistEvery == 0 || done == c.Trials) {
-			if err := saveCheckpoint(c.CheckpointPath, fp, done, src, res); err != nil {
-				return Result{}, err
-			}
-		}
-		if c.StopHalfWidth > 0 && done < c.Trials && done >= minStop && done%persistEvery == 0 {
-			rate := float64(res.TrialsWithEscape) / float64(done)
-			if waldHalfWidth(rate, done, z) <= c.StopHalfWidth {
-				res.Trials = done
-				res.EarlyStopped = true
-				if c.Span != nil {
-					c.Span.Event("early_stop",
-						obs.Int("trials_done", done),
-						obs.Float("escape_rate", rate),
-						obs.Float("half_width", waldHalfWidth(rate, done, z)))
-				}
-				if c.CheckpointPath != "" {
-					if err := saveCheckpoint(c.CheckpointPath, fp, done, src, res); err != nil {
-						return Result{}, err
-					}
-				}
-				break
-			}
+		if err != nil {
+			return Result{}, err
 		}
 	}
-	return res, nil
+	return run.res, nil
 }
 
 // HWFaultCampaign configures hardware-node failure injection: in each

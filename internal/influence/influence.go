@@ -24,6 +24,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // ErrProbRange marks a probability outside [0,1].
@@ -169,35 +172,168 @@ func Separation(p [][]float64, i, j, maxOrder int) (float64, error) {
 	return clamp01(1 - total), nil
 }
 
+// separationRow computes Eq. (3) for source row i against every target in
+// a single power-series sweep, writing the separations into out. The reach
+// recurrence of Separation depends only on the source row, so amortizing
+// it over all n targets is an O(n) algorithmic win per row; the per-target
+// accumulation order (order 1, then 2, …) matches Separation operation for
+// operation, so the results are bit-identical to the per-pair function.
+// reach and next are caller-provided scratch of length n.
+func separationRow(p [][]float64, i, maxOrder int, out, reach, next []float64) {
+	n := len(p)
+	copy(reach, p[i])
+	copy(out, reach)
+	for order := 2; order <= maxOrder; order++ {
+		for v := range next {
+			next[v] = 0
+		}
+		for k := 0; k < n; k++ {
+			if reach[k] == 0 {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				next[v] += reach[k] * p[k][v]
+			}
+		}
+		reach, next = next, reach
+		for v := 0; v < n; v++ {
+			out[v] += reach[v]
+		}
+	}
+	for v := 0; v < n; v++ {
+		out[v] = clamp01(1 - out[v])
+	}
+	out[i] = 0 // an FCM is never separated from itself
+}
+
 // SeparationMatrix computes the separation of every ordered pair over the
 // influence matrix, at the given truncation order.
 func SeparationMatrix(p [][]float64, maxOrder int) ([][]float64, error) {
 	return SeparationMatrixCtx(nil, p, maxOrder)
 }
 
-// SeparationMatrixCtx is SeparationMatrix with cooperative cancellation:
-// the O(n³·maxOrder) power-series sweep polls ctx once per source row and
-// returns ctx.Err() when it fires. A nil ctx disables the checks.
+// SeparationMatrixCtx is SeparationMatrix with cooperative cancellation,
+// sharding rows over GOMAXPROCS goroutines. The output is bit-identical
+// for every worker count (rows are independent; each is a deterministic
+// sweep). Use SeparationMatrixWorkers to pick the pool size explicitly.
 func SeparationMatrixCtx(ctx context.Context, p [][]float64, maxOrder int) ([][]float64, error) {
+	return SeparationMatrixWorkers(ctx, p, maxOrder, 0)
+}
+
+func sepRowErr(i, n int, err error) error {
+	return fmt.Errorf("influence: separation matrix row %d/%d: %w", i, n, err)
+}
+
+// SeparationMatrixWorkers computes the separation matrix with its
+// O(n³·maxOrder) power-series sweep chunked by row over a pool of workers
+// (0 = GOMAXPROCS). Every worker polls ctx once per row and the first
+// cancellation aborts the sweep with an error wrapping ctx.Err(). Row
+// outputs are disjoint and each row's arithmetic is independent of the
+// pool size, so the matrix is bit-identical for every worker count.
+func SeparationMatrixWorkers(ctx context.Context, p [][]float64, maxOrder, workers int) ([][]float64, error) {
 	n := len(p)
+	if maxOrder < 1 {
+		maxOrder = DefaultMaxOrder
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
 	out := make([][]float64, n)
 	backing := make([]float64, n*n)
 	for i := range out {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("influence: separation matrix row %d/%d: %w", i, n, err)
-			}
-		}
 		out[i] = backing[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			s, err := Separation(p, i, j, maxOrder)
-			if err != nil {
-				return nil, err
+	}
+	if workers <= 1 {
+		reach := make([]float64, n)
+		next := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, sepRowErr(i, n, err)
+				}
 			}
-			out[i][j] = s
+			separationRow(p, i, maxOrder, out[i], reach, next)
+		}
+		return out, nil
+	}
+	var (
+		nextRow atomic.Int64
+		failed  atomic.Bool
+		wg      sync.WaitGroup
+		errs    = make([]error, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			reach := make([]float64, n)
+			next := make([]float64, n)
+			for {
+				i := int(nextRow.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						errs[w] = sepRowErr(i, n, err)
+						failed.Store(true)
+						return
+					}
+				}
+				separationRow(p, i, maxOrder, out[i], reach, next)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// Separator answers repeated Eq. (3) queries against one influence matrix,
+// memoizing the power-series sweep per source row: the first query for any
+// (i, ·) pair computes and caches the whole separation row, so q queries
+// touching r distinct sources cost O(r·n²·maxOrder) instead of
+// O(q·n²·maxOrder). Safe for concurrent use.
+type Separator struct {
+	p        [][]float64
+	maxOrder int
+
+	mu   sync.Mutex
+	rows map[int][]float64
+}
+
+// NewSeparator prepares a memoizing separation oracle over p at the given
+// truncation order (maxOrder < 1 uses DefaultMaxOrder).
+func NewSeparator(p [][]float64, maxOrder int) *Separator {
+	if maxOrder < 1 {
+		maxOrder = DefaultMaxOrder
+	}
+	return &Separator{p: p, maxOrder: maxOrder, rows: map[int][]float64{}}
+}
+
+// Separation returns Eq. (3) for the ordered pair (i, j), bit-identical to
+// the package-level Separation at the same order.
+func (s *Separator) Separation(i, j int) (float64, error) {
+	n := len(s.p)
+	if i < 0 || i >= n || j < 0 || j >= n {
+		return 0, fmt.Errorf("influence: separation index out of range: (%d,%d) for n=%d", i, j, n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	row, ok := s.rows[i]
+	if !ok {
+		row = make([]float64, n)
+		separationRow(s.p, i, s.maxOrder, row, make([]float64, n), make([]float64, n))
+		s.rows[i] = row
+	}
+	return row[j], nil
 }
 
 // SpectralRadius estimates the spectral radius of the influence matrix by

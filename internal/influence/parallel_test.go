@@ -1,0 +1,126 @@
+package influence
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// testMatrix builds a deterministic dense-ish influence matrix: weights
+// derived from index arithmetic, with a sprinkle of exact zeros to
+// exercise the reach-vector skip.
+func testMatrix(n int) [][]float64 {
+	p := make([][]float64, n)
+	for i := range p {
+		p[i] = make([]float64, n)
+		for j := range p[i] {
+			if i == j || (i+2*j)%5 == 0 {
+				continue
+			}
+			p[i][j] = math.Mod(0.13*float64(i+1)+0.29*float64(j+1), 0.9)
+		}
+	}
+	return p
+}
+
+// TestSeparationMatrixWorkersBitIdentical: the row-parallel sweep must be
+// DeepEqual-identical for every worker count, and identical to the
+// per-pair Separation function it amortizes.
+func TestSeparationMatrixWorkersBitIdentical(t *testing.T) {
+	for _, n := range []int{1, 3, 17} {
+		p := testMatrix(n)
+		want, err := SeparationMatrixWorkers(nil, p, 6, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			got, err := SeparationMatrixWorkers(nil, p, 6, workers)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("n=%d workers=%d matrix differs from serial", n, workers)
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s, err := Separation(p, i, j, 6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s != want[i][j] {
+					t.Errorf("row kernel (%d,%d) = %v, per-pair Separation = %v", i, j, want[i][j], s)
+				}
+			}
+		}
+	}
+}
+
+// TestSeparationMatrixCtxDefaultsParallel: the ctx entry point shards over
+// GOMAXPROCS but must still match the explicit serial sweep.
+func TestSeparationMatrixCtxDefaultsParallel(t *testing.T) {
+	p := testMatrix(9)
+	want, err := SeparationMatrixWorkers(nil, p, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SeparationMatrixCtx(context.Background(), p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("SeparationMatrixCtx differs from serial sweep")
+	}
+}
+
+// TestSeparationMatrixWorkersCancelled: a dead context aborts the sweep
+// from every worker with the row-tagged error wrapping ctx.Err().
+func TestSeparationMatrixWorkersCancelled(t *testing.T) {
+	p := testMatrix(12)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if _, err := SeparationMatrixWorkers(ctx, p, 0, workers); !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestSeparatorMemoizedMatchesDirect: cached rows answer exactly like the
+// uncached functions, including under concurrent queries.
+func TestSeparatorMemoizedMatchesDirect(t *testing.T) {
+	p := testMatrix(11)
+	sep := NewSeparator(p, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range p {
+				for j := range p {
+					got, err := sep.Separation(i, j)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					want, err := Separation(p, i, j, DefaultMaxOrder)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if got != want {
+						t.Errorf("memoized (%d,%d) = %v, direct = %v", i, j, got, want)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if _, err := sep.Separation(-1, 0); err == nil {
+		t.Error("out-of-range query accepted")
+	}
+}

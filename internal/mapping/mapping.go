@@ -91,6 +91,10 @@ func placement(order []string, g *graph.Graph, p *hw.Platform, req Requirements)
 	used := map[string]bool{}
 	for _, cluster := range order {
 		needs := req.forCluster(cluster)
+		// Fix the float accumulation order of the cost sum below: summing
+		// over the assignment map directly lets map iteration perturb the
+		// last bits of equal costs, flipping tie-breaks between runs.
+		placed := asg.Clusters()
 		bestNode, bestCost, bestRes := "", 0.0, 0
 		for _, nodeName := range p.Nodes() {
 			if used[nodeName] {
@@ -111,12 +115,12 @@ func placement(order []string, g *graph.Graph, p *hw.Platform, req Requirements)
 				continue
 			}
 			cost := 0.0
-			for placed, placedNode := range asg {
-				m := g.MutualInfluence(cluster, placed)
+			for _, pc := range placed {
+				m := g.MutualInfluence(cluster, pc)
 				if m <= 0 {
 					continue
 				}
-				d, conn := p.Distance(nodeName, placedNode)
+				d, conn := p.Distance(nodeName, asg[pc])
 				if !conn {
 					d = float64(p.NumNodes()) // disconnected penalty
 				}

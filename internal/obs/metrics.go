@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -352,6 +353,9 @@ type MetricsServer struct {
 	srv  *http.Server
 	addr string
 	done chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -362,14 +366,37 @@ func (m *MetricsServer) Addr() string {
 	return m.addr
 }
 
-// Close shuts the server down.
+// Close shuts the server down immediately: the listener and any active
+// connections are closed and the serving goroutine has exited by the time
+// Close returns. Idempotent — concurrent and repeated calls all observe
+// the first call's result.
 func (m *MetricsServer) Close() error {
 	if m == nil {
 		return nil
 	}
-	err := m.srv.Close()
-	<-m.done
-	return err
+	m.closeOnce.Do(func() {
+		m.closeErr = m.srv.Close()
+		<-m.done
+	})
+	return m.closeErr
+}
+
+// Shutdown stops the server gracefully: in-flight scrapes may finish until
+// ctx expires, after which remaining connections are closed hard. Like
+// Close it waits for the serving goroutine to exit and is idempotent with
+// Close — whichever runs first wins.
+func (m *MetricsServer) Shutdown(ctx context.Context) error {
+	if m == nil {
+		return nil
+	}
+	m.closeOnce.Do(func() {
+		m.closeErr = m.srv.Shutdown(ctx)
+		if m.closeErr != nil {
+			_ = m.srv.Close() // deadline hit: drop the stragglers
+		}
+		<-m.done
+	})
+	return m.closeErr
 }
 
 // Serve starts an HTTP server on addr exposing the registry at /metrics

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -157,6 +158,64 @@ func TestMetricsHTTPServer(t *testing.T) {
 	}
 	if len(snap.Counters) != 1 || snap.Counters[0].Value != 7 {
 		t.Errorf("json endpoint: %+v", snap)
+	}
+}
+
+// TestMetricsServerCloseIdempotent: Close must be safe to call repeatedly
+// and from several goroutines at once — Finish and a context watcher may
+// both fire — all observing the first call's result.
+func TestMetricsServerCloseIdempotent(t *testing.T) {
+	r := NewRegistry()
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := srv.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := srv.Close(); got != first {
+				t.Errorf("repeat Close = %v, want first result %v", got, first)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := srv.Shutdown(context.Background()); err != first {
+		t.Errorf("Shutdown after Close = %v, want first result %v", err, first)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("listener still accepting after Close")
+	}
+}
+
+// TestMetricsServerShutdownGraceful: Shutdown with a live context stops the
+// listener and returns once the serving goroutine has exited.
+func TestMetricsServerShutdownGraceful(t *testing.T) {
+	r := NewRegistry()
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("listener still accepting after Shutdown")
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close after Shutdown = %v, want the first (nil) result", err)
+	}
+}
+
+// TestNilMetricsServer: the nil receiver (telemetry off) is inert.
+func TestNilMetricsServer(t *testing.T) {
+	var srv *MetricsServer
+	if srv.Addr() != "" || srv.Close() != nil || srv.Shutdown(context.Background()) != nil {
+		t.Error("nil MetricsServer is not inert")
 	}
 }
 

@@ -36,12 +36,13 @@ bench:
 	$(GO) test -run NONE -bench 'Integrate(Pipeline|NilObserver|WithObserver)$$' -benchtime 50x .
 
 # bench-json records the parallel-speedup curve — the worker-pool faultsim
-# and the row-parallel Eq. 3 kernel at widths 1/2/4/8 — as `go test -json`
-# events in BENCH_parallel.json, the artifact behind the README's
-# Performance table. Results are bit-identical at every width; only the
-# ns/op column moves with the core count of the runner.
+# and the row-parallel Eq. 3 kernel at widths 1/2/4/8, plus the adversarial
+# scenario search that shards its evaluations over the same pool — as
+# `go test -json` events in BENCH_parallel.json, the artifact behind the
+# README's Performance table. Results are bit-identical at every width;
+# only the ns/op column moves with the core count of the runner.
 bench-json:
-	$(GO) test -run NONE -bench '(Campaign|Separation)Parallel$$' -benchtime 3x -json . > BENCH_parallel.json
+	$(GO) test -run NONE -bench '((Campaign|Separation)Parallel|AdversarialSearch)$$' -benchtime 3x -json . > BENCH_parallel.json
 
 # fuzz-smoke gives each native fuzz target a short budget (FUZZTIME,
 # default 30s) — enough to catch shallow regressions in the decoder and
@@ -49,3 +50,4 @@ bench-json:
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz 'FuzzDecodeSystem$$' -fuzztime $(FUZZTIME) ./internal/spec
 	$(GO) test -run NONE -fuzz 'FuzzIntegrate$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run NONE -fuzz 'FuzzFaultModel$$' -fuzztime $(FUZZTIME) ./internal/faultsim

@@ -450,6 +450,42 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkAdversarialSearch measures the worst-case scenario search —
+// the new hot path layered on the worker pool: each hill-climb evaluation
+// is a full campaign sharded across the given width, so the curve tracks
+// BenchmarkCampaignParallel with the climb's bookkeeping on top. The
+// found worst case is bit-identical at every width.
+func BenchmarkAdversarialSearch(b *testing.B) {
+	sys, err := experiments.Synthesize(experiments.SynthConfig{
+		Processes: 48, EdgesPerNode: 2.5, ReplicatedFraction: 0.25,
+		Seed: 4242, HWNodes: 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := Integrate(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%d", workers), func(b *testing.B) {
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				sr, err := faultsim.Search(faultsim.SearchConfig{
+					Graph: res.Expanded, HWOf: res.HWOf(),
+					Trials: 2000, Seed: 7, CriticalThreshold: 10,
+					Workers: workers, MaxEvals: 12,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				worst = sr.Best.Score
+			}
+			b.ReportMetric(worst, "worst-weighted-escape")
+		})
+	}
+}
+
 // BenchmarkSeparationParallel measures the row-parallel Eq. 3 kernel at
 // the same widths over the expanded 48-process influence matrix.
 func BenchmarkSeparationParallel(b *testing.B) {

@@ -5,8 +5,19 @@
 // Usage:
 //
 //	faultsim [-spec system.json] [-trials N] [-seed S] [-timeout 2m]
+//	         [-fault-model single|correlated|burst|transient] [-burst K]
+//	         [-persist P] [-search N]
 //	         [-checkpoint path] [-checkpoint-every N] [-resume] [-workers N]
 //	         [-trace out.json] [-log-level info] [-metrics-addr :9090]
+//
+// -fault-model selects how each trial's initial fault set is drawn:
+// "single" (the paper's model, default), "correlated" (every FCM on one
+// HW node faults together), "burst" (-burst simultaneous faults) or
+// "transient" (faults recover with probability 1 - -persist before
+// propagating). -search N additionally hill-climbs over adversarial
+// scenarios (seed node × model × burst size, at most N evaluations of
+// -trials trials each) and reports the worst-case criticality-weighted
+// escape rate per strategy.
 //
 // With telemetry enabled each strategy's campaign records a span with
 // checkpoint events every 10% of trials (running escape-rate estimates)
@@ -50,6 +61,10 @@ func run(args []string, stdout io.Writer) (err error) {
 	trials := fs.Int("trials", 50000, "injection trials per strategy")
 	seed := fs.Uint64("seed", 7, "campaign seed")
 	comm := fs.Float64("comm", 0, "fraction of trials injecting communication faults (0..1)")
+	modelName := fs.String("fault-model", "single", "fault model: single, correlated, burst or transient")
+	burst := fs.Int("burst", 2, "simultaneous initial faults for -fault-model burst")
+	persist := fs.Float64("persist", 0.5, "probability a fault is permanent for -fault-model transient")
+	search := fs.Int("search", 0, "run an adversarial scenario search with at most N evaluations (0 = off)")
 	ckpt := fs.String("checkpoint", "", "persist campaign state to <path>.<strategy> for crash-safe resume")
 	ckptEvery := fs.Int("checkpoint-every", 0, "trials between checkpoint writes (default trials/10)")
 	resume := fs.Bool("resume", false, "resume campaigns from their -checkpoint files when present")
@@ -61,6 +76,10 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 	if *resume && *ckpt == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	model, err := faultsim.ModelByName(*modelName, *burst, *persist)
+	if err != nil {
+		return err
 	}
 	ctx, stop := cli.RunContext(*timeout)
 	defer stop()
@@ -89,8 +108,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 	}
 
-	fmt.Fprintf(stdout, "fault injection: system=%s trials=%d seed=%d comm-fraction=%g\n\n",
-		sys.Name, *trials, *seed, *comm)
+	fmt.Fprintf(stdout, "fault injection: system=%s trials=%d seed=%d comm-fraction=%g model=%s\n\n",
+		sys.Name, *trials, *seed, *comm, model.Name())
 	fmt.Fprintln(stdout, "strategy      escape-rate  mean-affected  mean-crit-loss  cross-transmissions")
 	for _, s := range []depint.Strategy{
 		depint.H1, depint.H1PairAll, depint.H2, depint.H3,
@@ -114,6 +133,7 @@ func run(args []string, stdout io.Writer) (err error) {
 			Seed:              *seed,
 			CriticalThreshold: 10,
 			CommFaultFraction: *comm,
+			Model:             model,
 			Workers:           *workers,
 			Span:              span,
 			Metrics:           observer.Metrics(),
@@ -132,6 +152,28 @@ func run(args []string, stdout io.Writer) (err error) {
 		fmt.Fprintf(stdout, "%-12s  %11.4f  %13.3f  %14.3f  %19d\n",
 			s, fi.EscapeRate(), fi.MeanAffected(), fi.MeanCriticalityLoss(),
 			fi.CrossNodeTransmissions)
+		if *search > 0 {
+			span := observer.StartSpan("adversarial_search",
+				obs.String("strategy", s.String()), obs.Int("max_evals", *search))
+			sr, err := faultsim.Search(faultsim.SearchConfig{
+				Graph:             res.Expanded,
+				HWOf:              res.HWOf(),
+				Trials:            *trials,
+				Seed:              *seed,
+				Workers:           *workers,
+				MaxEvals:          *search,
+				CriticalThreshold: 10,
+				Span:              span,
+				Metrics:           observer.Metrics(),
+				Ctx:               ctx,
+			})
+			span.End()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "  worst case: %s  weighted-escape=%.4f  (%d evaluations)\n",
+				sr.Best.Scenario, sr.Best.Score, len(sr.Evaluations))
+		}
 	}
 	return nil
 }

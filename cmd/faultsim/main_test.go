@@ -33,3 +33,40 @@ func TestRunBadSpecPath(t *testing.T) {
 		t.Error("missing spec accepted")
 	}
 }
+
+func TestRunFaultModelFlag(t *testing.T) {
+	for _, args := range [][]string{
+		{"-trials", "500", "-fault-model", "correlated"},
+		{"-trials", "500", "-fault-model", "burst", "-burst", "3"},
+		{"-trials", "500", "-fault-model", "transient", "-persist", "0.25"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if !strings.Contains(out.String(), "model="+args[3]) {
+			t.Errorf("%v: output missing model name:\n%s", args, out.String())
+		}
+	}
+}
+
+func TestRunBadFaultModel(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fault-model", "cosmic-ray"}, &out); err == nil {
+		t.Error("unknown fault model accepted")
+	}
+	if err := run([]string{"-fault-model", "transient", "-persist", "1.5"}, &out); err == nil {
+		t.Error("out-of-range persistence accepted")
+	}
+}
+
+func TestRunAdversarialSearchFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-trials", "300", "-search", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "worst case:") ||
+		!strings.Contains(out.String(), "weighted-escape=") {
+		t.Errorf("output missing adversarial search summary:\n%s", out.String())
+	}
+}

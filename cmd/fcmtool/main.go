@@ -7,8 +7,15 @@
 //	fcmtool [-spec system.json] [-strategy h1|h1pair|h2|h2st|h3|crit|timing|sep]
 //	        [-fallback h2,h3] [-race-strategies] [-workers N]
 //	        [-approach importance|lex|fcr] [-refine N] [-compare] [-json]
+//	        [-perturb 0.01,0.05,0.1] [-perturb-samples N] [-perturb-trials N]
 //	        [-dot initial|expanded|condensed] [-emit-example] [-v]
 //	        [-trace out.json] [-log-level debug] [-metrics-addr :9090]
+//
+// -perturb certifies the robustness of the integration: the listed ±ε
+// relative bands are applied to every criticality and influence weight,
+// the pipeline is re-run over the perturbation ensemble, and the tool
+// prints the placement-stability fraction per ε, the worst-case drift of
+// the containment metrics, and the most sensitive spec parameters.
 //
 // -fallback names strategies tried in order when -strategy fails;
 // -race-strategies runs the whole chain concurrently instead, first
@@ -27,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro"
@@ -58,6 +66,9 @@ func run(args []string, stdout io.Writer) (err error) {
 	dot := fs.String("dot", "", "write the influence graph in Graphviz DOT to stdout: initial, expanded, condensed")
 	jsonOut := fs.Bool("json", false, "emit the integration result as JSON (includes telemetry when enabled)")
 	race := fs.Bool("race-strategies", false, "race the -strategy/fallback heuristics concurrently; first acceptable result wins")
+	perturb := fs.String("perturb", "", "comma-separated relative perturbation half-widths; certify placement stability and print the certificate")
+	perturbSamples := fs.Int("perturb-samples", 20, "perturbation-ensemble size per epsilon for -perturb")
+	perturbTrials := fs.Int("perturb-trials", 2000, "fault-injection trials per -perturb evaluation")
 	workers := cli.RegisterWorkers(fs)
 	timeout := cli.RegisterTimeout(fs)
 	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
@@ -166,6 +177,9 @@ func run(args []string, stdout io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
+	if *perturb != "" && (*dot != "" || *jsonOut) {
+		return fmt.Errorf("-perturb prints a text certificate; it cannot combine with -dot or -json")
+	}
 	if *dot != "" {
 		var target *graph.Graph
 		switch strings.ToLower(*dot) {
@@ -188,7 +202,55 @@ func run(args []string, stdout io.Writer) (err error) {
 		res.Trace = nil
 	}
 	fmt.Fprint(stdout, res.Summary())
+	if *perturb != "" {
+		eps := []float64{0}
+		for _, tok := range strings.Split(*perturb, ",") {
+			e, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				return fmt.Errorf("bad -perturb value %q: %w", tok, err)
+			}
+			eps = append(eps, e)
+		}
+		cert, err := depint.CertifyRobustness(sys, depint.RobustnessConfig{
+			Epsilons: eps,
+			Samples:  *perturbSamples,
+			Trials:   *perturbTrials,
+			Seed:     7,
+			Options:  opts,
+			Ctx:      ctx,
+		})
+		if err != nil {
+			return err
+		}
+		writeCertificate(stdout, cert)
+	}
 	return nil
+}
+
+// writeCertificate renders the robustness certificate as a terminal table.
+func writeCertificate(w io.Writer, cert *depint.Certificate) {
+	fmt.Fprintf(w, "\nRobustness certificate (samples=%d, seed=%d, %d evaluations)\n",
+		cert.Samples, cert.Seed, cert.Evaluations)
+	fmt.Fprintf(w, "baseline: escape-rate=%.4f cross-influence=%.3f\n",
+		cert.Baseline.EscapeRate, cert.Baseline.CrossInfluence)
+	fmt.Fprintln(w, "epsilon  stable-fraction  worst-escape-delta  worst-influence-delta  errors")
+	for _, l := range cert.Levels {
+		fmt.Fprintf(w, "%7.3f  %15.3f  %18.4f  %21.4f  %6d\n",
+			l.Epsilon, l.StableFraction, l.WorstEscapeDelta, l.WorstInfluenceDelta, l.Errors)
+	}
+	if len(cert.Sensitivities) > 0 {
+		fmt.Fprintln(w, "most sensitive parameters:")
+		for i, s := range cert.Sensitivities {
+			if i >= 5 {
+				break
+			}
+			flag := ""
+			if s.Flipped {
+				flag = "  [placement flips]"
+			}
+			fmt.Fprintf(w, "  %-24s escape-delta=%.4f%s\n", s.Parameter, s.EscapeDelta, flag)
+		}
+	}
 }
 
 // resultJSON is the -json output shape: the machine-readable core of the

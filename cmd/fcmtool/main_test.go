@@ -75,3 +75,32 @@ func TestRunErrors(t *testing.T) {
 		t.Error("missing spec file accepted")
 	}
 }
+
+func TestRunPerturbCertificate(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-perturb", "0.05", "-perturb-samples", "3", "-perturb-trials", "100"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Robustness certificate", "stable-fraction", "0.000", "0.050",
+		"most sensitive parameters:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("certificate output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunPerturbErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-perturb", "nope"}, &out); err == nil {
+		t.Error("unparseable -perturb accepted")
+	}
+	if err := run([]string{"-perturb", "0.05", "-json"}, &out); err == nil {
+		t.Error("-perturb with -json accepted")
+	}
+	if err := run([]string{"-perturb", "0.05", "-dot", "initial"}, &out); err == nil {
+		t.Error("-perturb with -dot accepted")
+	}
+}

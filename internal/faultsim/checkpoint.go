@@ -52,6 +52,9 @@ func (c Campaign) fingerprint() string {
 	ws(strconv.Itoa(c.MaxHops))
 	wf(c.CriticalThreshold)
 	wf(c.CommFaultFraction)
+	// The fault model is part of the campaign identity: a resume under a
+	// different model (or different model parameters) must be rejected.
+	c.model().fingerprint(ws, wf)
 	for _, n := range c.Graph.Nodes() {
 		ws(n)
 		ws(c.HWOf[n])

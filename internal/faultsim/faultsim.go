@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"runtime"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/attrs"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/stage"
 )
 
 // Errors returned by campaign configuration.
@@ -74,8 +76,18 @@ type Campaign struct {
 	// second half of the paper's fault model ("faults occur in single
 	// FCMs, or in communication between a pair of FCMs"). A corrupted
 	// communication makes the edge's target faulty directly; propagation
-	// continues from there. 0 means all faults originate in FCMs.
+	// continues from there. 0 means all faults originate in FCMs. Only
+	// the SingleFault and Transient models honour it.
 	CommFaultFraction float64
+	// Model selects how the initial fault set of each trial is drawn:
+	// SingleFault (the default when nil), Correlated (common-mode — every
+	// FCM on one HW node faults together), Burst(k) (k simultaneous
+	// independent faults) or Transient(p) (faults recover with
+	// probability 1-p before propagating onward). Every model draws from
+	// the trial's private substream, so results stay bit-identical across
+	// worker counts and checkpoint/resume; the model identity is part of
+	// the checkpoint fingerprint.
+	Model FaultModel
 	// Span, when set, receives a "checkpoint" event at every 10% of the
 	// campaign with the running containment estimates — the convergence
 	// trail of the paper's measurement loop — plus one child span per
@@ -136,6 +148,18 @@ type Result struct {
 	// CommFaultTrials counts trials whose initial fault was injected into
 	// a communication edge rather than an FCM.
 	CommFaultTrials int
+	// InitialFaults is the total number of initially injected faults over
+	// all trials — Trials under the single-fault model, more under
+	// Correlated and Burst.
+	InitialFaults int
+	// TransientFaults counts faults that recovered before propagating
+	// (only the Transient model produces them).
+	TransientFaults int
+	// EscapedCriticalityLoss sums, over all trials, the criticality of
+	// FCMs whose infection chain crossed a HW-node boundary at any point
+	// — the criticality-weighted containment-failure mass the
+	// adversarial search maximises.
+	EscapedCriticalityLoss float64
 	// CriticalAffected counts affected critical FCMs over all trials.
 	CriticalAffected int
 	// CriticalityLoss sums the criticality of affected FCMs over trials.
@@ -177,6 +201,17 @@ func (r Result) MeanCriticalityLoss() float64 {
 		return 0
 	}
 	return r.CriticalityLoss / float64(r.Trials)
+}
+
+// CriticalityWeightedEscapeRate returns the average per-trial criticality
+// mass that escaped its injection HW node — the §5.3 containment
+// criterion weighted by what the escape actually endangers. This is the
+// objective the adversarial Search maximises.
+func (r Result) CriticalityWeightedEscapeRate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return r.EscapedCriticalityLoss / float64(r.Trials)
 }
 
 // EstimatedInfluence returns the empirically measured transmission
@@ -222,7 +257,10 @@ type chunkResult struct {
 	trialsWithEscape   int
 	commFaultTrials    int
 	criticalAffected   int
+	initialFaults      int
+	transientFaults    int
 	critPerTrial       []float64
+	escPerTrial        []float64
 	affectedCount      map[string]int
 	transmissionCount  map[string]int
 	edgeTrials         map[string]int
@@ -239,6 +277,7 @@ func newChunkResult() *chunkResult {
 func (ch *chunkResult) reset() {
 	*ch = chunkResult{
 		critPerTrial:      ch.critPerTrial[:0],
+		escPerTrial:       ch.escPerTrial[:0],
 		affectedCount:     map[string]int{},
 		transmissionCount: map[string]int{},
 		edgeTrials:        map[string]int{},
@@ -252,8 +291,13 @@ func (r *Result) absorb(ch *chunkResult) {
 	r.TrialsWithEscape += ch.trialsWithEscape
 	r.CommFaultTrials += ch.commFaultTrials
 	r.CriticalAffected += ch.criticalAffected
+	r.InitialFaults += ch.initialFaults
+	r.TransientFaults += ch.transientFaults
 	for _, loss := range ch.critPerTrial {
 		r.CriticalityLoss += loss
+	}
+	for _, loss := range ch.escPerTrial {
+		r.EscapedCriticalityLoss += loss
 	}
 	for k, v := range ch.affectedCount {
 		r.AffectedCount[k] += v
@@ -282,6 +326,8 @@ type campaignEnv struct {
 	maxHops       int
 	commFrac      float64
 	critThreshold float64
+	model         FaultModel
+	persist       float64
 }
 
 func newCampaignEnv(c *Campaign) *campaignEnv {
@@ -294,7 +340,9 @@ func newCampaignEnv(c *Campaign) *campaignEnv {
 		maxHops:       c.MaxHops,
 		commFrac:      c.CommFaultFraction,
 		critThreshold: c.CriticalThreshold,
+		model:         c.model(),
 	}
+	env.persist = env.model.persist()
 	for _, n := range env.nodes {
 		env.crit[n] = c.Graph.Attrs(n).Value(attrs.Criticality)
 		var live []graph.Edge
@@ -371,32 +419,56 @@ func (env *campaignEnv) runChunk(ctx context.Context, pcg *rand.PCG, rng *rand.R
 }
 
 func (env *campaignEnv) runTrial(rng *rand.Rand, ch *chunkResult) {
-	var origin string
-	escaped := false
-	if len(env.commEdges) > 0 && rng.Float64() < env.commFrac {
-		// Communication fault: a message between a pair of FCMs is
-		// corrupted in transit; the receiving FCM becomes faulty.
-		e := env.commEdges[rng.IntN(len(env.commEdges))]
-		origin = e.To
+	// The fault model draws the initial fault set; propagation below is
+	// shared by every model. All draws come from the trial's private
+	// substream in a fixed order, so the trial is a pure function of
+	// (Seed, trial index) under every model.
+	var t trialState
+	env.model.inject(env, rng, &t)
+	if t.commFault {
 		ch.commFaultTrials++
-		if env.hwOf != nil && env.hwOf[e.From] != env.hwOf[e.To] {
-			// The corrupted message itself crossed a HW boundary.
-			ch.crossTransmissions++
-			escaped = true
-		}
-	} else {
-		origin = env.pick(rng)
 	}
-	faulty := map[string]bool{origin: true}
+	escaped := false
+	if t.commCrossed {
+		// The corrupted message itself crossed a HW boundary.
+		ch.crossTransmissions++
+		escaped = true
+	}
+	ch.initialFaults += len(t.origins)
+
+	faulty := make(map[string]bool, len(t.origins))
 	// order records affected nodes in discovery order so the criticality
-	// sum below never depends on map iteration.
-	order := []string{origin}
-	frontier := []string{origin}
+	// sums below never depend on map iteration; viaCross marks nodes
+	// whose fault arrived over a HW boundary for escaped-loss accounting.
+	var order []string
+	var frontier []string
+	viaCross := map[string]bool{}
+	// admit marks one newly faulty FCM. Under a transient model the
+	// permanence draw happens at discovery, in frontier order; a
+	// transient fault affects its FCM but never joins the frontier.
+	admit := func(n string, crossed bool) {
+		faulty[n] = true
+		order = append(order, n)
+		if crossed {
+			viaCross[n] = true
+		}
+		if env.persist < 1 && rng.Float64() >= env.persist {
+			ch.transientFaults++
+			return
+		}
+		frontier = append(frontier, n)
+	}
+	for _, o := range t.origins {
+		if faulty[o.node] {
+			continue
+		}
+		admit(o.node, o.viaCross)
+	}
 	hops := 0
 	for len(frontier) > 0 && (env.maxHops == 0 || hops < env.maxHops) {
 		hops++
-		var next []string
-		for _, u := range frontier {
+		boundary := len(frontier)
+		for _, u := range frontier[:boundary] {
 			for _, e := range env.out[u] {
 				key := u + ">" + e.To
 				// The transmission draw happens whether or not the
@@ -411,31 +483,37 @@ func (env *campaignEnv) runTrial(rng *rand.Rand, ch *chunkResult) {
 				if faulty[e.To] {
 					continue
 				}
-				faulty[e.To] = true
-				order = append(order, e.To)
-				next = append(next, e.To)
-				if env.hwOf != nil && env.hwOf[u] != env.hwOf[e.To] {
+				crossed := env.hwOf != nil && env.hwOf[u] != env.hwOf[e.To]
+				if crossed {
 					ch.crossTransmissions++
 					escaped = true
 				}
+				// The escape taint is sticky: once an infection chain has
+				// crossed a HW boundary, everything it infects downstream
+				// is containment-failure damage too.
+				admit(e.To, crossed || viaCross[u])
 			}
 		}
-		frontier = next
+		frontier = frontier[boundary:]
 	}
 	ch.totalAffected += len(order)
 	if escaped {
 		ch.trialsWithEscape++
 	}
-	loss := 0.0
+	loss, escLoss := 0.0, 0.0
 	for _, n := range order {
 		ch.affectedCount[n]++
 		cv := env.crit[n]
 		loss += cv
+		if viaCross[n] {
+			escLoss += cv
+		}
 		if env.critThreshold > 0 && cv >= env.critThreshold {
 			ch.criticalAffected++
 		}
 	}
 	ch.critPerTrial = append(ch.critPerTrial, loss)
+	ch.escPerTrial = append(ch.escPerTrial, escLoss)
 }
 
 // chunkEnd returns the end of the chunk beginning at b: the next absolute
@@ -674,16 +752,65 @@ func (r *campaignRun) parallel(start, workers int) error {
 	return nil
 }
 
-// Run executes the campaign.
-func Run(c Campaign) (Result, error) {
+// model returns the configured fault model, defaulting to SingleFault.
+func (c Campaign) model() FaultModel {
+	if c.Model == nil {
+		return SingleFault()
+	}
+	return c.Model
+}
+
+// validProb reports whether p is a finite probability.
+func validProb(p float64) bool { return p >= 0 && p <= 1 && !math.IsNaN(p) }
+
+// validate checks the campaign configuration — trial count, graph, every
+// injected probability (edge weights, occurrence weights, the comm-fault
+// fraction) and the fault-model parameters — once at campaign start.
+// Failures come back classified under the taxonomy's "inject" stage, so
+// callers route them like any other pipeline error. This closes the old
+// asymmetry where RunHW range-checked FailureProb but Run silently
+// accepted out-of-band per-factor probabilities.
+func (c Campaign) validate() error {
+	wrap := func(node string, err error) error {
+		return stage.Wrap("inject", c.model().Name(), node, err)
+	}
 	if c.Trials <= 0 {
-		return Result{}, fmt.Errorf("%w: %d", ErrNoTrials, c.Trials)
+		return wrap("", fmt.Errorf("%w: %d", ErrNoTrials, c.Trials))
 	}
 	if c.Graph == nil || c.Graph.NumNodes() == 0 {
-		return Result{}, ErrNoNodes
+		return wrap("", ErrNoNodes)
 	}
-	if c.CommFaultFraction < 0 || c.CommFaultFraction > 1 {
-		return Result{}, fmt.Errorf("faultsim: comm fault fraction %g out of range", c.CommFaultFraction)
+	if !validProb(c.CommFaultFraction) {
+		return wrap("", fmt.Errorf("%w: comm fault fraction %g out of range",
+			ErrBadProbability, c.CommFaultFraction))
+	}
+	for _, e := range c.Graph.Edges() {
+		if e.Replica {
+			continue
+		}
+		if !validProb(e.Weight) {
+			return wrap(e.From, fmt.Errorf("%w: influence %s>%s has weight %g",
+				ErrBadProbability, e.From, e.To, e.Weight))
+		}
+	}
+	if c.OccurrenceWeights != nil {
+		for _, n := range c.Graph.Nodes() {
+			if w := c.OccurrenceWeights[n]; w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return wrap(n, fmt.Errorf("%w: occurrence weight %g for %q",
+					ErrBadProbability, w, n))
+			}
+		}
+	}
+	if err := c.model().validate(); err != nil {
+		return wrap("", err)
+	}
+	return nil
+}
+
+// Run executes the campaign.
+func Run(c Campaign) (Result, error) {
+	if err := c.validate(); err != nil {
+		return Result{}, err
 	}
 	workers := c.Workers
 	if workers <= 0 {

@@ -1,0 +1,93 @@
+package faultsim
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/attrs"
+	"repro/internal/graph"
+)
+
+// FuzzFaultModel throws random model selectors, boundary and non-finite
+// probabilities at the campaign entry point. Whatever the inputs, Run
+// must either reject them with a classified validation error or return a
+// finite, internally consistent, deterministic Result — never panic, and
+// never let a NaN leak into the estimators.
+func FuzzFaultModel(f *testing.F) {
+	f.Add("single", 1, 1.0, 0.0, 1.0, uint64(7))
+	f.Add("correlated", 0, 0.5, 0.3, 0.6, uint64(1))
+	f.Add("burst", 3, 1.0, 0.0, 0.9, uint64(42))
+	f.Add("transient", 2, 0.25, 1.0, 0.0, uint64(99))
+	f.Add("burst", -1, math.NaN(), math.Inf(1), math.NaN(), uint64(0))
+	f.Add("transient", 0, math.Inf(-1), -0.5, 2.0, uint64(3))
+	f.Fuzz(func(t *testing.T, name string, k int, persist, comm, weight float64, seed uint64) {
+		model, err := ModelByName(name, k, persist)
+		if err != nil {
+			if !errors.Is(err, ErrBadModel) {
+				t.Fatalf("ModelByName(%q,%d,%g): unclassified error %v", name, k, persist, err)
+			}
+			return
+		}
+		g := graph.New()
+		crits := map[string]float64{"a": 12, "b": 3, "c": 7, "d": 1}
+		for _, n := range []string{"a", "b", "c", "d"} {
+			if err := g.AddNode(n, attrs.New(map[attrs.Kind]float64{attrs.Criticality: crits[n]})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, e := range []struct {
+			from, to string
+			w        float64
+		}{{"a", "b", 0.6}, {"b", "c", weight}, {"c", "d", 0.5}, {"d", "a", 0.3}} {
+			if err := g.SetEdge(e.from, e.to, e.w); err != nil {
+				// Out-of-range weights the graph already rejects are fine;
+				// what must not happen is a weight both layers accept that
+				// then poisons the campaign (NaN slips through SetEdge).
+				continue
+			}
+		}
+		c := Campaign{
+			Graph:             g,
+			HWOf:              map[string]string{"a": "h1", "b": "h1", "c": "h2", "d": "h2"},
+			Trials:            64,
+			Seed:              seed,
+			CommFaultFraction: comm,
+			CriticalThreshold: 10,
+			Model:             model,
+		}
+		res, err := Run(c)
+		if err != nil {
+			if !errors.Is(err, ErrBadProbability) && !errors.Is(err, ErrBadModel) {
+				t.Fatalf("unclassified campaign error: %v", err)
+			}
+			return
+		}
+		if res.Trials != c.Trials {
+			t.Fatalf("Trials = %d, want %d", res.Trials, c.Trials)
+		}
+		if res.InitialFaults < res.Trials {
+			t.Fatalf("InitialFaults = %d < Trials %d", res.InitialFaults, res.Trials)
+		}
+		if r := res.EscapeRate(); r < 0 || r > 1 || math.IsNaN(r) {
+			t.Fatalf("EscapeRate = %g out of range", r)
+		}
+		for _, v := range []float64{res.CriticalityLoss, res.EscapedCriticalityLoss, res.CriticalityWeightedEscapeRate()} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("non-finite or negative estimator in %+v", res)
+			}
+		}
+		if res.EscapedCriticalityLoss > res.CriticalityLoss {
+			t.Fatalf("escaped loss %g exceeds total loss %g",
+				res.EscapedCriticalityLoss, res.CriticalityLoss)
+		}
+		again, err := Run(c)
+		if err != nil {
+			t.Fatalf("second run errored: %v", err)
+		}
+		if !reflect.DeepEqual(res, again) {
+			t.Fatal("same campaign, different Result — determinism broken")
+		}
+	})
+}

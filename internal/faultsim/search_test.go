@@ -1,0 +1,166 @@
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func searchConfig(g *graph.Graph, hw map[string]string, path string) SearchConfig {
+	return SearchConfig{
+		Graph:             g,
+		HWOf:              hw,
+		Trials:            400,
+		Seed:              77,
+		CriticalThreshold: 10,
+		CheckpointPath:    path,
+	}
+}
+
+// TestSearchFindsWorstCase: the best evaluation must dominate every other
+// evaluation, appear in the log, and — with an ample budget on the tiny
+// web graph — the climb must converge rather than exhaust.
+func TestSearchFindsWorstCase(t *testing.T) {
+	g, hw := web(t)
+	res, err := Search(searchConfig(g, hw, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evaluations) == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+	if res.Exhausted {
+		t.Error("search exhausted its budget on a 4-node graph")
+	}
+	found := false
+	for _, ev := range res.Evaluations {
+		if ev.Score > res.Best.Score {
+			t.Errorf("evaluation %s (%.4f) beats reported best %s (%.4f)",
+				ev.Scenario, ev.Score, res.Best.Scenario, res.Best.Score)
+		}
+		if reflect.DeepEqual(ev, res.Best) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("best evaluation missing from the evaluation log")
+	}
+}
+
+// TestSearchDeterministicAcrossWorkers: every scenario is scored under a
+// seed derived from the scenario itself, so the whole SearchResult —
+// trajectory included — must be DeepEqual-identical for every worker
+// count.
+func TestSearchDeterministicAcrossWorkers(t *testing.T) {
+	g, hw := web(t)
+	mk := func(workers int) SearchConfig {
+		cfg := searchConfig(g, hw, "")
+		cfg.Workers = workers
+		return cfg
+	}
+	want, err := Search(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		got, err := Search(mk(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d search result differs from serial", workers)
+		}
+	}
+}
+
+// TestSearchKillAndResume: a search cancelled between evaluations and
+// resumed from its checkpoint must replay the recorded scores and finish
+// with a SearchResult bit-identical to an uninterrupted run.
+func TestSearchKillAndResume(t *testing.T) {
+	g, hw := web(t)
+	want, err := Search(searchConfig(g, hw, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Evaluations) < 3 {
+		t.Fatalf("reference search too short (%d evaluations) to interrupt meaningfully",
+			len(want.Evaluations))
+	}
+
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	killed := searchConfig(g, hw, path)
+	// The campaigns poll the context once per chunk, the search once per
+	// evaluation; a few hundred polls lands the kill mid-search.
+	killed.Ctx = newCancelAfter(3 * killed.Trials / 64)
+	if _, err := Search(killed); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted search err = %v, want context.Canceled", err)
+	}
+
+	resumed := searchConfig(g, hw, path)
+	resumed.Resume = true
+	resumed.Workers = 4 // resume under a different pool width too
+	got, err := Search(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("kill-and-resume search differs from uninterrupted run:\n got best %s=%.4f (%d evals)\nwant best %s=%.4f (%d evals)",
+			got.Best.Scenario, got.Best.Score, len(got.Evaluations),
+			want.Best.Scenario, want.Best.Score, len(want.Evaluations))
+	}
+}
+
+// TestSearchCheckpointMismatch: a checkpoint from a search with a
+// different per-evaluation trial budget scores scenarios differently, so
+// resuming from it must be rejected.
+func TestSearchCheckpointMismatch(t *testing.T) {
+	g, hw := web(t)
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	first := searchConfig(g, hw, path)
+	if _, err := Search(first); err != nil {
+		t.Fatal(err)
+	}
+	second := searchConfig(g, hw, path)
+	second.Trials = first.Trials * 2
+	second.Resume = true
+	if _, err := Search(second); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("resume with different trials err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+// TestSearchBudgetExhaustion: a one-evaluation budget stops the climb
+// immediately after the start scenario and reports exhaustion.
+func TestSearchBudgetExhaustion(t *testing.T) {
+	g, hw := web(t)
+	cfg := searchConfig(g, hw, "")
+	cfg.MaxEvals = 1
+	res, err := Search(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Error("MaxEvals=1 search did not report exhaustion")
+	}
+	if len(res.Evaluations) != 1 {
+		t.Errorf("evaluations = %d, want 1", len(res.Evaluations))
+	}
+}
+
+// TestSearchValidation mirrors the campaign validation: bad budgets and
+// empty graphs are classified errors, not panics.
+func TestSearchValidation(t *testing.T) {
+	g, hw := web(t)
+	cfg := searchConfig(g, hw, "")
+	cfg.Trials = 0
+	if _, err := Search(cfg); !errors.Is(err, ErrNoTrials) {
+		t.Errorf("zero trials err = %v, want ErrNoTrials", err)
+	}
+	cfg = searchConfig(nil, nil, "")
+	if _, err := Search(cfg); !errors.Is(err, ErrSearchSpaceEmpty) {
+		t.Errorf("nil graph err = %v, want ErrSearchSpaceEmpty", err)
+	}
+}

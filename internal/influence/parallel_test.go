@@ -124,3 +124,52 @@ func TestSeparatorMemoizedMatchesDirect(t *testing.T) {
 		t.Error("out-of-range query accepted")
 	}
 }
+
+// TestSeparatorFirstTouchContention hammers the row cache at its weakest
+// point: many goroutines querying the same never-cached row at once, so
+// every one of them races to fill the cache entry. Without the
+// Separator's mutex this is a guaranteed -race report (concurrent map
+// write) and a possible torn read; with it, every caller must see the
+// same bit-identical value. One extra goroutine interleaves queries to
+// other rows to keep the map mutating while the hot row is read.
+func TestSeparatorFirstTouchContention(t *testing.T) {
+	p := testMatrix(9)
+	for round := 0; round < 5; round++ {
+		sep := NewSeparator(p, 0) // fresh cache: every row is a first touch
+		hot := round % len(p)
+		want, err := Separation(p, hot, (hot+1)%len(p), DefaultMaxOrder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				got, err := sep.Separation(hot, (hot+1)%len(p))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != want {
+					t.Errorf("contended first touch (%d): got %v, want %v", hot, got, want)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() { // churn the map while the hot row is being filled
+			defer wg.Done()
+			<-start
+			for i := range p {
+				if _, err := sep.Separation(i, hot); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		close(start)
+		wg.Wait()
+	}
+}

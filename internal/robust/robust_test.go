@@ -1,0 +1,260 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/stage"
+)
+
+// twoProc is a minimal two-process system for synthetic evaluators.
+func twoProc() *spec.System {
+	return &spec.System{
+		Name: "toy",
+		Processes: []spec.Process{
+			{Name: "p1", Criticality: 10, FT: 1, EST: 0, TCD: 10, CT: 1},
+			{Name: "p2", Criticality: 5, FT: 1, EST: 0, TCD: 10, CT: 1},
+		},
+		Influences: []spec.Influence{{From: "p1", To: "p2", Weight: 0.5}},
+		HWNodes:    2,
+	}
+}
+
+// thresholdEvaluator flips the placement when any perturbed input drifts
+// more than `tolerance` (relative) from its baseline value — a synthetic
+// integration whose decision boundary is exactly known.
+func thresholdEvaluator(base *spec.System, tolerance float64) Evaluator {
+	return func(s *spec.System) (Outcome, error) {
+		maxDrift := 0.0
+		for i, p := range s.Processes {
+			if b := base.Processes[i].Criticality; b != 0 {
+				maxDrift = math.Max(maxDrift, math.Abs(p.Criticality-b)/b)
+			}
+		}
+		for i, e := range s.Influences {
+			if b := base.Influences[i].Weight; b != 0 {
+				maxDrift = math.Max(maxDrift, math.Abs(e.Weight-b)/b)
+			}
+		}
+		placement := "p1|p2"
+		if maxDrift > tolerance {
+			placement = "p1,p2"
+		}
+		return Outcome{Placement: placement, EscapeRate: maxDrift, CrossInfluence: 2 * maxDrift}, nil
+	}
+}
+
+// TestCertifyStableAtZeroEpsilon: ε=0 is the identity perturbation, so
+// the stability fraction at level 0 must be exactly 1 for any evaluator.
+func TestCertifyStableAtZeroEpsilon(t *testing.T) {
+	sys := twoProc()
+	cert, err := Certify(sys, thresholdEvaluator(sys, 0), Config{
+		Epsilons: []float64{0}, Samples: 16, Seed: 1, SkipSensitivity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cert.Levels) != 1 || cert.Levels[0].StableFraction != 1.0 {
+		t.Fatalf("stability at eps=0 = %+v, want exactly 1.0", cert.Levels)
+	}
+	if cert.Levels[0].WorstEscapeDelta != 0 || cert.Levels[0].WorstInfluenceDelta != 0 {
+		t.Errorf("nonzero deltas at eps=0: %+v", cert.Levels[0])
+	}
+}
+
+// TestCertifyMonotoneNonIncreasing is the property test of the ladder
+// design: across many seeds and a known decision boundary, the stable
+// fraction must never increase with ε, must be 1 at ε=0, and must reach
+// 0 once every direction crosses the boundary.
+func TestCertifyMonotoneNonIncreasing(t *testing.T) {
+	sys := twoProc()
+	eps := []float64{0, 0.02, 0.05, 0.1, 0.2, 0.4}
+	for seed := uint64(0); seed < 20; seed++ {
+		cert, err := Certify(sys, thresholdEvaluator(sys, 0.08), Config{
+			Epsilons: eps, Samples: 12, Seed: seed, SkipSensitivity: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cert.Levels[0].StableFraction != 1.0 {
+			t.Fatalf("seed %d: fraction at eps=0 is %g, want 1.0",
+				seed, cert.Levels[0].StableFraction)
+		}
+		for i := 1; i < len(cert.Levels); i++ {
+			if cert.Levels[i].StableFraction > cert.Levels[i-1].StableFraction {
+				t.Fatalf("seed %d: stability rose from %g (eps=%g) to %g (eps=%g)",
+					seed, cert.Levels[i-1].StableFraction, cert.Levels[i-1].Epsilon,
+					cert.Levels[i].StableFraction, cert.Levels[i].Epsilon)
+			}
+		}
+		// ε=0.02 cannot cross the 0.08 boundary; ε=0.4 almost surely does
+		// for every member (|d| would need to be < 0.2 for all 15 params).
+		if cert.Levels[1].StableFraction != 1.0 {
+			t.Errorf("seed %d: fraction at eps=0.02 = %g, want 1.0 (boundary is 0.08)",
+				seed, cert.Levels[1].StableFraction)
+		}
+	}
+}
+
+// TestCertifyDeterministic: same config, same certificate, bit for bit.
+func TestCertifyDeterministic(t *testing.T) {
+	sys := twoProc()
+	cfg := Config{Epsilons: []float64{0, 0.1}, Samples: 8, Seed: 3}
+	a, err := Certify(sys, thresholdEvaluator(sys, 0.05), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Certify(sys, thresholdEvaluator(sys, 0.05), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two identical certification runs disagree")
+	}
+}
+
+// TestCertifySensitivities: a single parameter controlling the flip must
+// rank first, flagged as flipping the placement.
+func TestCertifySensitivities(t *testing.T) {
+	sys := twoProc()
+	// Flip iff p2's criticality moves at all; everything else inert.
+	eval := func(s *spec.System) (Outcome, error) {
+		placement := "p1|p2"
+		d := math.Abs(s.Processes[1].Criticality - 5)
+		if d > 0.01 {
+			placement = "p1,p2"
+		}
+		return Outcome{Placement: placement, EscapeRate: d}, nil
+	}
+	cert, err := Certify(sys, eval, Config{Epsilons: []float64{0, 0.1}, Samples: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cert.Sensitivities) != 3 { // 2 criticalities + 1 weight
+		t.Fatalf("sensitivities = %d, want 3", len(cert.Sensitivities))
+	}
+	top := cert.Sensitivities[0]
+	if top.Parameter != "criticality(p2)" || !top.Flipped {
+		t.Errorf("top sensitivity = %+v, want criticality(p2) flipped", top)
+	}
+	for _, s := range cert.Sensitivities[1:] {
+		if s.Flipped {
+			t.Errorf("inert parameter %s reported as flipping", s.Parameter)
+		}
+	}
+}
+
+// TestCertifyEvaluatorErrors: a perturbed member whose integration fails
+// counts as unstable (and is tallied in Errors), while a baseline
+// failure aborts the certification.
+func TestCertifyEvaluatorErrors(t *testing.T) {
+	sys := twoProc()
+	calls := 0
+	eval := func(s *spec.System) (Outcome, error) {
+		calls++
+		// Baseline and the first ensemble member succeed; the remaining
+		// three members fail.
+		if calls > 2 {
+			return Outcome{}, fmt.Errorf("perturbed integration exploded")
+		}
+		return Outcome{Placement: "p1|p2"}, nil
+	}
+	cert, err := Certify(sys, eval, Config{
+		Epsilons: []float64{0.1}, Samples: 4, Seed: 1, SkipSensitivity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := cert.Levels[0]
+	if lvl.Errors != 3 || lvl.StableFraction != 0.25 {
+		t.Errorf("level = %+v, want 3 errors and fraction 0.25", lvl)
+	}
+
+	bad := func(*spec.System) (Outcome, error) { return Outcome{}, fmt.Errorf("no mapping") }
+	if _, err := Certify(sys, bad, Config{}); !errors.Is(err, ErrBaseline) {
+		t.Errorf("baseline failure err = %v, want ErrBaseline", err)
+	}
+}
+
+// TestCertifyValidation covers the classified configuration errors.
+func TestCertifyValidation(t *testing.T) {
+	sys := twoProc()
+	ok := func(*spec.System) (Outcome, error) { return Outcome{}, nil }
+	cases := []struct {
+		name string
+		sys  *spec.System
+		eval Evaluator
+		cfg  Config
+		want error
+	}{
+		{"nil system", nil, ok, Config{}, ErrNoSystem},
+		{"nil evaluator", sys, nil, Config{}, ErrNoEvaluator},
+		{"negative epsilon", sys, ok, Config{Epsilons: []float64{-0.1}}, ErrBadEpsilon},
+		{"epsilon >= 1", sys, ok, Config{Epsilons: []float64{1}}, ErrBadEpsilon},
+		{"NaN epsilon", sys, ok, Config{Epsilons: []float64{math.NaN()}}, ErrBadEpsilon},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Certify(tc.sys, tc.eval, tc.cfg)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			var se *stage.Error
+			if !errors.As(err, &se) || se.Stage != "certify" {
+				t.Errorf("err %v not classified under the certify stage", err)
+			}
+		})
+	}
+}
+
+// TestCertifyCancellation: a dead context aborts between evaluations with
+// the cancellation visible through the wrapping.
+func TestCertifyCancellation(t *testing.T) {
+	sys := twoProc()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Certify(sys, thresholdEvaluator(sys, 0), Config{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCanonicalPlacement: the key must be invariant under HW-node
+// relabelling but distinguish different partitions.
+func TestCanonicalPlacement(t *testing.T) {
+	a := CanonicalPlacement(map[string]string{"p1": "n1", "p2": "n1", "p3": "n2"})
+	b := CanonicalPlacement(map[string]string{"p1": "x", "p2": "x", "p3": "y"})
+	if a != b {
+		t.Errorf("relabelled placements differ: %q vs %q", a, b)
+	}
+	c := CanonicalPlacement(map[string]string{"p1": "n1", "p2": "n2", "p3": "n2"})
+	if a == c {
+		t.Errorf("different partitions share key %q", a)
+	}
+	if a != "p1,p2|p3" {
+		t.Errorf("canonical key = %q, want \"p1,p2|p3\"", a)
+	}
+}
+
+// TestLadderNormalisation: defaults, sorting, deduplication.
+func TestLadderNormalisation(t *testing.T) {
+	got, err := ladder(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []float64{0, 0.01, 0.05, 0.10}) {
+		t.Errorf("default ladder = %v", got)
+	}
+	got, err = ladder([]float64{0.1, 0, 0.1, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []float64{0, 0.05, 0.1}) {
+		t.Errorf("normalised ladder = %v", got)
+	}
+}

@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check fmt vet build test race bench bench-json fuzz-smoke
+.PHONY: check fmt vet build test race bench bench-json fuzz-smoke ledger-diff
 
-check: fmt vet build test race bench fuzz-smoke
+check: fmt vet build test race bench fuzz-smoke ledger-diff
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -43,6 +43,18 @@ bench:
 # only the ns/op column moves with the core count of the runner.
 bench-json:
 	$(GO) test -run NONE -bench '((Campaign|Separation)Parallel|AdversarialSearch)$$' -benchtime 3x -json . > BENCH_parallel.json
+
+# ledger-diff is the decision-provenance determinism gate: two paperrepro
+# runs with identical flags must produce byte-identical decision ledgers,
+# and ledgerdiff must report zero divergence (it exits 1 otherwise). Any
+# nondeterminism smuggled into the pipeline — map iteration, time, an
+# unseeded RNG — fails here before it can corrupt a reproduction.
+ledger-diff:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/paperrepro -only table1 -ledger $$tmp/a.jsonl >/dev/null 2>&1 && \
+	$(GO) run ./cmd/paperrepro -only table1 -ledger $$tmp/b.jsonl >/dev/null 2>&1 && \
+	$(GO) run ./cmd/ledgerdiff $$tmp/a.jsonl $$tmp/b.jsonl; \
+	status=$$?; rm -rf $$tmp; exit $$status
 
 # fuzz-smoke gives each native fuzz target a short budget (FUZZTIME,
 # default 30s) — enough to catch shallow regressions in the decoder and

@@ -9,6 +9,12 @@
 //	         [-persist P] [-search N]
 //	         [-checkpoint path] [-checkpoint-every N] [-resume] [-workers N]
 //	         [-trace out.json] [-log-level info] [-metrics-addr :9090]
+//	         [-ledger run.jsonl]
+//
+// -ledger writes a decision-provenance ledger covering every strategy's
+// integration (merges, placements) plus one campaign-summary record per
+// strategy and, with -search, the adversarial evaluation log — diffable
+// across runs with the ledgerdiff tool.
 //
 // -fault-model selects how each trial's initial fault set is drawn:
 // "single" (the paper's model, default), "correlated" (every FCM on one
@@ -71,6 +77,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	workers := cli.RegisterWorkers(fs)
 	timeout := cli.RegisterTimeout(fs)
 	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
+	ledFlag := cli.RegisterLedger(fs, "faultsim")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,6 +98,14 @@ func run(args []string, stdout io.Writer) (err error) {
 	// Flush telemetry at exit; a failed trace write must fail the run.
 	defer func() {
 		if ferr := obsFlags.Finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+	// One ledger spans all strategies: each strategy's integration and
+	// campaign records ride along with its strategy name in Rule/Detail.
+	led := ledFlag.Ledger()
+	defer func() {
+		if ferr := ledFlag.Finish(os.Stderr); ferr != nil && err == nil {
 			err = ferr
 		}
 	}()
@@ -116,7 +131,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		depint.Criticality, depint.TimingOrder,
 	} {
 		res, err := depint.IntegrateContext(ctx, sys, depint.WithStrategy(s),
-			depint.WithWorkers(*workers), depint.WithObserver(observer))
+			depint.WithWorkers(*workers), depint.WithObserver(observer),
+			depint.WithLedger(led))
 		if err != nil {
 			if ctx.Err() != nil {
 				return err
@@ -137,6 +153,7 @@ func run(args []string, stdout io.Writer) (err error) {
 			Workers:           *workers,
 			Span:              span,
 			Metrics:           observer.Metrics(),
+			Ledger:            led,
 			Ctx:               ctx,
 		}
 		if *ckpt != "" {
@@ -165,6 +182,7 @@ func run(args []string, stdout io.Writer) (err error) {
 				CriticalThreshold: 10,
 				Span:              span,
 				Metrics:           observer.Metrics(),
+				Ledger:            led,
 				Ctx:               ctx,
 			})
 			span.End()

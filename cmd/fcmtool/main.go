@@ -10,6 +10,16 @@
 //	        [-perturb 0.01,0.05,0.1] [-perturb-samples N] [-perturb-trials N]
 //	        [-dot initial|expanded|condensed] [-emit-example] [-v]
 //	        [-trace out.json] [-log-level debug] [-metrics-addr :9090]
+//	        [-ledger run.jsonl] [-explain p1,p8]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-profile-dir prof/]
+//
+// -ledger appends every pipeline decision — partition criticalities,
+// Eq. (4) merges with their mutual-influence scores, replica-separation
+// edges, fallback degradations, placements with the alternatives they
+// beat, and the final metrics — to a JSON Lines ledger for later
+// explanation (-explain, ledgerdiff -report) and run-to-run regression
+// diffing (ledgerdiff). -explain A,B answers "why did/didn't A and B end
+// up on the same HW node?" from that ledger without needing -ledger.
 //
 // -perturb certifies the robustness of the integration: the listed ±ε
 // relative bands are applied to every criticality and influence weight,
@@ -66,6 +76,8 @@ func run(args []string, stdout io.Writer) (err error) {
 	dot := fs.String("dot", "", "write the influence graph in Graphviz DOT to stdout: initial, expanded, condensed")
 	jsonOut := fs.Bool("json", false, "emit the integration result as JSON (includes telemetry when enabled)")
 	race := fs.Bool("race-strategies", false, "race the -strategy/fallback heuristics concurrently; first acceptable result wins")
+	explain := fs.String("explain", "", "explain why two processes were (not) colocated, e.g. -explain p1,p8")
+	ledFlag := cli.RegisterLedger(fs, "fcmtool")
 	perturb := fs.String("perturb", "", "comma-separated relative perturbation half-widths; certify placement stability and print the certificate")
 	perturbSamples := fs.Int("perturb-samples", 20, "perturbation-ensemble size per epsilon for -perturb")
 	perturbTrials := fs.Int("perturb-trials", 2000, "fault-injection trials per -perturb evaluation")
@@ -137,6 +149,17 @@ func run(args []string, stdout io.Writer) (err error) {
 			err = ferr
 		}
 	}()
+	// The decision ledger: -ledger persists it, -explain only needs it in
+	// memory for the duration of the run.
+	led := ledFlag.Ledger()
+	if *explain != "" && led == nil {
+		led = depint.NewLedger("fcmtool")
+	}
+	defer func() {
+		if ferr := ledFlag.Finish(os.Stderr); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	if *compare {
 		compareOpts := []depint.Option{depint.WithApproach(a),
@@ -173,9 +196,24 @@ func run(args []string, stdout io.Writer) (err error) {
 	if observer != nil {
 		opts = append(opts, depint.WithObserver(observer))
 	}
+	if led != nil {
+		opts = append(opts, depint.WithLedger(led))
+	}
 	res, err := depint.IntegrateContext(ctx, sys, opts...)
 	if err != nil {
 		return err
+	}
+	if *explain != "" {
+		pair := strings.Split(*explain, ",")
+		if len(pair) != 2 {
+			return fmt.Errorf("-explain wants two comma-separated names, got %q", *explain)
+		}
+		exp, err := depint.ExplainPair(led, strings.TrimSpace(pair[0]), strings.TrimSpace(pair[1]))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, exp.String())
+		return nil
 	}
 	if *perturb != "" && (*dot != "" || *jsonOut) {
 		return fmt.Errorf("-perturb prints a text certificate; it cannot combine with -dot or -json")
@@ -253,28 +291,34 @@ func writeCertificate(w io.Writer, cert *depint.Certificate) {
 	}
 }
 
+// resultSchemaVersion identifies the -json output shape; bumped whenever a
+// field changes meaning so downstream CI can reject surprises.
+const resultSchemaVersion = 1
+
 // resultJSON is the -json output shape: the machine-readable core of the
 // Result plus, when telemetry is on, the same Trace export -trace writes.
 type resultJSON struct {
-	System      string               `json:"system"`
-	Strategy    string               `json:"strategy"`
-	Approach    string               `json:"approach"`
-	Assignment  depint.Assignment    `json:"assignment"`
-	Report      depint.Report        `json:"report"`
-	Trace       []depint.Step        `json:"reduction_trace,omitempty"`
-	Reliability metrics.SystemReport `json:"reliability"`
-	Telemetry   *obs.Trace           `json:"telemetry,omitempty"`
+	SchemaVersion int                  `json:"schema_version"`
+	System        string               `json:"system"`
+	Strategy      string               `json:"strategy"`
+	Approach      string               `json:"approach"`
+	Assignment    depint.Assignment    `json:"assignment"`
+	Report        depint.Report        `json:"report"`
+	Trace         []depint.Step        `json:"reduction_trace,omitempty"`
+	Reliability   metrics.SystemReport `json:"reliability"`
+	Telemetry     *obs.Trace           `json:"telemetry,omitempty"`
 }
 
 func writeResultJSON(w io.Writer, res *depint.Result, observer *obs.Observer) error {
 	out := resultJSON{
-		System:      res.System.Name,
-		Strategy:    res.Strategy.String(),
-		Approach:    res.ApproachUsed.String(),
-		Assignment:  res.Assignment,
-		Report:      res.Report,
-		Trace:       res.Trace,
-		Reliability: res.Reliability,
+		SchemaVersion: resultSchemaVersion,
+		System:        res.System.Name,
+		Strategy:      res.Strategy.String(),
+		Approach:      res.ApproachUsed.String(),
+		Assignment:    res.Assignment,
+		Report:        res.Report,
+		Trace:         res.Trace,
+		Reliability:   res.Reliability,
 	}
 	if observer != nil {
 		t := observer.Export()

@@ -1,0 +1,86 @@
+// Command ledgerdiff compares two decision-provenance ledgers (written by
+// fcmtool -ledger, faultsim -ledger or paperrepro -ledger) and reports how
+// the runs diverged: the first decision where they disagree, every cluster
+// whose placement moved, and every final metric that regressed beyond the
+// threshold. It exits 1 when the runs diverged, so a CI job can gate on
+//
+//	paperrepro -ledger old.jsonl
+//	...change something...
+//	paperrepro -ledger new.jsonl
+//	ledgerdiff old.jsonl new.jsonl
+//
+// With -report it instead renders a single ledger as a human-readable
+// report (Markdown, or self-contained HTML with -html).
+//
+// Usage:
+//
+//	ledgerdiff [-threshold 0.01] old.jsonl new.jsonl
+//	ledgerdiff -report run.jsonl [-html]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ledger"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ledgerdiff: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run returns the process exit code: 0 for no divergence (or a rendered
+// report), 1 for a divergent diff. Usage and I/O failures return an error
+// (exit code 2).
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("ledgerdiff", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	threshold := fs.Float64("threshold", 0, "relative metric-regression threshold (default 0.01)")
+	report := fs.String("report", "", "render this ledger as a report instead of diffing")
+	html := fs.Bool("html", false, "with -report: emit self-contained HTML instead of Markdown")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	if *report != "" {
+		if fs.NArg() != 0 {
+			return 2, fmt.Errorf("-report takes no positional arguments")
+		}
+		l, err := ledger.ReadFile(*report)
+		if err != nil {
+			return 2, err
+		}
+		if *html {
+			return 0, ledger.WriteHTML(stdout, l)
+		}
+		return 0, ledger.WriteMarkdown(stdout, l)
+	}
+
+	if fs.NArg() != 2 {
+		return 2, fmt.Errorf("want two ledger files (old new), got %d arguments", fs.NArg())
+	}
+	oldL, err := ledger.ReadFile(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	newL, err := ledger.ReadFile(fs.Arg(1))
+	if err != nil {
+		return 2, err
+	}
+	d, err := ledger.Diff(oldL, newL, ledger.DiffConfig{MetricThreshold: *threshold})
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprint(stdout, d.String())
+	if d.Divergent() {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -12,6 +12,10 @@
 //
 // The telemetry flags (-trace, -log-level, -metrics-addr) record one span
 // per regenerated artifact, so -trace exposes where reproduction time goes.
+// -ledger <file> additionally writes a decision-provenance ledger: the
+// worked example's integration decisions, a small injection campaign, and
+// one content-hash record per regenerated artifact. Two runs with the same
+// flags produce byte-identical ledgers (asserted by `make ledger-diff`).
 package main
 
 import (
@@ -21,8 +25,11 @@ import (
 	"os"
 	"strings"
 
+	"repro"
 	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/faultsim"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 )
 
@@ -42,6 +49,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	workers := cli.RegisterWorkers(fs)
 	timeout := cli.RegisterTimeout(fs)
 	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
+	ledFlag := cli.RegisterLedger(fs, "paperrepro")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +67,37 @@ func run(args []string, stdout io.Writer) (err error) {
 			err = ferr
 		}
 	}()
+	// -ledger records the worked example's full decision trail (one
+	// Integrate run plus a small injection campaign) and then one artifact
+	// record per regenerated table/figure, carrying the content hash: two
+	// runs of paperrepro -ledger must produce byte-identical ledgers, which
+	// is exactly what `make ledger-diff` asserts.
+	led := ledFlag.Ledger()
+	defer func() {
+		if ferr := ledFlag.Finish(os.Stderr); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+	if led != nil {
+		sys := depint.PaperExample()
+		res, err := depint.IntegrateContext(ctx, sys,
+			depint.WithWorkers(*workers), depint.WithLedger(led))
+		if err != nil {
+			return err
+		}
+		if _, err := faultsim.Run(faultsim.Campaign{
+			Graph:             res.Expanded,
+			HWOf:              res.HWOf(),
+			Trials:            2000,
+			Seed:              *seed,
+			CriticalThreshold: 10,
+			Workers:           *workers,
+			Ledger:            led,
+			Ctx:               ctx,
+		}); err != nil {
+			return err
+		}
+	}
 
 	type artifact struct {
 		name string
@@ -130,6 +169,10 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 		fmt.Fprintf(stdout, "==== %s %s\n%s\n", strings.ToUpper(a.name),
 			strings.Repeat("=", 66-len(a.name)), text)
+		led.Append(ledger.Record{
+			Kind: ledger.KindArtifact, Stage: "paperrepro", A: a.name,
+			Detail: "content " + ledger.Fingerprint(text),
+		})
 		ran++
 	}
 	if ran == 0 {

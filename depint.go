@@ -40,6 +40,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hw"
 	"repro/internal/influence"
+	"repro/internal/ledger"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -179,6 +180,7 @@ type options struct {
 	weightsSet        bool
 	workers           int
 	race              bool
+	ledger            *ledger.Ledger
 }
 
 // Option configures Integrate.
@@ -234,6 +236,21 @@ func WithRefinement(maxMoves int) Option { return func(o *options) { o.refineMov
 // sched.Observe). A nil observer (the default) keeps the pipeline on its
 // uninstrumented fast path.
 func WithObserver(o *obs.Observer) Option { return func(opt *options) { opt.observer = o } }
+
+// WithLedger installs a decision-provenance ledger on the run: Integrate
+// records every pipeline decision — the partitioned FCMs, the replica
+// expansion and its separation edges, every condensation merge with its
+// rule and Eq. (4) mutual influence, every cluster placement with the
+// cost it was chosen at and the alternatives it beat, fallback
+// degradations and race outcomes, and a final metrics snapshot — into l,
+// stamped with the run's config/spec fingerprint. Records carry no
+// timestamps, so two runs of the same specification under the same
+// configuration produce identical ledgers (see ledger.Diff). Under
+// WithRaceStrategies only the winning contender's records are spliced in,
+// so the ledger always matches the published result — but which strategy
+// wins a race may vary run to run. A nil ledger (the default) records
+// nothing.
+func WithLedger(l *ledger.Ledger) Option { return func(o *options) { o.ledger = l } }
 
 // WithFallback installs a graceful-degradation chain after the selected
 // strategy: when condensation or mapping under the current strategy fails,
@@ -361,6 +378,10 @@ func Integrate(sys *System, opts ...Option) (*Result, error) {
 // a recovered panic additionally lands its stack there as a "panic" event.
 func runStage(ctx context.Context, sp *obs.Span, name string, fn func() error) error {
 	defer sp.End()
+	if p := sp.Profiler(); p != nil {
+		p.StageStart(name)
+		defer p.StageEnd(name)
+	}
 	if err := stage.Check(ctx, name); err != nil {
 		sp.SetAttr(obs.String("error", err.Error()))
 		return err
@@ -418,6 +439,18 @@ func IntegrateContext(ctx context.Context, sys *System, opts ...Option) (*Result
 		defer cancel()
 	}
 
+	// Provenance: stamp the run identity (what is being integrated, under
+	// which configuration) before the first decision is recorded.
+	if o.ledger != nil {
+		o.ledger.MergeHeader(ledger.Header{
+			System:      sys.Name,
+			Strategy:    o.strategy.String(),
+			Approach:    o.approach.String(),
+			HWNodes:     sys.HWNodes,
+			Fingerprint: runFingerprint(sys, &o),
+		})
+	}
+
 	// Telemetry: one root span with a child per pipeline stage. Every span
 	// handle below is nil — and every span call a no-op — when no observer
 	// is installed, keeping the default path uninstrumented.
@@ -442,6 +475,15 @@ func IntegrateContext(ctx context.Context, sys *System, opts ...Option) (*Result
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+	if o.ledger != nil {
+		for _, p := range sys.Processes {
+			o.ledger.Append(ledger.Record{
+				Kind: ledger.KindPartition, Stage: "partition", A: p.Name,
+				Score:  p.Criticality,
+				Detail: fmt.Sprintf("ft %d, window [%g, %g], ct %g", p.FT, p.EST, p.TCD, p.CT),
+			})
+		}
 	}
 
 	// Stage 2: influence — the directed influence graph plus the Eq. (3)
@@ -469,6 +511,13 @@ func IntegrateContext(ctx context.Context, sys *System, opts ...Option) (*Result
 	}); err != nil {
 		return nil, err
 	}
+	if o.ledger != nil {
+		o.ledger.Append(ledger.Record{
+			Kind: ledger.KindInfluence, Stage: "influence",
+			Detail: fmt.Sprintf("%d nodes, %d influence edges, Eq.3 separation analysed",
+				res.Initial.NumNodes(), len(res.Initial.Edges())),
+		})
+	}
 
 	// Stage 3: replication expansion.
 	var exp *cluster.Expansion
@@ -484,6 +533,25 @@ func IntegrateContext(ctx context.Context, sys *System, opts ...Option) (*Result
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+	if o.ledger != nil {
+		// One replicate record per base process (spec order), then the
+		// weight-0 separation edges (graph order, one per pair).
+		for _, p := range sys.Processes {
+			o.ledger.Append(ledger.Record{
+				Kind: ledger.KindReplicate, Stage: "replicate",
+				A: p.Name, Members: exp.ReplicasOf[p.Name],
+				Detail: fmt.Sprintf("ft %d", p.FT),
+			})
+		}
+		for _, e := range res.Expanded.Edges() {
+			if e.Replica && e.From < e.To {
+				o.ledger.Append(ledger.Record{
+					Kind: ledger.KindReplicaEdge, Stage: "replicate",
+					A: e.From, B: e.To, Detail: "colocation forbidden",
+				})
+			}
+		}
 	}
 
 	// The HW platform and resource requirements are strategy-independent;
@@ -579,15 +647,58 @@ func IntegrateContext(ctx context.Context, sys *System, opts ...Option) (*Result
 	}); err != nil {
 		return nil, err
 	}
+	if o.ledger != nil {
+		ok := 0.0
+		if res.Report.ConstraintsOK {
+			ok = 1
+		}
+		o.ledger.Append(ledger.Record{
+			Kind: ledger.KindMetrics, Stage: "evaluate",
+			Values: map[string]float64{
+				"containment":               res.Report.Containment,
+				"cross_influence":           res.Report.CrossInfluence,
+				"internal_influence":        res.Report.InternalInfluence,
+				"comm_cost":                 res.Report.CommCost,
+				"max_node_criticality":      res.Report.MaxNodeCriticality,
+				"critical_pairs_colocated":  float64(res.Report.CriticalPairsColocated),
+				"critical_pairs_shared_fcr": float64(res.Report.CriticalPairsSharedFCR),
+				"constraints_ok":            ok,
+				"system_reliability":        res.Reliability.SystemReliability,
+				"refinement_moves":          float64(res.RefinementMoves),
+			},
+		})
+	}
 	return res, nil
+}
+
+// runFingerprint hashes everything that determines the run's decisions:
+// the specification and the configuration knobs that steer condensation,
+// mapping and refinement. Two ledgers sharing a fingerprint are expected
+// to be decision-identical (the contract ledger.Diff checks).
+func runFingerprint(sys *System, o *options) string {
+	chain := make([]string, 0, 1+len(o.fallback))
+	for _, s := range append([]Strategy{o.strategy}, o.fallback...) {
+		chain = append(chain, s.String())
+	}
+	return ledger.Fingerprint(struct {
+		System            *System  `json:"system"`
+		Chain             []string `json:"chain"`
+		Approach          string   `json:"approach"`
+		CriticalThreshold float64  `json:"critical_threshold"`
+		SeparationOrder   int      `json:"separation_order"`
+		RefineMoves       int      `json:"refine_moves"`
+		Race              bool     `json:"race"`
+	}{sys, chain, o.approach.String(), o.criticalThreshold, o.separationOrder, o.refineMoves, o.race})
 }
 
 // integrateAttempt runs the condense and map stages for one strategy of
 // the fallback chain, writing Condensed/Trace/Assignment/RefinementMoves
-// into res on success. work is the graph the condenser may mutate.
+// into res on success. work is the graph the condenser may mutate; led is
+// the provenance ledger decisions are appended to (nil = none; race mode
+// hands each contender a scratch ledger so records never interleave).
 func integrateAttempt(ctx context.Context, o *options, root *obs.Span, res *Result,
 	sys *System, exp *cluster.Expansion, platform *hw.Platform, req mapping.Requirements,
-	strat Strategy, work *graph.Graph, attempt int) error {
+	strat Strategy, work *graph.Graph, attempt int, led *ledger.Ledger) error {
 
 	// Stage 4: condensation.
 	sp := root.StartChild("condense",
@@ -595,6 +706,7 @@ func integrateAttempt(ctx context.Context, o *options, root *obs.Span, res *Resu
 	cond := cluster.NewCondenser(work, exp.Jobs)
 	cond.SetContext(ctx)
 	cond.SetWorkers(o.workers)
+	cond.SetLedger(led, attempt+1)
 	cond.Observe(sp, o.observer.Metrics())
 	target := sys.HWNodes
 	if err := runStage(ctx, sp, "condense", func() error {
@@ -633,19 +745,33 @@ func integrateAttempt(ctx context.Context, o *options, root *obs.Span, res *Resu
 		obs.String("approach", o.approach.String()), obs.Int("attempt", attempt))
 	return runStage(ctx, sp, "map", func() error {
 		var asg Assignment
+		var decisions []mapping.Decision
 		var err error
 		switch o.approach {
 		case ByImportance:
-			asg, err = mapping.AssignByImportance(cond.G, platform, o.weights, req)
+			asg, decisions, err = mapping.AssignByImportanceDetailed(cond.G, platform, o.weights, req)
 		case Lexicographic:
-			asg, err = mapping.AssignLexicographic(cond.G, platform, o.lexKinds, req)
+			asg, decisions, err = mapping.AssignLexicographicDetailed(cond.G, platform, o.lexKinds, req)
 		case FCRAware:
-			asg, err = mapping.AssignCriticalityAware(cond.G, platform, req, o.criticalThreshold)
+			asg, decisions, err = mapping.AssignCriticalityAwareDetailed(cond.G, platform, req, o.criticalThreshold)
 		default:
 			err = fmt.Errorf("depint: unknown approach %d", int(o.approach))
 		}
 		if err != nil {
 			return stage.Wrap("map", o.approach.String(), "", err)
+		}
+		if led != nil {
+			for _, d := range decisions {
+				alts := make([]ledger.Alternative, len(d.Alternatives))
+				for i, a := range d.Alternatives {
+					alts[i] = ledger.Alternative{Node: a.Node, Cost: a.Cost}
+				}
+				led.Append(ledger.Record{
+					Kind: ledger.KindPlace, Stage: "map", Rule: o.approach.String(),
+					A: d.Cluster, Node: d.Node, Cost: d.Cost,
+					Alternatives: alts, Attempt: attempt + 1,
+				})
+			}
 		}
 		moves := 0
 		// Optional dilation-refinement pass over the assignment.
@@ -657,6 +783,13 @@ func integrateAttempt(ctx context.Context, o *options, root *obs.Span, res *Resu
 			asg, moves, err = mapping.RefineCtx(ctx, asg, exp.Graph, platform, req, budget)
 			if err != nil {
 				return stage.Wrap("map", "refine", "", err)
+			}
+			if led != nil && moves > 0 {
+				led.Append(ledger.Record{
+					Kind: ledger.KindRefine, Stage: "map", Rule: "dilation-refine",
+					Detail:  fmt.Sprintf("%d moves applied after initial placement", moves),
+					Attempt: attempt + 1,
+				})
 			}
 		}
 		res.Condensed = cond.G

@@ -1,0 +1,55 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/ledger"
+)
+
+// LedgerFlag owns the shared -ledger flag: the path the run's decision
+// ledger is written to as JSON Lines.
+type LedgerFlag struct {
+	path string
+	tool string
+	led  *ledger.Ledger
+}
+
+// RegisterLedger binds -ledger onto fs. tool names the command in the
+// ledger header.
+func RegisterLedger(fs *flag.FlagSet, tool string) *LedgerFlag {
+	f := &LedgerFlag{tool: tool}
+	fs.StringVar(&f.path, "ledger", "", "write the run's decision-provenance ledger (JSON Lines) to this file")
+	return f
+}
+
+// Enabled reports whether -ledger was given.
+func (f *LedgerFlag) Enabled() bool { return f != nil && f.path != "" }
+
+// Ledger lazily constructs the run ledger, or returns nil when the flag
+// was not given — the nil *Ledger absorbs every recording call.
+func (f *LedgerFlag) Ledger() *ledger.Ledger {
+	if !f.Enabled() {
+		return nil
+	}
+	if f.led == nil {
+		f.led = ledger.New(ledger.Header{Tool: f.tool})
+	}
+	return f.led
+}
+
+// Finish writes the ledger to the -ledger path, confirming on errw. Safe
+// to call when the flag was off or the ledger never constructed.
+func (f *LedgerFlag) Finish(errw io.Writer) error {
+	if !f.Enabled() || f.led == nil {
+		return nil
+	}
+	if err := f.led.WriteFile(f.path); err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	if errw != nil {
+		fmt.Fprintf(errw, "ledger: wrote %s (%d records)\n", f.path, f.led.Len())
+	}
+	return nil
+}

@@ -9,8 +9,11 @@
 //	-metrics-addr <a>   serve the Prometheus/JSON metrics endpoint on a
 //	                    for the lifetime of the run
 //
-// An Observer is only constructed when at least one flag is given, so the
-// default invocation of every tool stays on the uninstrumented fast path.
+// plus the pprof trio -cpuprofile, -memprofile and -profile-dir (the last
+// writes one CPU profile per pipeline stage, keyed to the stage span
+// names). An Observer is only constructed when at least one flag is given,
+// so the default invocation of every tool stays on the uninstrumented fast
+// path.
 package cli
 
 import (
@@ -31,10 +34,14 @@ type ObsFlags struct {
 	tracePath   string
 	logLevel    string
 	metricsAddr string
+	cpuProfile  string
+	memProfile  string
+	profileDir  string
 
 	errw     io.Writer
 	observer *obs.Observer
 	server   *obs.MetricsServer
+	profiler *obs.Profiler
 }
 
 // RegisterObsFlags binds -trace, -log-level and -metrics-addr onto fs.
@@ -48,12 +55,16 @@ func RegisterObsFlags(fs *flag.FlagSet, errw io.Writer) *ObsFlags {
 	fs.StringVar(&f.tracePath, "trace", "", "write a JSON telemetry trace (spans, events, metrics) to this file at exit")
 	fs.StringVar(&f.logLevel, "log-level", "", "mirror telemetry to stderr at this level: debug, info, warn, error")
 	fs.StringVar(&f.metricsAddr, "metrics-addr", "", "serve Prometheus metrics on this address (e.g. :9090) during the run")
+	fs.StringVar(&f.cpuProfile, "cpuprofile", "", "write a whole-run CPU profile to this file")
+	fs.StringVar(&f.memProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&f.profileDir, "profile-dir", "", "write one CPU profile per pipeline stage into this directory (excludes -cpuprofile)")
 	return f
 }
 
 // Enabled reports whether any telemetry flag was set.
 func (f *ObsFlags) Enabled() bool {
-	return f != nil && (f.tracePath != "" || f.logLevel != "" || f.metricsAddr != "")
+	return f != nil && (f.tracePath != "" || f.logLevel != "" || f.metricsAddr != "" ||
+		f.cpuProfile != "" || f.memProfile != "" || f.profileDir != "")
 }
 
 // Observer lazily constructs the observer the flags describe. It returns
@@ -74,6 +85,17 @@ func (f *ObsFlags) Observer() (*obs.Observer, error) {
 		}
 		h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})
 		opts = append(opts, obs.WithLogger(slog.New(h)))
+	}
+	if f.cpuProfile != "" || f.memProfile != "" || f.profileDir != "" {
+		p, err := obs.NewProfiler(f.cpuProfile, f.memProfile, f.profileDir)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Start(); err != nil {
+			return nil, err
+		}
+		f.profiler = p
+		opts = append(opts, obs.WithProfiler(p))
 	}
 	f.observer = obs.New(opts...)
 	if f.metricsAddr != "" {
@@ -112,6 +134,12 @@ func (f *ObsFlags) Finish() error {
 		return nil
 	}
 	var firstErr error
+	if f.profiler != nil {
+		if err := f.profiler.Stop(); err != nil {
+			firstErr = err
+		}
+		f.profiler = nil
+	}
 	if f.server != nil {
 		if err := f.server.Close(); err != nil && firstErr == nil {
 			firstErr = err

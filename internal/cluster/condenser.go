@@ -17,6 +17,7 @@ import (
 	"repro/internal/attrs"
 	"repro/internal/graph"
 	"repro/internal/influence"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/stage"
@@ -76,6 +77,11 @@ type Condenser struct {
 	// workers, when set via SetWorkers, sizes the goroutine pool of the
 	// separation sweeps inside ReduceBySeparation (0 = GOMAXPROCS).
 	workers int
+	// led, when set via SetLedger, receives one provenance record per
+	// merge and backtrack, stamped with ledAttempt. Nil (the default)
+	// records nothing.
+	led        *ledger.Ledger
+	ledAttempt int
 }
 
 // SetContext installs a cancellation context on the condenser. All Reduce*
@@ -87,6 +93,14 @@ func (c *Condenser) SetContext(ctx context.Context) { c.ctx = ctx }
 // (ReduceBySeparation). 0 or negative means GOMAXPROCS. The reduction is
 // bit-identical for every value; only wall-clock time changes.
 func (c *Condenser) SetWorkers(n int) { c.workers = n }
+
+// SetLedger installs a decision-provenance ledger on the condenser: every
+// Combine appends a merge record (rule, operands, Eq. 4 mutual influence,
+// resulting cluster) and every backtrack a backtrack record, stamped with
+// the given fallback-attempt number. A nil ledger records nothing.
+func (c *Condenser) SetLedger(l *ledger.Ledger, attempt int) {
+	c.led, c.ledAttempt = l, attempt
+}
 
 // checkCtx is the cooperative cancellation check-point of the reduction
 // hot loops.
@@ -200,6 +214,10 @@ func (c *Condenser) Combine(a, b, rule string) (string, error) {
 		return "", fmt.Errorf("cluster: contract: %w", err)
 	}
 	c.Trace = append(c.Trace, Step{A: a, B: b, Mutual: mutual, Result: id, Rule: rule})
+	c.led.Append(ledger.Record{
+		Kind: ledger.KindMerge, Stage: "condense", Rule: rule,
+		A: a, B: b, Score: mutual, Result: id, Attempt: c.ledAttempt,
+	})
 	if c.span != nil {
 		c.span.Event("merge",
 			obs.String("rule", rule),
@@ -220,6 +238,11 @@ func (c *Condenser) Combine(a, b, rule string) (string, error) {
 // backtrack books one undone pairing decision of the criticality search
 // (§6.2's conflict resolution) as an event and a counter tick.
 func (c *Condenser) backtrack(hi, lo string) {
+	c.led.Append(ledger.Record{
+		Kind: ledger.KindBacktrack, Stage: "condense", Rule: "criticality-pair",
+		A: hi, B: lo, Detail: "pairing conflict, partner choice undone",
+		Attempt: c.ledAttempt,
+	})
 	if c.span != nil {
 		c.span.Event("backtrack",
 			obs.String("high", hi),

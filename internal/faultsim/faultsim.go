@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/attrs"
 	"repro/internal/graph"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/stage"
 )
@@ -96,6 +97,10 @@ type Campaign struct {
 	// of active workers in a gauge.
 	Span    *obs.Span
 	Metrics *obs.Registry
+	// Ledger, when set, receives one "campaign" provenance record with
+	// the final containment estimates (trials, escape rate, criticality
+	// loss) after a successful run. Nil records nothing.
+	Ledger *ledger.Ledger
 	// Ctx, when non-nil, is polled at every trial boundary: a cancelled or
 	// expired context aborts the campaign promptly (after persisting a
 	// checkpoint when CheckpointPath is set) with an error wrapping
@@ -909,7 +914,28 @@ func Run(c Campaign) (Result, error) {
 			return Result{}, err
 		}
 	}
+	c.Ledger.Append(ledger.Record{
+		Kind: ledger.KindCampaign, Stage: "faultsim",
+		Detail: fmt.Sprintf("model %s, seed %d", c.model().Name(), c.Seed),
+		Values: map[string]float64{
+			"trials":                float64(run.res.Trials),
+			"escape_rate":           run.res.EscapeRate(),
+			"mean_affected":         run.res.MeanAffected(),
+			"mean_criticality_loss": run.res.MeanCriticalityLoss(),
+			"weighted_escape_rate":  run.res.CriticalityWeightedEscapeRate(),
+			"cross_transmissions":   float64(run.res.CrossNodeTransmissions),
+			"early_stopped":         b2f(run.res.EarlyStopped),
+		},
+	})
 	return run.res, nil
+}
+
+// b2f encodes a flag into a ledger value.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // HWFaultCampaign configures hardware-node failure injection: in each

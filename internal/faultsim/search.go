@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/attrs"
 	"repro/internal/graph"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/stage"
 )
@@ -99,6 +100,10 @@ type SearchConfig struct {
 	// "search_done" event; Metrics tracks evaluations and the best score.
 	Span    *obs.Span
 	Metrics *obs.Registry
+	// Ledger, when set, receives one "search_eval" provenance record per
+	// evaluation (in evaluation order) and a final "search_best" record
+	// after the climb ends. Nil records nothing.
+	Ledger *ledger.Ledger
 	// Ctx, when non-nil, is polled between evaluations; cancellation
 	// persists a checkpoint (when configured) and aborts.
 	Ctx context.Context
@@ -254,6 +259,27 @@ climb:
 			obs.Int("evaluations", len(s.log)),
 			obs.Bool("exhausted", exhausted))
 	}
+	// The evaluation log is deterministic (the climb is a pure function of
+	// the scores), so recording it after the fact keeps the ledger
+	// byte-identical run to run.
+	for _, ev := range s.log {
+		cfg.Ledger.Append(ledger.Record{
+			Kind: ledger.KindSearchEval, Stage: "faultsim",
+			Detail: ev.Scenario.String(), Score: ev.Score,
+			Values: map[string]float64{
+				"escape_rate":           ev.EscapeRate,
+				"mean_criticality_loss": ev.MeanCriticalityLoss,
+			},
+		})
+	}
+	cfg.Ledger.Append(ledger.Record{
+		Kind: ledger.KindSearchBest, Stage: "faultsim",
+		Detail: best.Scenario.String(), Score: best.Score,
+		Values: map[string]float64{
+			"evaluations": float64(len(s.log)),
+			"exhausted":   b2f(exhausted),
+		},
+	})
 	return SearchResult{Best: best, Evaluations: s.log, Exhausted: exhausted}, nil
 }
 

@@ -1,0 +1,358 @@
+package ledger
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// DiffConfig tunes run comparison. The zero value applies
+// DefaultMetricThreshold to every measured value.
+type DiffConfig struct {
+	// MetricThreshold is the absolute change a measured value may move
+	// by before it counts as a regression (decisions always compare
+	// exactly). <= 0 means DefaultMetricThreshold.
+	MetricThreshold float64
+}
+
+// DefaultMetricThreshold tolerates Monte-Carlo noise in campaign
+// estimates while still catching real metric movement.
+const DefaultMetricThreshold = 0.01
+
+// Divergence is the first decision two runs disagree on. Old or New is
+// nil when one run simply has fewer decisions.
+type Divergence struct {
+	Index    int // position in the decision-record sequence
+	Old, New *Record
+}
+
+// PlacementDelta is one cluster placed differently between two runs.
+// OldNode or NewNode is empty when the cluster exists in only one run.
+type PlacementDelta struct {
+	Cluster string
+	OldNode string
+	NewNode string
+	OldCost float64
+	NewCost float64
+}
+
+// MetricDelta is one measured value that moved between two runs.
+type MetricDelta struct {
+	Name     string
+	Old, New float64
+	Delta    float64
+	// Worse reports the movement was in the bad direction for this
+	// metric (higher escape rate, lower containment, …). Metrics with
+	// no known direction count any movement as worse.
+	Worse bool
+	// Beyond reports |Delta| exceeded the configured threshold.
+	Beyond bool
+}
+
+// DiffResult is the comparison of two run ledgers.
+type DiffResult struct {
+	// FingerprintMatch reports the two runs shared a config/spec
+	// fingerprint — i.e. they *should* be decision-identical.
+	FingerprintMatch bool
+	// FirstDivergence is the earliest decision the runs disagree on,
+	// nil when every decision matches.
+	FirstDivergence *Divergence
+	// DecisionCount is the number of decision records compared on each
+	// side (old, new).
+	DecisionCount [2]int
+	// PlacementDeltas lists clusters that moved between processors.
+	PlacementDeltas []PlacementDelta
+	// MetricDeltas lists every measured value present in either run,
+	// with its movement.
+	MetricDeltas []MetricDelta
+}
+
+// Divergent reports whether the new run regressed: any decision
+// diverged, or any measured value moved in the worse direction beyond
+// the threshold.
+func (d *DiffResult) Divergent() bool {
+	if d.FirstDivergence != nil {
+		return true
+	}
+	for _, m := range d.MetricDeltas {
+		if m.Beyond && m.Worse {
+			return true
+		}
+	}
+	return false
+}
+
+// Diff compares two run ledgers: decisions byte-for-byte in order
+// (finding the first divergence point), placements cluster-by-cluster,
+// and measured values through the configured threshold.
+func Diff(old, new *Ledger, cfg DiffConfig) (*DiffResult, error) {
+	if old == nil || new == nil {
+		return nil, fmt.Errorf("ledger: Diff requires two ledgers")
+	}
+	threshold := cfg.MetricThreshold
+	if threshold <= 0 {
+		threshold = DefaultMetricThreshold
+	}
+	res := &DiffResult{
+		FingerprintMatch: old.Header().Fingerprint == new.Header().Fingerprint,
+	}
+
+	oldDec := decisionRecords(old.Records())
+	newDec := decisionRecords(new.Records())
+	res.DecisionCount = [2]int{len(oldDec), len(newDec)}
+	for i := 0; i < len(oldDec) || i < len(newDec); i++ {
+		switch {
+		case i >= len(oldDec):
+			r := newDec[i]
+			res.FirstDivergence = &Divergence{Index: i, New: &r}
+		case i >= len(newDec):
+			r := oldDec[i]
+			res.FirstDivergence = &Divergence{Index: i, Old: &r}
+		case !recordsEqual(oldDec[i], newDec[i]):
+			o, n := oldDec[i], newDec[i]
+			res.FirstDivergence = &Divergence{Index: i, Old: &o, New: &n}
+		default:
+			continue
+		}
+		break
+	}
+
+	res.PlacementDeltas = placementDeltas(old.Records(), new.Records())
+	res.MetricDeltas = metricDeltas(old.Records(), new.Records(), threshold)
+	return res, nil
+}
+
+// decisionRecords filters a record stream down to decisions: measured
+// values (metrics snapshots, campaign estimates) are compared through
+// thresholds instead — Monte-Carlo noise is not a decision change.
+func decisionRecords(recs []Record) []Record {
+	out := recs[:0:0]
+	for _, r := range recs {
+		if !measurementKind(r.Kind) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// recordsEqual compares two records ignoring their sequence numbers
+// (the filtered decision streams re-index).
+func recordsEqual(a, b Record) bool {
+	a.Seq, b.Seq = 0, 0
+	return reflect.DeepEqual(a, b)
+}
+
+func placementDeltas(old, new []Record) []PlacementDelta {
+	type placed struct {
+		node string
+		cost float64
+	}
+	collect := func(recs []Record) map[string]placed {
+		m := map[string]placed{}
+		attempt := winningAttempt(recs)
+		for _, r := range recs {
+			if r.Kind == KindPlace && r.Attempt == attempt {
+				m[r.A] = placed{r.Node, r.Cost}
+			}
+		}
+		return m
+	}
+	om, nm := collect(old), collect(new)
+	clusters := map[string]bool{}
+	for c := range om {
+		clusters[c] = true
+	}
+	for c := range nm {
+		clusters[c] = true
+	}
+	var deltas []PlacementDelta
+	for c := range clusters {
+		o, n := om[c], nm[c]
+		if o.node == n.node {
+			continue
+		}
+		deltas = append(deltas, PlacementDelta{
+			Cluster: c, OldNode: o.node, NewNode: n.node,
+			OldCost: o.cost, NewCost: n.cost,
+		})
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Cluster < deltas[j].Cluster })
+	return deltas
+}
+
+// Metric direction tables: which way is worse. Names match by their
+// last dot-separated component so campaign-prefixed values share the
+// table.
+var higherIsWorse = map[string]bool{
+	"cross_influence":          true,
+	"comm_cost":                true,
+	"escape_rate":              true,
+	"escaped_criticality":      true,
+	"weighted_escape_rate":     true,
+	"max_node_criticality":     true,
+	"critical_pairs_colocated": true,
+	"mean_criticality_loss":    true,
+	"refinement_moves":         false, // informational, neither direction
+}
+
+var lowerIsWorse = map[string]bool{
+	"containment":               true,
+	"stable_fraction":           true,
+	"system_reliability":        true,
+	"constraints_ok":            true,
+	"critical_pairs_shared_fcr": true,
+}
+
+func worseDirection(name string, delta float64) bool {
+	base := name
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		base = name[i+1:]
+	}
+	if higherIsWorse[base] {
+		return delta > 0
+	}
+	if lowerIsWorse[base] {
+		return delta < 0
+	}
+	if _, known := higherIsWorse[base]; known {
+		return false // explicitly direction-free
+	}
+	// Unknown metric: any movement is suspicious.
+	return delta != 0
+}
+
+// metricDeltas flattens every measured value of both runs into one
+// namespace (metrics values keep their names; other measurement kinds
+// prefix theirs) and compares.
+func metricDeltas(old, new []Record, threshold float64) []MetricDelta {
+	collect := func(recs []Record) map[string]float64 {
+		m := map[string]float64{}
+		seen := map[string]int{}
+		for _, r := range recs {
+			if !measurementKind(r.Kind) || len(r.Values) == 0 {
+				continue
+			}
+			prefix := ""
+			if r.Kind != KindMetrics {
+				prefix = r.Kind + "."
+			}
+			for k, v := range r.Values {
+				name := prefix + k
+				// Repeated measurement records (several campaigns in
+				// one run) get an occurrence suffix to stay distinct.
+				if n := seen[name]; n > 0 {
+					m[fmt.Sprintf("%s#%d", name, n)] = v
+				} else {
+					m[name] = v
+				}
+				seen[name]++
+			}
+		}
+		return m
+	}
+	om, nm := collect(old), collect(new)
+	names := map[string]bool{}
+	for k := range om {
+		names[k] = true
+	}
+	for k := range nm {
+		names[k] = true
+	}
+	var deltas []MetricDelta
+	for name := range names {
+		o, n := om[name], nm[name]
+		d := n - o
+		if d == 0 {
+			continue
+		}
+		deltas = append(deltas, MetricDelta{
+			Name: name, Old: o, New: n, Delta: d,
+			Worse:  worseDirection(name, d),
+			Beyond: d > threshold || d < -threshold,
+		})
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas
+}
+
+// String renders the diff for CLI output.
+func (d *DiffResult) String() string {
+	var sb strings.Builder
+	if !d.FingerprintMatch {
+		sb.WriteString("config fingerprints differ (runs are not expected to match decision-for-decision)\n")
+	}
+	if d.FirstDivergence == nil {
+		fmt.Fprintf(&sb, "decisions: identical (%d records)\n", d.DecisionCount[0])
+	} else {
+		fd := d.FirstDivergence
+		fmt.Fprintf(&sb, "first divergent decision at index %d:\n", fd.Index)
+		describe := func(label string, r *Record) {
+			if r == nil {
+				fmt.Fprintf(&sb, "  %s: (run ended)\n", label)
+				return
+			}
+			fmt.Fprintf(&sb, "  %s: %s\n", label, describeRecord(*r))
+		}
+		describe("old", fd.Old)
+		describe("new", fd.New)
+	}
+	for _, p := range d.PlacementDeltas {
+		fmt.Fprintf(&sb, "placement: %s moved %s (cost %.4g) -> %s (cost %.4g)\n",
+			p.Cluster, orNone(p.OldNode), p.OldCost, orNone(p.NewNode), p.NewCost)
+	}
+	for _, m := range d.MetricDeltas {
+		mark := "ok"
+		if m.Beyond && m.Worse {
+			mark = "REGRESSION"
+		} else if m.Beyond {
+			mark = "changed"
+		}
+		fmt.Fprintf(&sb, "metric %-32s %.6g -> %.6g (Δ %+.6g) [%s]\n",
+			m.Name, m.Old, m.New, m.Delta, mark)
+	}
+	if d.Divergent() {
+		sb.WriteString("verdict: DIVERGENT\n")
+	} else {
+		sb.WriteString("verdict: no divergence\n")
+	}
+	return sb.String()
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(absent)"
+	}
+	return s
+}
+
+// describeRecord renders a record compactly for divergence output.
+func describeRecord(r Record) string {
+	var parts []string
+	parts = append(parts, r.Kind)
+	if r.Stage != "" {
+		parts = append(parts, "stage="+r.Stage)
+	}
+	if r.Rule != "" {
+		parts = append(parts, "rule="+r.Rule)
+	}
+	if r.A != "" {
+		parts = append(parts, "a="+r.A)
+	}
+	if r.B != "" {
+		parts = append(parts, "b="+r.B)
+	}
+	if r.Score != 0 {
+		parts = append(parts, fmt.Sprintf("score=%.4g", r.Score))
+	}
+	if r.Result != "" {
+		parts = append(parts, "result="+r.Result)
+	}
+	if r.Node != "" {
+		parts = append(parts, fmt.Sprintf("node=%s cost=%.4g", r.Node, r.Cost))
+	}
+	if r.Detail != "" {
+		parts = append(parts, "detail="+r.Detail)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,236 @@
+package ledger
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Explanation answers "why are A and B placed the way they are?" for a
+// pair of FCMs: which replicas each resolves to, which Eq. (4) merges
+// pulled them together (or kept them apart), and which placement
+// decision — at what cost, beating which alternatives — put each on its
+// processor. One PairLineage per replica pair.
+type Explanation struct {
+	A, B  string
+	Pairs []PairLineage
+}
+
+// PairLineage is the causal chain for one concrete replica pair.
+type PairLineage struct {
+	A, B string
+	// Colocated reports whether the pair ended on the same processor;
+	// Node is that processor when they did.
+	Colocated bool
+	Node      string
+	// Separated reports a replica-separation edge between the pair: the
+	// pipeline was *forbidden* from colocating them.
+	Separated bool
+	// Join is the condensation step that first united the pair in one
+	// cluster, nil if no merge ever did.
+	Join *Record
+	// ChainA and ChainB are the merge steps each side went through, in
+	// decision order, up to and including the join (or to the end when
+	// the pair never joined).
+	ChainA, ChainB []Record
+	// PlaceA and PlaceB are the placement decisions that fixed each
+	// side's final cluster to a processor. When the pair is colocated
+	// both point at the same decision.
+	PlaceA, PlaceB *Record
+}
+
+// Explain reconstructs the merge/placement lineage of the pair (a, b)
+// from a run ledger. Base process names resolve to their replicas (p3 →
+// p3a, p3b); replica or cluster-member names are used as-is. Only the
+// decisions of the winning fallback attempt are consulted, so a ledger
+// that records failed attempts before a fallback succeeded still
+// explains the run that actually shipped.
+func Explain(l *Ledger, a, b string) (*Explanation, error) {
+	if l == nil {
+		return nil, fmt.Errorf("ledger: Explain on nil ledger")
+	}
+	recs := l.Records()
+
+	winning := winningAttempt(recs)
+
+	replicas := map[string][]string{}
+	known := map[string]bool{}
+	for _, r := range recs {
+		switch r.Kind {
+		case KindReplicate:
+			replicas[r.A] = r.Members
+			for _, m := range r.Members {
+				known[m] = true
+			}
+		case KindPartition:
+			known[r.A] = true
+		case KindPlace:
+			for _, m := range graph.Members(r.A) {
+				known[m] = true
+			}
+		}
+	}
+
+	resolve := func(name string) ([]string, error) {
+		if reps, ok := replicas[name]; ok && len(reps) > 0 {
+			return reps, nil
+		}
+		if known[name] {
+			return []string{name}, nil
+		}
+		return nil, fmt.Errorf("ledger: %q appears in no partition, replication or placement record", name)
+	}
+	as, err := resolve(a)
+	if err != nil {
+		return nil, err
+	}
+	bs, err := resolve(b)
+	if err != nil {
+		return nil, err
+	}
+
+	exp := &Explanation{A: a, B: b}
+	for _, ra := range as {
+		for _, rb := range bs {
+			if ra == rb {
+				continue
+			}
+			exp.Pairs = append(exp.Pairs, pairLineage(recs, winning, ra, rb))
+		}
+	}
+	sort.Slice(exp.Pairs, func(i, j int) bool {
+		if exp.Pairs[i].A != exp.Pairs[j].A {
+			return exp.Pairs[i].A < exp.Pairs[j].A
+		}
+		return exp.Pairs[i].B < exp.Pairs[j].B
+	})
+	if len(exp.Pairs) == 0 {
+		return nil, fmt.Errorf("ledger: no distinct replica pairs for (%s, %s)", a, b)
+	}
+	return exp, nil
+}
+
+// winningAttempt finds the fallback attempt the shipped result came
+// from: the attempt stamped on the placement decisions (all placements
+// belong to the attempt that succeeded). A ledger without placements
+// (campaign-only runs) explains nothing placement-wise; 0 matches only
+// records without an attempt stamp.
+func winningAttempt(recs []Record) int {
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Kind == KindPlace {
+			return recs[i].Attempt
+		}
+	}
+	return 0
+}
+
+func pairLineage(recs []Record, attempt int, a, b string) PairLineage {
+	pl := PairLineage{A: a, B: b}
+	for _, r := range recs {
+		switch r.Kind {
+		case KindReplicaEdge:
+			if (r.A == a && r.B == b) || (r.A == b && r.B == a) {
+				pl.Separated = true
+			}
+		case KindMerge:
+			if r.Attempt != attempt {
+				continue
+			}
+			members := graph.Members(r.Result)
+			hasA := contains(members, a)
+			hasB := contains(members, b)
+			if pl.Join != nil {
+				continue
+			}
+			if hasA && hasB {
+				join := r
+				pl.Join = &join
+				continue
+			}
+			if hasA {
+				pl.ChainA = append(pl.ChainA, r)
+			}
+			if hasB {
+				pl.ChainB = append(pl.ChainB, r)
+			}
+		case KindPlace:
+			if r.Attempt != attempt {
+				continue
+			}
+			members := graph.Members(r.A)
+			if contains(members, a) {
+				place := r
+				pl.PlaceA = &place
+			}
+			if contains(members, b) {
+				place := r
+				pl.PlaceB = &place
+			}
+		}
+	}
+	if pl.PlaceA != nil && pl.PlaceB != nil && pl.PlaceA.Node == pl.PlaceB.Node {
+		pl.Colocated = true
+		pl.Node = pl.PlaceA.Node
+	}
+	return pl
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the explanation as a human-readable causal chain.
+func (e *Explanation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "why %s and %s are placed the way they are:\n", e.A, e.B)
+	for _, p := range e.Pairs {
+		fmt.Fprintf(&sb, "\n%s vs %s:\n", p.A, p.B)
+		if p.Separated {
+			fmt.Fprintf(&sb, "  replica-separation edge %s—%s forbids colocation\n", p.A, p.B)
+		}
+		writeChain := func(who string, chain []Record) {
+			for _, m := range chain {
+				fmt.Fprintf(&sb, "  [%s] merge %s: %s + %s (Eq.4 mutual %.4g) -> %s\n",
+					who, m.Rule, m.A, m.B, m.Score, m.Result)
+			}
+		}
+		writeChain(p.A, p.ChainA)
+		writeChain(p.B, p.ChainB)
+		if p.Join != nil {
+			fmt.Fprintf(&sb, "  joined by merge %s: %s + %s (Eq.4 mutual %.4g) -> %s\n",
+				p.Join.Rule, p.Join.A, p.Join.B, p.Join.Score, p.Join.Result)
+		} else {
+			fmt.Fprintf(&sb, "  never merged into one cluster\n")
+		}
+		writePlace := func(who string, pr *Record) {
+			if pr == nil {
+				fmt.Fprintf(&sb, "  %s: no placement recorded\n", who)
+				return
+			}
+			fmt.Fprintf(&sb, "  %s placed: cluster %s -> %s (cost %.4g", who, pr.A, pr.Node, pr.Cost)
+			if len(pr.Alternatives) > 0 {
+				alts := make([]string, len(pr.Alternatives))
+				for i, alt := range pr.Alternatives {
+					alts[i] = fmt.Sprintf("%s %.4g", alt.Node, alt.Cost)
+				}
+				fmt.Fprintf(&sb, "; beat %s", strings.Join(alts, ", "))
+			}
+			fmt.Fprintf(&sb, ")\n")
+		}
+		if p.Colocated {
+			fmt.Fprintf(&sb, "  colocated on %s\n", p.Node)
+			writePlace(p.A+"+"+p.B, p.PlaceA)
+		} else {
+			writePlace(p.A, p.PlaceA)
+			writePlace(p.B, p.PlaceB)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,298 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// workedLedger builds a ledger shaped like the paper's worked example
+// run: p1..p8 partitioned, FT-expanded, condensed under H1 and placed on
+// hw1..hw6 — including the 0.76 merge that pulls p5 into {p3a,p4}.
+func workedLedger() *Ledger {
+	l := New(Header{Tool: "fcmtool", System: "paper", Strategy: "H1",
+		Approach: "importance", HWNodes: 6, Fingerprint: "f00d"})
+	l.Append(Record{Kind: KindReplicate, Stage: "replicate", A: "p1", Members: []string{"p1a", "p1b", "p1c"}})
+	l.Append(Record{Kind: KindReplicate, Stage: "replicate", A: "p2", Members: []string{"p2a", "p2b"}})
+	l.Append(Record{Kind: KindReplicate, Stage: "replicate", A: "p3", Members: []string{"p3a", "p3b"}})
+	l.Append(Record{Kind: KindReplicaEdge, Stage: "replicate", A: "p3a", B: "p3b"})
+	l.Append(Record{Kind: KindMerge, Stage: "condense", Rule: "H1", A: "p1a", B: "p2a", Score: 1.2, Result: "{p1a,p2a}", Attempt: 1})
+	l.Append(Record{Kind: KindMerge, Stage: "condense", Rule: "H1", A: "p3a", B: "p4", Score: 0.9, Result: "{p3a,p4}", Attempt: 1})
+	l.Append(Record{Kind: KindMerge, Stage: "condense", Rule: "H1", A: "p5", B: "{p3a,p4}", Score: 0.76, Result: "{p3a,p4,p5}", Attempt: 1})
+	l.Append(Record{Kind: KindMerge, Stage: "condense", Rule: "H1", A: "p7", B: "p8", Score: 0.5, Result: "{p7,p8}", Attempt: 1})
+	l.Append(Record{Kind: KindPlace, Stage: "map", Rule: "importance", A: "{p3a,p4,p5}", Node: "hw5", Cost: 1.25,
+		Alternatives: []Alternative{{Node: "hw4", Cost: 2.5}}, Attempt: 1})
+	l.Append(Record{Kind: KindPlace, Stage: "map", Rule: "importance", A: "p3b", Node: "hw4", Cost: 0.5, Attempt: 1})
+	l.Append(Record{Kind: KindPlace, Stage: "map", Rule: "importance", A: "{p7,p8}", Node: "hw6", Cost: 0, Attempt: 1})
+	l.Append(Record{Kind: KindMetrics, Stage: "evaluate",
+		Values: map[string]float64{"containment": 0.391, "cross_influence": 7.8}})
+	return l
+}
+
+func TestExplainColocatedPair(t *testing.T) {
+	l := workedLedger()
+	exp, err := Explain(l, "p3", "p5")
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if exp.A != "p3" || exp.B != "p5" {
+		t.Errorf("query echoed as (%s, %s)", exp.A, exp.B)
+	}
+	// p3 resolves to p3a and p3b; p5 to itself -> two pairs.
+	if len(exp.Pairs) != 2 {
+		t.Fatalf("pairs = %d, want 2", len(exp.Pairs))
+	}
+	// Sorted: p3a first.
+	pa := exp.Pairs[0]
+	if pa.A != "p3a" || pa.B != "p5" {
+		t.Fatalf("first pair (%s, %s)", pa.A, pa.B)
+	}
+	if !pa.Colocated || pa.Node != "hw5" {
+		t.Errorf("p3a/p5: colocated=%v node=%q, want true/hw5", pa.Colocated, pa.Node)
+	}
+	if pa.Join == nil {
+		t.Fatal("p3a/p5: no join merge found")
+	}
+	if pa.Join.Score != 0.76 || pa.Join.Rule != "H1" {
+		t.Errorf("join = rule %s score %v, want H1 0.76", pa.Join.Rule, pa.Join.Score)
+	}
+	if pa.PlaceA == nil || pa.PlaceA.Cost != 1.25 {
+		t.Errorf("placement cost not recovered: %+v", pa.PlaceA)
+	}
+	// p3a reached the join through the earlier 0.9 merge.
+	if len(pa.ChainA) != 1 || pa.ChainA[0].Score != 0.9 {
+		t.Errorf("p3a chain = %+v, want the 0.9 merge", pa.ChainA)
+	}
+
+	pb := exp.Pairs[1]
+	if pb.A != "p3b" || pb.B != "p5" {
+		t.Fatalf("second pair (%s, %s)", pb.A, pb.B)
+	}
+	if pb.Colocated || pb.Join != nil {
+		t.Errorf("p3b/p5 should never join: colocated=%v join=%v", pb.Colocated, pb.Join)
+	}
+	if pb.PlaceA == nil || pb.PlaceA.Node != "hw4" {
+		t.Errorf("p3b placement = %+v, want hw4", pb.PlaceA)
+	}
+
+	text := exp.String()
+	for _, want := range []string{"0.76", "H1", "hw5", "hw4", "{p3a,p4,p5}"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered explanation missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExplainSeparatedReplicas(t *testing.T) {
+	exp, err := Explain(workedLedger(), "p3a", "p3b")
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if len(exp.Pairs) != 1 {
+		t.Fatalf("pairs = %d, want 1", len(exp.Pairs))
+	}
+	p := exp.Pairs[0]
+	if !p.Separated {
+		t.Error("replica-separation edge not surfaced")
+	}
+	if p.Colocated {
+		t.Error("separated replicas reported colocated")
+	}
+	if !strings.Contains(exp.String(), "forbids colocation") {
+		t.Errorf("rendered text misses separation note:\n%s", exp.String())
+	}
+}
+
+func TestExplainUnknownEntity(t *testing.T) {
+	if _, err := Explain(workedLedger(), "p3", "nosuch"); err == nil {
+		t.Fatal("unknown entity accepted")
+	}
+	if _, err := Explain(nil, "a", "b"); err == nil {
+		t.Fatal("nil ledger accepted")
+	}
+}
+
+func TestExplainIgnoresLosingAttempts(t *testing.T) {
+	l := New(Header{})
+	// Attempt 1 failed after one merge; attempt 2 shipped.
+	l.Append(Record{Kind: KindMerge, Rule: "H2", A: "x", B: "y", Score: 9.9, Result: "{x,y}", Attempt: 1})
+	l.Append(Record{Kind: KindDegrade, Rule: "H2", Detail: "timeout"})
+	l.Append(Record{Kind: KindMerge, Rule: "H1", A: "x", B: "y", Score: 0.3, Result: "{x,y}", Attempt: 2})
+	l.Append(Record{Kind: KindPlace, A: "{x,y}", Node: "hw1", Cost: 1, Attempt: 2})
+	exp, err := Explain(l, "x", "y")
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	j := exp.Pairs[0].Join
+	if j == nil || j.Rule != "H1" || j.Score != 0.3 {
+		t.Fatalf("join came from losing attempt: %+v", j)
+	}
+}
+
+func TestDiffIdenticalRuns(t *testing.T) {
+	d, err := Diff(workedLedger(), workedLedger(), DiffConfig{})
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if d.Divergent() {
+		t.Fatalf("identical runs diverge: %s", d.String())
+	}
+	if !d.FingerprintMatch {
+		t.Error("fingerprints should match")
+	}
+	if d.FirstDivergence != nil || len(d.PlacementDeltas) != 0 || len(d.MetricDeltas) != 0 {
+		t.Errorf("identical runs produced deltas: %+v", d)
+	}
+	if !strings.Contains(d.String(), "no divergence") {
+		t.Errorf("rendered diff: %s", d.String())
+	}
+}
+
+func TestDiffFindsFirstDivergentDecision(t *testing.T) {
+	old := workedLedger()
+	perturbed := New(old.Header())
+	for _, r := range old.Records() {
+		if r.Kind == KindMerge && r.Score == 0.76 {
+			// The perturbed run merged p5 with p6 instead.
+			r.B, r.Result, r.Score = "p6", "{p5,p6}", 0.41
+		}
+		r.Seq = 0
+		perturbed.Append(r)
+	}
+	d, err := Diff(old, perturbed, DiffConfig{})
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if !d.Divergent() {
+		t.Fatal("perturbed run not flagged divergent")
+	}
+	fd := d.FirstDivergence
+	if fd == nil {
+		t.Fatal("no first divergence")
+	}
+	if fd.Old == nil || fd.Old.Score != 0.76 {
+		t.Errorf("divergence anchored at %+v, want the 0.76 merge", fd.Old)
+	}
+	if fd.New == nil || fd.New.Result != "{p5,p6}" {
+		t.Errorf("new side = %+v", fd.New)
+	}
+	if !strings.Contains(d.String(), "first divergent decision") {
+		t.Errorf("rendered diff misses divergence: %s", d.String())
+	}
+}
+
+func TestDiffMetricThresholds(t *testing.T) {
+	mk := func(cross float64) *Ledger {
+		l := New(Header{Fingerprint: "same"})
+		l.Append(Record{Kind: KindMetrics, Stage: "evaluate",
+			Values: map[string]float64{"cross_influence": cross, "containment": 0.4}})
+		return l
+	}
+	// Within threshold: not divergent.
+	d, err := Diff(mk(7.8), mk(7.805), DiffConfig{MetricThreshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Divergent() {
+		t.Errorf("sub-threshold movement flagged: %s", d.String())
+	}
+	// Beyond threshold in the worse direction: divergent.
+	d, err = Diff(mk(7.8), mk(8.5), DiffConfig{MetricThreshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Divergent() {
+		t.Error("regression not flagged")
+	}
+	// Beyond threshold but improving: changed, not a regression.
+	d, err = Diff(mk(7.8), mk(7.0), DiffConfig{MetricThreshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Divergent() {
+		t.Errorf("improvement flagged as regression: %s", d.String())
+	}
+}
+
+func TestDiffPlacementDeltas(t *testing.T) {
+	old := workedLedger()
+	moved := New(old.Header())
+	for _, r := range old.Records() {
+		if r.Kind == KindPlace && r.A == "p3b" {
+			r.Node, r.Cost = "hw1", 0.75
+		}
+		r.Seq = 0
+		moved.Append(r)
+	}
+	d, err := Diff(old, moved, DiffConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.PlacementDeltas) != 1 {
+		t.Fatalf("placement deltas = %+v, want exactly p3b", d.PlacementDeltas)
+	}
+	pd := d.PlacementDeltas[0]
+	if pd.Cluster != "p3b" || pd.OldNode != "hw4" || pd.NewNode != "hw1" {
+		t.Errorf("delta = %+v", pd)
+	}
+}
+
+func TestMarkdownReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, workedLedger()); err != nil {
+		t.Fatalf("WriteMarkdown: %v", err)
+	}
+	md := buf.String()
+	for _, want := range []string{
+		"# Integration run report", "| p3a | p4 | 0.9 |", "0.76",
+		"{p3a,p4,p5}", "hw5", "containment", "fingerprint",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown report missing %q", want)
+		}
+	}
+}
+
+func TestHTMLReportSelfContained(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, workedLedger()); err != nil {
+		t.Fatalf("WriteHTML: %v", err)
+	}
+	html := buf.String()
+	for _, want := range []string{"<!DOCTYPE html>", "0.76", "hw5", "{p3a,p4,p5}"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("html report missing %q", want)
+		}
+	}
+	for _, forbid := range []string{"<script src", "<link rel", "http://", "https://"} {
+		if strings.Contains(html, forbid) {
+			t.Errorf("html report not self-contained: found %q", forbid)
+		}
+	}
+}
+
+func TestReportDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteMarkdown(&a, workedLedger()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMarkdown(&b, workedLedger()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("markdown rendering not deterministic")
+	}
+}
+
+func TestLedgerJSONLValidLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := workedLedger().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Errorf("line %d is not valid JSON: %s", i+1, line)
+		}
+	}
+}

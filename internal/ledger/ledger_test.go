@@ -1,0 +1,205 @@
+package ledger
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilLedgerIsInert(t *testing.T) {
+	var l *Ledger
+	if got := l.Append(Record{Kind: KindMerge}); got != -1 {
+		t.Errorf("nil Append = %d, want -1", got)
+	}
+	l.AppendAll([]Record{{Kind: KindPlace}})
+	l.MergeHeader(Header{Tool: "x"})
+	if l.Len() != 0 {
+		t.Errorf("nil Len = %d, want 0", l.Len())
+	}
+	if l.Records() != nil {
+		t.Errorf("nil Records = %v, want nil", l.Records())
+	}
+	if h := l.Header(); h != (Header{}) {
+		t.Errorf("nil Header = %+v, want zero", h)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Errorf("nil WriteJSONL: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil WriteJSONL wrote %q", buf.String())
+	}
+}
+
+func TestAppendAssignsSequence(t *testing.T) {
+	l := New(Header{Tool: "test"})
+	for i := 0; i < 5; i++ {
+		if seq := l.Append(Record{Kind: KindMerge}); seq != i {
+			t.Fatalf("Append %d assigned seq %d", i, seq)
+		}
+	}
+	l.AppendAll([]Record{{Kind: KindPlace, Seq: 99}, {Kind: KindPlace, Seq: 99}})
+	recs := l.Records()
+	if len(recs) != 7 {
+		t.Fatalf("Len = %d, want 7", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != i {
+			t.Errorf("record %d has seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestMergeHeaderFillsOnlyEmptyFields(t *testing.T) {
+	l := New(Header{Tool: "fcmtool"})
+	l.MergeHeader(Header{Tool: "other", System: "paper", HWNodes: 6, Fingerprint: "abc"})
+	h := l.Header()
+	if h.Tool != "fcmtool" {
+		t.Errorf("Tool overwritten to %q", h.Tool)
+	}
+	if h.System != "paper" || h.HWNodes != 6 || h.Fingerprint != "abc" {
+		t.Errorf("empty fields not filled: %+v", h)
+	}
+	if h.Schema != SchemaVersion {
+		t.Errorf("Schema = %d, want %d", h.Schema, SchemaVersion)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	l := New(Header{
+		Tool: "fcmtool", System: "paper", Strategy: "H1",
+		Approach: "importance", HWNodes: 6, Fingerprint: "deadbeef",
+	})
+	l.Append(Record{Kind: KindPartition, Stage: "partition",
+		A: "p1", Members: []string{"p1"}, Detail: "hw1"})
+	l.Append(Record{Kind: KindMerge, Stage: "condense", Rule: "H1",
+		A: "p3a", B: "p4", Score: 0.9, Result: "{p3a,p4}", Attempt: 1})
+	l.Append(Record{Kind: KindPlace, Stage: "map", A: "{p3a,p4}",
+		Node: "hw5", Cost: 1.5,
+		Alternatives: []Alternative{{Node: "hw6", Cost: 2.25}}})
+	l.Append(Record{Kind: KindMetrics, Stage: "evaluate",
+		Values: map[string]float64{"containment": 0.391, "comm_cost": 7.8}})
+
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if got.Header() != l.Header() {
+		t.Errorf("header round-trip: got %+v want %+v", got.Header(), l.Header())
+	}
+	if !reflect.DeepEqual(got.Records(), l.Records()) {
+		t.Errorf("records round-trip:\ngot  %+v\nwant %+v", got.Records(), l.Records())
+	}
+}
+
+func TestWriteIsDeterministic(t *testing.T) {
+	build := func() *Ledger {
+		l := New(Header{Tool: "t", System: "s"})
+		l.Append(Record{Kind: KindMetrics,
+			Values: map[string]float64{"b": 2, "a": 1, "c": 3, "d": 4}})
+		l.Append(Record{Kind: KindMerge, A: "x", B: "y", Score: 0.5})
+		return l
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteJSONL(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSONL(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Errorf("serialisation not deterministic:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+}
+
+func TestReadRejectsWrongSchema(t *testing.T) {
+	in := `{"schema":999,"tool":"x"}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestReadRejectsEmpty(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("")); err != ErrEmpty {
+		t.Fatalf("empty input: err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/run.jsonl"
+	l := New(Header{Tool: "t"})
+	l.Append(Record{Kind: KindMerge, A: "a", B: "b"})
+	if err := l.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got.Records(), l.Records()) {
+		t.Errorf("file round-trip mismatch")
+	}
+}
+
+func TestFingerprintStableAndDistinct(t *testing.T) {
+	type cfg struct {
+		Name  string
+		Knobs []int
+	}
+	a := Fingerprint(cfg{"x", []int{1, 2}})
+	b := Fingerprint(cfg{"x", []int{1, 2}})
+	c := Fingerprint(cfg{"x", []int{1, 3}})
+	if a != b {
+		t.Errorf("fingerprint unstable: %s vs %s", a, b)
+	}
+	if a == c {
+		t.Errorf("distinct configs share fingerprint %s", a)
+	}
+	if len(a) != 16 {
+		t.Errorf("fingerprint length %d, want 16 hex chars", len(a))
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l := New(Header{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Append(Record{Kind: KindMerge})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", l.Len())
+	}
+	for i, r := range l.Records() {
+		if r.Seq != i {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestMeasurementKind(t *testing.T) {
+	for _, k := range []string{KindMetrics, KindCampaign, KindCertify,
+		KindCertifyLevel, KindSearchEval, KindSearchBest} {
+		if !measurementKind(k) {
+			t.Errorf("measurementKind(%s) = false", k)
+		}
+	}
+	for _, k := range []string{KindMerge, KindPlace, KindPartition,
+		KindDegrade, KindRace, KindArtifact} {
+		if measurementKind(k) {
+			t.Errorf("measurementKind(%s) = true", k)
+		}
+	}
+}

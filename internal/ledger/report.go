@@ -1,0 +1,336 @@
+package ledger
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"sort"
+	"strings"
+)
+
+// reportData is the view model shared by the Markdown and HTML
+// renderers: the ledger regrouped by decision class, in decision order.
+type reportData struct {
+	Header     Header
+	Partitions []Record
+	Replicas   []Record
+	Edges      int
+	Merges     []Record
+	Backtracks []Record
+	Degrades   []Record
+	Races      []Record
+	Places     []Record
+	Refines    []Record
+	Metrics    []metricRow
+	Campaigns  []valueBlock
+	Certifies  []valueBlock
+	Searches   []Record
+	Artifacts  []Record
+	Total      int
+}
+
+type metricRow struct {
+	Name  string
+	Value float64
+}
+
+type valueBlock struct {
+	Title  string
+	Values []metricRow
+}
+
+func buildReport(l *Ledger) reportData {
+	d := reportData{Header: l.Header()}
+	recs := l.Records()
+	d.Total = len(recs)
+	attempt := winningAttempt(recs)
+	sortedValues := func(vals map[string]float64) []metricRow {
+		rows := make([]metricRow, 0, len(vals))
+		for k, v := range vals {
+			rows = append(rows, metricRow{k, v})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+		return rows
+	}
+	for _, r := range recs {
+		switch r.Kind {
+		case KindPartition:
+			d.Partitions = append(d.Partitions, r)
+		case KindReplicate:
+			d.Replicas = append(d.Replicas, r)
+		case KindReplicaEdge:
+			d.Edges++
+		case KindMerge:
+			if r.Attempt == attempt {
+				d.Merges = append(d.Merges, r)
+			}
+		case KindBacktrack:
+			d.Backtracks = append(d.Backtracks, r)
+		case KindDegrade:
+			d.Degrades = append(d.Degrades, r)
+		case KindRace:
+			d.Races = append(d.Races, r)
+		case KindPlace:
+			if r.Attempt == attempt {
+				d.Places = append(d.Places, r)
+			}
+		case KindRefine:
+			d.Refines = append(d.Refines, r)
+		case KindMetrics:
+			d.Metrics = append(d.Metrics, sortedValues(r.Values)...)
+		case KindCampaign:
+			d.Campaigns = append(d.Campaigns, valueBlock{
+				Title: strings.TrimSpace("campaign " + r.Detail), Values: sortedValues(r.Values)})
+		case KindCertify, KindCertifyLevel:
+			title := "certificate"
+			if r.Kind == KindCertifyLevel {
+				title = "certificate level " + r.A
+			}
+			d.Certifies = append(d.Certifies, valueBlock{Title: title, Values: sortedValues(r.Values)})
+		case KindSearchEval, KindSearchBest:
+			d.Searches = append(d.Searches, r)
+		case KindArtifact:
+			d.Artifacts = append(d.Artifacts, r)
+		}
+	}
+	return d
+}
+
+// memberList renders a record's Members column.
+func memberList(ms []string) string { return strings.Join(ms, ", ") }
+
+// altList renders the beaten alternatives of a placement.
+func altList(alts []Alternative) string {
+	if len(alts) == 0 {
+		return "—"
+	}
+	parts := make([]string, len(alts))
+	for i, a := range alts {
+		parts[i] = fmt.Sprintf("%s %.4g", a.Node, a.Cost)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func num(f float64) string { return fmt.Sprintf("%.4g", f) }
+
+// WriteMarkdown renders the run ledger as a Markdown report: run
+// identity, the winning-attempt decision chain (merges with Eq. (4)
+// scores, placements with beaten alternatives), and every measurement.
+func WriteMarkdown(w io.Writer, l *Ledger) error {
+	if l == nil {
+		return fmt.Errorf("ledger: report on nil ledger")
+	}
+	d := buildReport(l)
+	var sb strings.Builder
+
+	fmt.Fprintf(&sb, "# Integration run report\n\n")
+	fmt.Fprintf(&sb, "| | |\n|---|---|\n")
+	fmt.Fprintf(&sb, "| schema | %d |\n", d.Header.Schema)
+	if d.Header.Tool != "" {
+		fmt.Fprintf(&sb, "| tool | %s |\n", d.Header.Tool)
+	}
+	if d.Header.System != "" {
+		fmt.Fprintf(&sb, "| system | %s |\n", d.Header.System)
+	}
+	if d.Header.Strategy != "" {
+		fmt.Fprintf(&sb, "| strategy | %s |\n", d.Header.Strategy)
+	}
+	if d.Header.Approach != "" {
+		fmt.Fprintf(&sb, "| approach | %s |\n", d.Header.Approach)
+	}
+	if d.Header.HWNodes != 0 {
+		fmt.Fprintf(&sb, "| HW nodes | %d |\n", d.Header.HWNodes)
+	}
+	if d.Header.Fingerprint != "" {
+		fmt.Fprintf(&sb, "| fingerprint | `%s` |\n", d.Header.Fingerprint)
+	}
+	fmt.Fprintf(&sb, "| records | %d |\n", d.Total)
+
+	if len(d.Partitions) > 0 {
+		fmt.Fprintf(&sb, "\n## Partition\n\n| FCM | criticality | attributes |\n|---|---|---|\n")
+		for _, r := range d.Partitions {
+			fmt.Fprintf(&sb, "| %s | %s | %s |\n", r.A, num(r.Score), r.Detail)
+		}
+	}
+	if len(d.Replicas) > 0 {
+		fmt.Fprintf(&sb, "\n## Fault-tolerance expansion\n\n| base | replicas |\n|---|---|\n")
+		for _, r := range d.Replicas {
+			fmt.Fprintf(&sb, "| %s | %s |\n", r.A, memberList(r.Members))
+		}
+		if d.Edges > 0 {
+			fmt.Fprintf(&sb, "\n%d replica-separation edges inserted.\n", d.Edges)
+		}
+	}
+	if len(d.Degrades) > 0 || len(d.Races) > 0 {
+		fmt.Fprintf(&sb, "\n## Strategy selection\n\n")
+		for _, r := range d.Races {
+			fmt.Fprintf(&sb, "- race won by `%s`\n", r.Rule)
+		}
+		for _, r := range d.Degrades {
+			fmt.Fprintf(&sb, "- degraded from `%s`: %s\n", r.Rule, r.Detail)
+		}
+	}
+	if len(d.Merges) > 0 {
+		fmt.Fprintf(&sb, "\n## Condensation (winning attempt)\n\n| rule | A | B | Eq.4 mutual | result |\n|---|---|---|---|---|\n")
+		for _, r := range d.Merges {
+			fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s |\n", r.Rule, r.A, r.B, num(r.Score), r.Result)
+		}
+	}
+	if len(d.Backtracks) > 0 {
+		fmt.Fprintf(&sb, "\n%d backtracked pairings: ", len(d.Backtracks))
+		var parts []string
+		for _, r := range d.Backtracks {
+			parts = append(parts, fmt.Sprintf("%s/%s", r.A, r.B))
+		}
+		fmt.Fprintf(&sb, "%s.\n", strings.Join(parts, ", "))
+	}
+	if len(d.Places) > 0 {
+		fmt.Fprintf(&sb, "\n## Placement\n\n| cluster | node | cost | beat |\n|---|---|---|---|\n")
+		for _, r := range d.Places {
+			fmt.Fprintf(&sb, "| %s | %s | %s | %s |\n", r.A, r.Node, num(r.Cost), altList(r.Alternatives))
+		}
+	}
+	for _, r := range d.Refines {
+		fmt.Fprintf(&sb, "\nRefinement: %s\n", r.Detail)
+	}
+	if len(d.Metrics) > 0 {
+		fmt.Fprintf(&sb, "\n## Final metrics\n\n| metric | value |\n|---|---|\n")
+		for _, m := range d.Metrics {
+			fmt.Fprintf(&sb, "| %s | %s |\n", m.Name, num(m.Value))
+		}
+	}
+	for _, blk := range d.Campaigns {
+		fmt.Fprintf(&sb, "\n## Fault-injection %s\n\n| estimate | value |\n|---|---|\n", blk.Title)
+		for _, m := range blk.Values {
+			fmt.Fprintf(&sb, "| %s | %s |\n", m.Name, num(m.Value))
+		}
+	}
+	for _, blk := range d.Certifies {
+		fmt.Fprintf(&sb, "\n## Robustness %s\n\n| quantity | value |\n|---|---|\n", blk.Title)
+		for _, m := range blk.Values {
+			fmt.Fprintf(&sb, "| %s | %s |\n", m.Name, num(m.Value))
+		}
+	}
+	if len(d.Searches) > 0 {
+		fmt.Fprintf(&sb, "\n## Adversarial search\n\n| kind | scenario | objective |\n|---|---|---|\n")
+		for _, r := range d.Searches {
+			fmt.Fprintf(&sb, "| %s | %s | %s |\n", r.Kind, r.Detail, num(r.Score))
+		}
+	}
+	if len(d.Artifacts) > 0 {
+		fmt.Fprintf(&sb, "\n## Artifacts\n\n| artifact | content hash |\n|---|---|\n")
+		for _, r := range d.Artifacts {
+			fmt.Fprintf(&sb, "| %s | `%s` |\n", r.A, r.Detail)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// htmlReport is self-contained: inline CSS, no external assets, so the
+// file opens anywhere (CI artifact browsers included).
+var htmlReport = template.Must(template.New("report").Funcs(template.FuncMap{
+	"members": memberList,
+	"alts":    altList,
+	"num":     num,
+}).Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Integration run report{{with .Header.System}} — {{.}}{{end}}</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #1a1a1a; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .3rem; }
+h2 { margin-top: 2rem; color: #333; }
+table { border-collapse: collapse; margin: .5rem 0; }
+th, td { border: 1px solid #bbb; padding: .25rem .6rem; text-align: left; }
+th { background: #f0f0f0; }
+code { background: #f5f5f5; padding: 0 .2rem; }
+.score { text-align: right; font-variant-numeric: tabular-nums; }
+</style>
+</head>
+<body>
+<h1>Integration run report</h1>
+<table>
+<tr><th>schema</th><td>{{.Header.Schema}}</td></tr>
+{{with .Header.Tool}}<tr><th>tool</th><td>{{.}}</td></tr>{{end}}
+{{with .Header.System}}<tr><th>system</th><td>{{.}}</td></tr>{{end}}
+{{with .Header.Strategy}}<tr><th>strategy</th><td>{{.}}</td></tr>{{end}}
+{{with .Header.Approach}}<tr><th>approach</th><td>{{.}}</td></tr>{{end}}
+{{with .Header.HWNodes}}<tr><th>HW nodes</th><td>{{.}}</td></tr>{{end}}
+{{with .Header.Fingerprint}}<tr><th>fingerprint</th><td><code>{{.}}</code></td></tr>{{end}}
+<tr><th>records</th><td>{{.Total}}</td></tr>
+</table>
+{{if .Partitions}}
+<h2>Partition</h2>
+<table><tr><th>FCM</th><th>criticality</th><th>attributes</th></tr>
+{{range .Partitions}}<tr><td>{{.A}}</td><td>{{num .Score}}</td><td>{{.Detail}}</td></tr>
+{{end}}</table>
+{{end}}
+{{if .Replicas}}
+<h2>Fault-tolerance expansion</h2>
+<table><tr><th>base</th><th>replicas</th></tr>
+{{range .Replicas}}<tr><td>{{.A}}</td><td>{{members .Members}}</td></tr>
+{{end}}</table>
+{{if .Edges}}<p>{{.Edges}} replica-separation edges inserted.</p>{{end}}
+{{end}}
+{{if or .Degrades .Races}}
+<h2>Strategy selection</h2>
+<ul>
+{{range .Races}}<li>race won by <code>{{.Rule}}</code></li>
+{{end}}{{range .Degrades}}<li>degraded from <code>{{.Rule}}</code>: {{.Detail}}</li>
+{{end}}</ul>
+{{end}}
+{{if .Merges}}
+<h2>Condensation (winning attempt)</h2>
+<table><tr><th>rule</th><th>A</th><th>B</th><th>Eq.4 mutual</th><th>result</th></tr>
+{{range .Merges}}<tr><td>{{.Rule}}</td><td>{{.A}}</td><td>{{.B}}</td><td class="score">{{num .Score}}</td><td>{{.Result}}</td></tr>
+{{end}}</table>
+{{end}}
+{{if .Places}}
+<h2>Placement</h2>
+<table><tr><th>cluster</th><th>node</th><th>cost</th><th>beat</th></tr>
+{{range .Places}}<tr><td>{{.A}}</td><td>{{.Node}}</td><td class="score">{{num .Cost}}</td><td>{{alts .Alternatives}}</td></tr>
+{{end}}</table>
+{{end}}
+{{if .Metrics}}
+<h2>Final metrics</h2>
+<table><tr><th>metric</th><th>value</th></tr>
+{{range .Metrics}}<tr><td>{{.Name}}</td><td class="score">{{num .Value}}</td></tr>
+{{end}}</table>
+{{end}}
+{{range .Campaigns}}
+<h2>Fault-injection {{.Title}}</h2>
+<table><tr><th>estimate</th><th>value</th></tr>
+{{range .Values}}<tr><td>{{.Name}}</td><td class="score">{{num .Value}}</td></tr>
+{{end}}</table>
+{{end}}
+{{range .Certifies}}
+<h2>Robustness {{.Title}}</h2>
+<table><tr><th>quantity</th><th>value</th></tr>
+{{range .Values}}<tr><td>{{.Name}}</td><td class="score">{{num .Value}}</td></tr>
+{{end}}</table>
+{{end}}
+{{if .Searches}}
+<h2>Adversarial search</h2>
+<table><tr><th>kind</th><th>scenario</th><th>objective</th></tr>
+{{range .Searches}}<tr><td>{{.Kind}}</td><td>{{.Detail}}</td><td class="score">{{num .Score}}</td></tr>
+{{end}}</table>
+{{end}}
+{{if .Artifacts}}
+<h2>Artifacts</h2>
+<table><tr><th>artifact</th><th>content hash</th></tr>
+{{range .Artifacts}}<tr><td>{{.A}}</td><td><code>{{.Detail}}</code></td></tr>
+{{end}}</table>
+{{end}}
+</body>
+</html>
+`))
+
+// WriteHTML renders the run ledger as a self-contained HTML report.
+func WriteHTML(w io.Writer, l *Ledger) error {
+	if l == nil {
+		return fmt.Errorf("ledger: report on nil ledger")
+	}
+	return htmlReport.Execute(w, buildReport(l))
+}

@@ -22,6 +22,13 @@ import (
 // threshold prefers (a) nodes in FCRs hosting no other critical cluster,
 // then (b) lowest communication cost, as in the standard placement.
 func AssignCriticalityAware(g *graph.Graph, p *hw.Platform, req Requirements, threshold float64) (Assignment, error) {
+	asg, _, err := AssignCriticalityAwareDetailed(g, p, req, threshold)
+	return asg, err
+}
+
+// AssignCriticalityAwareDetailed is AssignCriticalityAware plus the
+// per-cluster decision trail.
+func AssignCriticalityAwareDetailed(g *graph.Graph, p *hw.Platform, req Requirements, threshold float64) (Assignment, []Decision, error) {
 	order := g.Nodes()
 	sort.SliceStable(order, func(i, j int) bool {
 		ci := g.Attrs(order[i]).Value(attrs.Criticality)
@@ -32,25 +39,32 @@ func AssignCriticalityAware(g *graph.Graph, p *hw.Platform, req Requirements, th
 		return order[i] < order[j]
 	})
 	if len(order) > p.NumNodes() {
-		return nil, fmt.Errorf("%w: %d clusters, %d nodes", ErrTooManyClusters, len(order), p.NumNodes())
+		return nil, nil, fmt.Errorf("%w: %d clusters, %d nodes", ErrTooManyClusters, len(order), p.NumNodes())
 	}
 
 	asg := make(Assignment, len(order))
 	used := map[string]bool{}
 	criticalFCRs := map[string]bool{}
+	decisions := make([]Decision, 0, len(order))
 	for _, cluster := range order {
 		critical := g.Attrs(cluster).Value(attrs.Criticality) >= threshold
 		needs := req.forCluster(cluster)
+		// Sum the cost over the sorted placed clusters, not the assignment
+		// map: map iteration would perturb the float accumulation order
+		// and could flip equal-cost tie-breaks between runs (the same fix
+		// placementDecisions carries).
+		placed := asg.Clusters()
 		bestNode := ""
 		bestFresh := false
 		bestCost := 0.0
+		var feasible []Alternative
 		for _, nodeName := range p.Nodes() {
 			if used[nodeName] {
 				continue
 			}
 			node, err := p.Node(nodeName)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			ok := true
 			for _, res := range needs {
@@ -64,17 +78,18 @@ func AssignCriticalityAware(g *graph.Graph, p *hw.Platform, req Requirements, th
 			}
 			fresh := !criticalFCRs[node.FCR]
 			cost := 0.0
-			for placed, placedNode := range asg {
-				m := g.MutualInfluence(cluster, placed)
+			for _, pc := range placed {
+				m := g.MutualInfluence(cluster, pc)
 				if m <= 0 {
 					continue
 				}
-				d, conn := p.Distance(nodeName, placedNode)
+				d, conn := p.Distance(nodeName, asg[pc])
 				if !conn {
 					d = float64(p.NumNodes())
 				}
 				cost += m * d
 			}
+			feasible = append(feasible, Alternative{Node: nodeName, Cost: cost})
 			better := false
 			switch {
 			case bestNode == "":
@@ -89,19 +104,25 @@ func AssignCriticalityAware(g *graph.Graph, p *hw.Platform, req Requirements, th
 			}
 		}
 		if bestNode == "" {
-			return nil, fmt.Errorf("%w: cluster %s needs %v", ErrNoFeasibleNode, cluster, needs)
+			return nil, nil, fmt.Errorf("%w: cluster %s needs %v", ErrNoFeasibleNode, cluster, needs)
 		}
 		asg[cluster] = bestNode
 		used[bestNode] = true
+		decisions = append(decisions, Decision{
+			Cluster:      cluster,
+			Node:         bestNode,
+			Cost:         bestCost,
+			Alternatives: beaten(feasible, bestNode),
+		})
 		if critical {
 			node, err := p.Node(bestNode)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			criticalFCRs[node.FCR] = true
 		}
 	}
-	return asg, nil
+	return asg, decisions, nil
 }
 
 // CriticalPairsSharedFCR counts pairs of critical base modules (at or

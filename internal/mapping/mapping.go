@@ -78,17 +78,37 @@ func (a Assignment) NodeOf(base string) string {
 	return ""
 }
 
-// placement greedily assigns ordered clusters to HW nodes. Each cluster
-// goes to an unused node that offers its required resources; among valid
-// nodes it picks the one minimizing influence-weighted communication
+// Alternative is one feasible-but-not-chosen HW node of a placement
+// decision, with the communication cost the chosen node beat.
+type Alternative struct {
+	Node string
+	Cost float64
+}
+
+// Decision records one cluster-to-processor choice of a placement pass:
+// the node picked, the influence-weighted communication cost it was
+// picked at, and every other feasible node with its cost — the provenance
+// the run ledger preserves.
+type Decision struct {
+	Cluster      string
+	Node         string
+	Cost         float64
+	Alternatives []Alternative
+}
+
+// placementDecisions greedily assigns ordered clusters to HW nodes. Each
+// cluster goes to an unused node that offers its required resources; among
+// valid nodes it picks the one minimizing influence-weighted communication
 // distance to already-placed clusters (the dilation concern of §6), with
-// name order breaking ties.
-func placement(order []string, g *graph.Graph, p *hw.Platform, req Requirements) (Assignment, error) {
+// name order breaking ties. The returned decisions record, per cluster,
+// the chosen node and the feasible alternatives it beat.
+func placementDecisions(order []string, g *graph.Graph, p *hw.Platform, req Requirements) (Assignment, []Decision, error) {
 	if len(order) > p.NumNodes() {
-		return nil, fmt.Errorf("%w: %d clusters, %d nodes", ErrTooManyClusters, len(order), p.NumNodes())
+		return nil, nil, fmt.Errorf("%w: %d clusters, %d nodes", ErrTooManyClusters, len(order), p.NumNodes())
 	}
 	asg := make(Assignment, len(order))
 	used := map[string]bool{}
+	decisions := make([]Decision, 0, len(order))
 	for _, cluster := range order {
 		needs := req.forCluster(cluster)
 		// Fix the float accumulation order of the cost sum below: summing
@@ -96,13 +116,14 @@ func placement(order []string, g *graph.Graph, p *hw.Platform, req Requirements)
 		// last bits of equal costs, flipping tie-breaks between runs.
 		placed := asg.Clusters()
 		bestNode, bestCost, bestRes := "", 0.0, 0
+		var feasible []Alternative
 		for _, nodeName := range p.Nodes() {
 			if used[nodeName] {
 				continue
 			}
 			node, err := p.Node(nodeName)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			ok := true
 			for _, res := range needs {
@@ -126,6 +147,7 @@ func placement(order []string, g *graph.Graph, p *hw.Platform, req Requirements)
 				}
 				cost += m * d
 			}
+			feasible = append(feasible, Alternative{Node: nodeName, Cost: cost})
 			// Prefer lower communication cost; among equal costs prefer
 			// the node with the fewest resources, so scarce resources stay
 			// free for the clusters that need them (the paper's "resource
@@ -136,18 +158,43 @@ func placement(order []string, g *graph.Graph, p *hw.Platform, req Requirements)
 			}
 		}
 		if bestNode == "" {
-			return nil, fmt.Errorf("%w: cluster %s needs %v", ErrNoFeasibleNode, cluster, needs)
+			return nil, nil, fmt.Errorf("%w: cluster %s needs %v", ErrNoFeasibleNode, cluster, needs)
 		}
 		asg[cluster] = bestNode
 		used[bestNode] = true
+		decisions = append(decisions, Decision{
+			Cluster:      cluster,
+			Node:         bestNode,
+			Cost:         bestCost,
+			Alternatives: beaten(feasible, bestNode),
+		})
 	}
-	return asg, nil
+	return asg, decisions, nil
+}
+
+// beaten filters the chosen node out of the feasible candidates, leaving
+// the alternatives a placement decision beat (in platform node order).
+func beaten(feasible []Alternative, chosen string) []Alternative {
+	var out []Alternative
+	for _, alt := range feasible {
+		if alt.Node != chosen {
+			out = append(out, alt)
+		}
+	}
+	return out
 }
 
 // AssignByImportance implements Approach A of §5.4: "Evaluate importance of
 // each SW node based on its attributes. Map 'most important' SW node onto a
 // HW node such that all its resource requirements are satisfied."
 func AssignByImportance(g *graph.Graph, p *hw.Platform, w attrs.Weights, req Requirements) (Assignment, error) {
+	asg, _, err := AssignByImportanceDetailed(g, p, w, req)
+	return asg, err
+}
+
+// AssignByImportanceDetailed is AssignByImportance plus the per-cluster
+// decision trail (chosen node, cost, beaten alternatives).
+func AssignByImportanceDetailed(g *graph.Graph, p *hw.Platform, w attrs.Weights, req Requirements) (Assignment, []Decision, error) {
 	order := g.Nodes()
 	sort.SliceStable(order, func(i, j int) bool {
 		ii, ij := w.Importance(g.Attrs(order[i])), w.Importance(g.Attrs(order[j]))
@@ -156,7 +203,7 @@ func AssignByImportance(g *graph.Graph, p *hw.Platform, w attrs.Weights, req Req
 		}
 		return order[i] < order[j]
 	})
-	return placement(order, g, p, req)
+	return placementDecisions(order, g, p, req)
 }
 
 // AssignLexicographic implements Approach B of §5.4: "List attributes in
@@ -164,6 +211,13 @@ func AssignByImportance(g *graph.Graph, p *hw.Platform, w attrs.Weights, req Req
 // attribute is considered first (say criticality) … the next most important
 // attribute is considered (breaking ties) and so on."
 func AssignLexicographic(g *graph.Graph, p *hw.Platform, kinds []attrs.Kind, req Requirements) (Assignment, error) {
+	asg, _, err := AssignLexicographicDetailed(g, p, kinds, req)
+	return asg, err
+}
+
+// AssignLexicographicDetailed is AssignLexicographic plus the per-cluster
+// decision trail.
+func AssignLexicographicDetailed(g *graph.Graph, p *hw.Platform, kinds []attrs.Kind, req Requirements) (Assignment, []Decision, error) {
 	if len(kinds) == 0 {
 		kinds = []attrs.Kind{attrs.Criticality, attrs.FaultTolerance}
 	}
@@ -178,7 +232,7 @@ func AssignLexicographic(g *graph.Graph, p *hw.Platform, kinds []attrs.Kind, req
 		}
 		return order[i] < order[j]
 	})
-	return placement(order, g, p, req)
+	return placementDecisions(order, g, p, req)
 }
 
 // Report quantifies the goodness of a mapping per §5.3.

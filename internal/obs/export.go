@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"time"
 )
 
@@ -80,8 +81,12 @@ type ChromeEvent struct {
 }
 
 // ChromeTrace flattens every recorded span into the Chrome trace-event
-// list. Span depth maps to the tid column so nesting renders as stacked
-// tracks.
+// list, ordered by ts. Span depth maps to the tid column so nesting
+// renders as stacked tracks. The depth-first walk alone does not yield
+// monotonic timestamps (an event recorded after a child span started
+// would land later in the list but earlier in ts), so the list is
+// stably sorted by ts before returning — Perfetto and chrome://tracing
+// both want ordered input.
 func (o *Observer) ChromeTrace() []ChromeEvent {
 	if o == nil {
 		return nil
@@ -114,6 +119,7 @@ func (o *Observer) ChromeTrace() []ChromeEvent {
 	for _, root := range o.Roots() {
 		walk(root.Export(), 0)
 	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
 	return out
 }
 

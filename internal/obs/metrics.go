@@ -306,7 +306,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for _, h := range snap.Histograms {
 		writeHeader(w, h.Name, h.Help, "histogram")
 		for i, b := range h.Bounds {
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.Name, formatFloat(b), h.Buckets[i])
+			fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.Name, escapeLabel(formatFloat(b)), h.Buckets[i])
 		}
 		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Count)
 		fmt.Fprintf(w, "%s_sum %s\n", h.Name, formatFloat(h.Sum))
@@ -323,7 +323,7 @@ func (r *Registry) Prometheus() string {
 
 func writeHeader(w io.Writer, name, help, typ string) {
 	if help != "" {
-		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help))
 	}
 	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
 }
@@ -331,6 +331,25 @@ func writeHeader(w io.Writer, name, help, typ string) {
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format (0.0.4): backslash, double-quote and newline become \\, \" and
+// \n. Everything else — UTF-8 included — passes through verbatim (unlike
+// Go's %q, which escapes non-ASCII and is not what scrapers expect).
+func escapeLabel(v string) string {
+	return labelEscaper.Replace(v)
+}
+
+// escapeHelp escapes HELP text per the exposition format: backslash and
+// newline only (quotes are legal in help strings).
+func escapeHelp(v string) string {
+	return helpEscaper.Replace(v)
+}
+
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
 
 // Handler serves the registry over HTTP: the Prometheus text format at the
 // registered path and the JSON snapshot when the request path ends in

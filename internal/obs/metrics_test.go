@@ -247,3 +247,93 @@ func TestConcurrentInstrumentUpdates(t *testing.T) {
 		t.Errorf("histogram count = %d", h.Count())
 	}
 }
+
+// TestPrometheusEscaping: label values and HELP text must be escaped per
+// the text exposition format — backslash, quote and newline in labels,
+// backslash and newline in help.
+func TestPrometheusEscaping(t *testing.T) {
+	if got := escapeLabel(`back\slash "quote"` + "\nnewline"); got != `back\\slash \"quote\"\nnewline` {
+		t.Errorf("escapeLabel = %q", got)
+	}
+	if got := escapeLabel("plain π value"); got != "plain π value" {
+		t.Errorf("escapeLabel mangled UTF-8: %q", got)
+	}
+	if got := escapeHelp("a\\b\nc \"quotes stay\""); got != `a\\b\nc "quotes stay"` {
+		t.Errorf("escapeHelp = %q", got)
+	}
+
+	r := NewRegistry()
+	r.Counter("weird_total", "help with \\ and\nnewline").Inc()
+	r.Histogram("lat_seconds", "", []float64{0.5}).Observe(0.1)
+	text := r.Prometheus()
+	if !strings.Contains(text, `# HELP weird_total help with \\ and\nnewline`) {
+		t.Errorf("HELP not escaped:\n%s", text)
+	}
+	if strings.Contains(text, "\nnewline") {
+		t.Errorf("raw newline leaked into exposition:\n%s", text)
+	}
+	if !strings.Contains(text, `lat_seconds_bucket{le="0.5"} 1`) {
+		t.Errorf("bucket label mangled:\n%s", text)
+	}
+}
+
+// TestMetricsContentTypes: the Prometheus endpoint must declare the 0.0.4
+// text format; the JSON endpoint (by path or Accept header) application/json.
+func TestMetricsContentTypes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "").Inc()
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ct := func(path, accept string) string {
+		req, err := http.NewRequest("GET", "http://"+srv.Addr()+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.Header.Get("Content-Type")
+	}
+	if got := ct("/metrics", ""); got != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics Content-Type = %q", got)
+	}
+	if got := ct("/metrics.json", ""); got != "application/json" {
+		t.Errorf("/metrics.json Content-Type = %q", got)
+	}
+	if got := ct("/metrics", "application/json"); got != "application/json" {
+		t.Errorf("/metrics with Accept: application/json Content-Type = %q", got)
+	}
+}
+
+// TestMetricsServerShutdownAfterClose: a Shutdown racing or following Close
+// must neither hang nor return a different error — the first terminator
+// wins and every later call observes its result.
+func TestMetricsServerShutdownAfterClose(t *testing.T) {
+	r := NewRegistry()
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := srv.Close()
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		got := srv.Shutdown(ctx)
+		cancel()
+		if got != first {
+			t.Fatalf("Shutdown #%d after Close = %v, want %v", i+1, got, first)
+		}
+	}
+	if got := srv.Close(); got != first {
+		t.Fatalf("Close after Shutdown-after-Close = %v, want %v", got, first)
+	}
+}

@@ -77,12 +77,13 @@ type Span struct {
 // for one instrumented run (or one long-lived process). All methods are
 // safe on a nil receiver and safe for concurrent use.
 type Observer struct {
-	mu     sync.Mutex
-	epoch  time.Time
-	roots  []*Span
-	reg    *Registry
-	logger *slog.Logger
-	now    func() time.Time
+	mu       sync.Mutex
+	epoch    time.Time
+	roots    []*Span
+	reg      *Registry
+	logger   *slog.Logger
+	now      func() time.Time
+	profiler *Profiler
 }
 
 // Option configures New.
@@ -94,6 +95,11 @@ func WithLogger(l *slog.Logger) Option { return func(o *Observer) { o.logger = l
 
 // WithClock overrides the time source (deterministic tests).
 func WithClock(now func() time.Time) Option { return func(o *Observer) { o.now = now } }
+
+// WithProfiler attaches a pprof profiler: instrumented code (the pipeline's
+// stage runner) brackets each stage with StageStart/StageEnd so per-stage
+// CPU profiles land next to the telemetry they explain.
+func WithProfiler(p *Profiler) Option { return func(o *Observer) { o.profiler = p } }
 
 // New builds an Observer with a fresh metrics registry.
 func New(opts ...Option) *Observer {
@@ -111,6 +117,15 @@ func (o *Observer) Metrics() *Registry {
 		return nil
 	}
 	return o.reg
+}
+
+// Profiler returns the attached profiler (nil for a nil observer or when
+// none was attached; a nil *Profiler absorbs every call).
+func (o *Observer) Profiler() *Profiler {
+	if o == nil {
+		return nil
+	}
+	return o.profiler
 }
 
 // Logger returns the observer's structured logger, which may be nil.
@@ -210,6 +225,14 @@ func (s *Span) Event(name string, attrs ...Attr) {
 	s.events = append(s.events, e)
 	s.o.mu.Unlock()
 	s.o.logEvent(s.name, name, attrs)
+}
+
+// Profiler returns the owning observer's profiler (nil on a nil span).
+func (s *Span) Profiler() *Profiler {
+	if s == nil {
+		return nil
+	}
+	return s.o.Profiler()
 }
 
 // Name returns the span's name ("" on nil).

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+)
+
+// Profiler couples Go's pprof machinery to the telemetry subsystem: a
+// whole-run CPU profile, a heap profile at shutdown, and — keyed to the
+// span names the pipeline already emits — one CPU profile per stage, so a
+// slow condense or map phase can be drilled into without re-instrumenting
+// anything.
+//
+// The runtime supports a single active CPU profile, so the whole-run
+// profile (cpuPath) and the per-stage profiles (dir) are mutually
+// exclusive; NewProfiler rejects the combination. Like the rest of the
+// package, a nil *Profiler absorbs every call.
+type Profiler struct {
+	cpuPath string
+	memPath string
+	dir     string
+
+	mu      sync.Mutex
+	cpuFile *os.File // whole-run CPU profile, open between Start and Stop
+	stage   string   // stage owning the active per-stage profile ("" = none)
+	stageF  *os.File
+	counts  map[string]int // per-stage-name invocation counter for filenames
+}
+
+// NewProfiler validates the three profile destinations and returns a
+// profiler, or (nil, nil) when all are empty — the uninstrumented fast
+// path. cpuPath receives one CPU profile covering Start..Stop; memPath a
+// heap profile written by Stop; dir one cpu-<stage>.pprof per pipeline
+// stage. cpuPath and dir are mutually exclusive.
+func NewProfiler(cpuPath, memPath, dir string) (*Profiler, error) {
+	if cpuPath == "" && memPath == "" && dir == "" {
+		return nil, nil
+	}
+	if cpuPath != "" && dir != "" {
+		return nil, errors.New("obs: whole-run CPU profile and per-stage profile dir are mutually exclusive (one CPU profile can be active at a time)")
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("obs: profile dir: %w", err)
+		}
+	}
+	return &Profiler{cpuPath: cpuPath, memPath: memPath, dir: dir, counts: map[string]int{}}, nil
+}
+
+// Start begins the whole-run CPU profile, when one was requested.
+func (p *Profiler) Start() error {
+	if p == nil || p.cpuPath == "" {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cpuFile != nil {
+		return nil
+	}
+	f, err := os.Create(p.cpuPath)
+	if err != nil {
+		return fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// StageStart begins a per-stage CPU profile named after the stage (span)
+// name, when a profile dir was configured. Repeated stages get a numeric
+// suffix (cpu-condense.pprof, cpu-condense-2.pprof, …). While one stage's
+// profile is active further StageStart calls are ignored — the runtime
+// supports one CPU profile at a time, and pipeline stages don't nest.
+func (p *Profiler) StageStart(name string) {
+	if p == nil || p.dir == "" || name == "" {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stage != "" {
+		return
+	}
+	p.counts[name]++
+	file := "cpu-" + sanitizeStage(name)
+	if n := p.counts[name]; n > 1 {
+		file += fmt.Sprintf("-%d", n)
+	}
+	f, err := os.Create(filepath.Join(p.dir, file+".pprof"))
+	if err != nil {
+		return
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return
+	}
+	p.stage = name
+	p.stageF = f
+}
+
+// StageEnd closes the per-stage profile opened by the matching StageStart.
+// Calls for stages that don't own the active profile are ignored.
+func (p *Profiler) StageEnd(name string) {
+	if p == nil || p.dir == "" {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stage != name || p.stageF == nil {
+		return
+	}
+	pprof.StopCPUProfile()
+	p.stageF.Close()
+	p.stage = ""
+	p.stageF = nil
+}
+
+// Stop ends the whole-run CPU profile and writes the heap profile (after a
+// GC, so the numbers reflect live memory, not garbage). Safe to call
+// without Start and safe to call twice.
+func (p *Profiler) Stop() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return err
+		}
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			return fmt.Errorf("obs: heap profile: %w", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("obs: heap profile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		p.memPath = ""
+	}
+	return nil
+}
+
+// sanitizeStage maps a span name onto a filesystem-safe filename fragment.
+func sanitizeStage(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNilProfilerAbsorbsEverything(t *testing.T) {
+	var p *Profiler
+	if err := p.Start(); err != nil {
+		t.Fatalf("nil Start: %v", err)
+	}
+	p.StageStart("condense")
+	p.StageEnd("condense")
+	if err := p.Stop(); err != nil {
+		t.Fatalf("nil Stop: %v", err)
+	}
+}
+
+func TestNewProfilerAllEmptyIsNil(t *testing.T) {
+	p, err := NewProfiler("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != nil {
+		t.Fatalf("expected nil profiler for empty config, got %v", p)
+	}
+}
+
+func TestNewProfilerRejectsCPUPlusDir(t *testing.T) {
+	if _, err := NewProfiler("cpu.pprof", "", t.TempDir()); err == nil {
+		t.Fatal("expected error for -cpuprofile together with -profile-dir")
+	}
+}
+
+func TestWholeRunCPUAndHeapProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	p, err := NewProfiler(cpu, mem, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	busyWork()
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+	// Stop is idempotent.
+	if err := p.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}
+
+func TestPerStageProfiles(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfiler("", "", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil { // no whole-run profile requested: no-op
+		t.Fatal(err)
+	}
+
+	p.StageStart("condense")
+	busyWork()
+	p.StageEnd("condense")
+
+	// A nested StageStart while another stage owns the profile is ignored,
+	// and its StageEnd must not close the active profile.
+	p.StageStart("map")
+	p.StageStart("refine/inner") // ignored
+	p.StageEnd("refine/inner")   // ignored
+	busyWork()
+	p.StageEnd("map")
+
+	// A repeated stage gets a counter suffix instead of clobbering.
+	p.StageStart("condense")
+	busyWork()
+	p.StageEnd("condense")
+
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{"cpu-condense.pprof", "cpu-map.pprof", "cpu-condense-2.pprof"}
+	for _, name := range want {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("stage profile %s not written: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("stage profile %s is empty", name)
+		}
+	}
+	// The ignored nested stage must not have produced a file.
+	if _, err := os.Stat(filepath.Join(dir, "cpu-refine_inner.pprof")); err == nil {
+		t.Fatal("nested stage profile should not exist")
+	}
+}
+
+func TestObserverProfilerAccessors(t *testing.T) {
+	var nilObs *Observer
+	if nilObs.Profiler() != nil {
+		t.Fatal("nil observer should hand out a nil profiler")
+	}
+	var nilSpan *Span
+	if nilSpan.Profiler() != nil {
+		t.Fatal("nil span should hand out a nil profiler")
+	}
+
+	p, err := NewProfiler("", "", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(WithProfiler(p))
+	if o.Profiler() != p {
+		t.Fatal("observer lost its profiler")
+	}
+	sp := o.StartSpan("root")
+	defer sp.End()
+	if sp.Profiler() != p {
+		t.Fatal("span should reach the observer's profiler")
+	}
+}
+
+// busyWork burns a little CPU so profiles have something to record.
+func busyWork() {
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i%7) * 1.000001
+	}
+	if x < 0 {
+		panic("unreachable")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/stage"
@@ -84,6 +85,10 @@ type Config struct {
 	// evaluations and the stable fraction at the widest ε.
 	Span    *obs.Span
 	Metrics *obs.Registry
+	// Ledger, when set, receives one "certify_level" provenance record
+	// per ladder ε and a final "certify" summary record. Nil records
+	// nothing.
+	Ledger *ledger.Ledger
 	// Ctx, when non-nil, is polled between evaluations.
 	Ctx context.Context
 }
@@ -350,6 +355,18 @@ func Certify(sys *spec.System, eval Evaluator, cfg Config) (*Certificate, error)
 			lvl.WorstInfluenceDelta = worstInf
 		}
 		cert.Levels = append(cert.Levels, lvl)
+		cfg.Ledger.Append(ledger.Record{
+			Kind: ledger.KindCertifyLevel, Stage: "certify",
+			A: fmt.Sprintf("ε=%g", e),
+			Values: map[string]float64{
+				"epsilon":              e,
+				"stable_fraction":      lvl.StableFraction,
+				"mean_escape_delta":    lvl.MeanEscapeDelta,
+				"worst_escape_delta":   lvl.WorstEscapeDelta,
+				"mean_influence_delta": lvl.MeanInfluenceDelta,
+				"errors":               float64(lvl.Errors),
+			},
+		})
 		if cfg.Span != nil {
 			cfg.Span.Event("robust_level",
 				obs.Float("epsilon", e),
@@ -369,6 +386,23 @@ func Certify(sys *spec.System, eval Evaluator, cfg Config) (*Certificate, error)
 		}
 	}
 	cert.Evaluations = evals
+	flipped := 0
+	for _, s := range cert.Sensitivities {
+		if s.Flipped {
+			flipped++
+		}
+	}
+	cfg.Ledger.Append(ledger.Record{
+		Kind: ledger.KindCertify, Stage: "certify",
+		Detail: fmt.Sprintf("baseline placement %s", base.Placement),
+		Values: map[string]float64{
+			"stable_fraction_widest": cert.StableAt(),
+			"evaluations":            float64(cert.Evaluations),
+			"samples":                float64(cert.Samples),
+			"levels":                 float64(len(cert.Levels)),
+			"flipped_parameters":     float64(flipped),
+		},
+	})
 	return cert, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/hw"
+	"repro/internal/ledger"
 	"repro/internal/mapping"
 	"repro/internal/obs"
 )
@@ -32,7 +33,7 @@ func serialAttempts(ctx context.Context, o *options, root *obs.Span, res *Result
 		if len(chain) > 1 {
 			work = exp.Graph.Clone()
 		}
-		err := integrateAttempt(attemptCtx, o, root, res, sys, exp, platform, req, strat, work, i)
+		err := integrateAttempt(attemptCtx, o, root, res, sys, exp, platform, req, strat, work, i, o.ledger)
 		if cancel != nil {
 			cancel()
 		}
@@ -48,6 +49,10 @@ func serialAttempts(ctx context.Context, o *options, root *obs.Span, res *Result
 		if i+1 < len(chain) {
 			deg := Degradation{Stage: stageOf(err, "condense"), Strategy: strat, Reason: err.Error()}
 			res.Degradations = append(res.Degradations, deg)
+			o.ledger.Append(ledger.Record{
+				Kind: ledger.KindDegrade, Stage: deg.Stage, Rule: strat.String(),
+				Result: chain[i+1].String(), Detail: deg.Reason, Attempt: i + 1,
+			})
 			root.Event("degrade",
 				obs.String("stage", deg.Stage),
 				obs.String("from", strat.String()),
@@ -80,6 +85,7 @@ func raceAttempts(ctx context.Context, o *options, root *obs.Span, res *Result,
 	type outcome struct {
 		idx     int
 		scratch *Result
+		led     *ledger.Ledger
 		err     error
 	}
 	results := make(chan outcome, len(chain))
@@ -96,9 +102,16 @@ func raceAttempts(ctx context.Context, o *options, root *obs.Span, res *Result,
 				defer cancel()
 			}
 			scratch := &Result{}
+			// Contenders record onto private scratch ledgers; only the
+			// winner's records are spliced into the run ledger, so the
+			// provenance stays deterministic despite the race.
+			var scratchLed *ledger.Ledger
+			if o.ledger != nil {
+				scratchLed = ledger.New(ledger.Header{})
+			}
 			err := integrateAttempt(attemptCtx, o, root, scratch, sys, exp, platform, req,
-				strat, exp.Graph.Clone(), i)
-			results <- outcome{idx: i, scratch: scratch, err: err}
+				strat, exp.Graph.Clone(), i, scratchLed)
+			results <- outcome{idx: i, scratch: scratch, led: scratchLed, err: err}
 		}(i, strat)
 	}
 
@@ -134,6 +147,10 @@ func raceAttempts(ctx context.Context, o *options, root *obs.Span, res *Result,
 		for i, oc := range outcomes[:len(outcomes)-1] {
 			deg := Degradation{Stage: stageOf(oc.err, "condense"), Strategy: chain[i], Reason: oc.err.Error()}
 			res.Degradations = append(res.Degradations, deg)
+			o.ledger.Append(ledger.Record{
+				Kind: ledger.KindDegrade, Stage: deg.Stage, Rule: chain[i].String(),
+				Detail: deg.Reason, Attempt: i + 1,
+			})
 			root.Event("degrade",
 				obs.String("stage", deg.Stage),
 				obs.String("from", chain[i].String()),
@@ -150,6 +167,14 @@ func raceAttempts(ctx context.Context, o *options, root *obs.Span, res *Result,
 	res.Assignment = win.scratch.Assignment
 	res.RefinementMoves = win.scratch.RefinementMoves
 	res.Strategy = chain[winner]
+	if o.ledger != nil {
+		o.ledger.Append(ledger.Record{
+			Kind: ledger.KindRace, Stage: "condense", Rule: chain[winner].String(),
+			Detail:  fmt.Sprintf("portfolio race, %d contenders", len(chain)),
+			Attempt: winner + 1,
+		})
+		o.ledger.AppendAll(win.led.Records())
+	}
 	root.Event("race_won",
 		obs.String("strategy", chain[winner].String()),
 		obs.Int("contenders", len(chain)))
@@ -165,6 +190,10 @@ func raceAttempts(ctx context.Context, o *options, root *obs.Span, res *Result,
 		}
 		deg := Degradation{Stage: stageOf(oc.err, "condense"), Strategy: chain[i], Reason: reason}
 		res.Degradations = append(res.Degradations, deg)
+		o.ledger.Append(ledger.Record{
+			Kind: ledger.KindDegrade, Stage: deg.Stage, Rule: chain[i].String(),
+			Result: chain[winner].String(), Detail: reason, Attempt: i + 1,
+		})
 		root.Event("degrade",
 			obs.String("stage", deg.Stage),
 			obs.String("from", chain[i].String()),

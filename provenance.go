@@ -1,0 +1,72 @@
+package depint
+
+import (
+	"io"
+
+	"repro/internal/ledger"
+)
+
+// Re-exported decision-provenance types (see internal/ledger). A Ledger
+// records every decision the pipeline takes — partitions, Eq. (4) merges,
+// replica-separation edges, degradations, placements with the
+// alternatives they beat, and the final metrics snapshot — as an
+// append-only, timestamp-free sequence, so two identical runs produce
+// byte-identical ledgers.
+type (
+	// Ledger is the append-only decision-provenance log. Pass one to
+	// Integrate via WithLedger; a nil *Ledger absorbs every call.
+	Ledger = ledger.Ledger
+	// LedgerHeader identifies the run a ledger belongs to (tool, system,
+	// strategy, approach, config fingerprint).
+	LedgerHeader = ledger.Header
+	// LedgerRecord is one decision or measurement in a Ledger.
+	LedgerRecord = ledger.Record
+	// Explanation is the causal chain ExplainPair reconstructs for a pair
+	// of processes: the merges that joined (or failed to join) them and
+	// the placement decisions that fixed their HW nodes.
+	Explanation = ledger.Explanation
+	// LedgerDiffResult reports how two runs' ledgers differ: the first
+	// divergent decision, placement moves, and metric regressions.
+	LedgerDiffResult = ledger.DiffResult
+	// LedgerDiffConfig tunes LedgerDiff's metric-regression threshold.
+	LedgerDiffConfig = ledger.DiffConfig
+)
+
+// NewLedger returns an empty run ledger stamped with the current schema
+// version and the given tool name. Integrate fills in the remaining
+// header fields (system, strategy, approach, config fingerprint).
+func NewLedger(tool string) *Ledger {
+	return ledger.New(ledger.Header{Tool: tool})
+}
+
+// ReadLedger loads a ledger previously serialised with Ledger.WriteFile.
+func ReadLedger(path string) (*Ledger, error) { return ledger.ReadFile(path) }
+
+// ExplainPair reconstructs, from a run ledger, why processes a and b were
+// (or were not) colocated: the Eq. (4) merge that joined them — rule,
+// operands, mutual-influence score — the merge chains that built each
+// side, any replica-separation edge forbidding colocation, and the
+// placement decisions with the alternatives they beat. a and b may be
+// base process names (p3 resolves to its replicas p3a, p3b, …) or
+// replica/cluster names.
+func ExplainPair(l *Ledger, a, b string) (*Explanation, error) {
+	return ledger.Explain(l, a, b)
+}
+
+// LedgerDiff compares two run ledgers — typically an old and a new run of
+// the same system — and reports the first decision where they diverge,
+// every cluster whose placement moved, and every final metric that
+// drifted beyond cfg's threshold in the worsening direction. Two ledgers
+// from identical runs yield a result whose Divergent() is false.
+func LedgerDiff(old, new *Ledger, cfg LedgerDiffConfig) (*LedgerDiffResult, error) {
+	return ledger.Diff(old, new, cfg)
+}
+
+// WriteLedgerReport renders a run ledger as a human-readable report:
+// self-contained HTML when html is true, Markdown otherwise.
+func WriteLedgerReport(w io.Writer, l *Ledger, html bool) error {
+	if html {
+		return ledger.WriteHTML(w, l)
+	}
+	return ledger.WriteMarkdown(w, l)
+}

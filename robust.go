@@ -88,8 +88,15 @@ func CertifyRobustness(sys *System, cfg RobustnessConfig) (*Certificate, error) 
 		reg = observer.Metrics()
 	}
 
+	// The ensemble members must not write onto the caller's ledger — only
+	// the certification verdict belongs there, recorded by robust.Certify
+	// itself. WithLedger(nil) last in the option list wins.
+	innerOpts := cfg.Options
+	if o.ledger != nil {
+		innerOpts = append(append([]Option{}, cfg.Options...), WithLedger(nil))
+	}
 	eval := func(s *spec.System) (robust.Outcome, error) {
-		res, err := Integrate(s, cfg.Options...)
+		res, err := Integrate(s, innerOpts...)
 		if err != nil {
 			return robust.Outcome{}, err
 		}
@@ -111,6 +118,7 @@ func CertifyRobustness(sys *System, cfg RobustnessConfig) (*Certificate, error) 
 		SkipSensitivity: cfg.SkipSensitivity,
 		Span:            span,
 		Metrics:         reg,
+		Ledger:          o.ledger,
 		Ctx:             cfg.Ctx,
 	})
 }

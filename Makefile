@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check fmt vet build test race bench bench-json fuzz-smoke ledger-diff
+.PHONY: check fmt vet build test race bench bench-json fuzz-smoke ledger-diff stream-check
 
-check: fmt vet build test race bench fuzz-smoke ledger-diff
+check: fmt vet build test race bench fuzz-smoke ledger-diff stream-check
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -43,6 +43,18 @@ bench:
 # only the ns/op column moves with the core count of the runner.
 bench-json:
 	$(GO) test -run NONE -bench '((Campaign|Separation)Parallel|AdversarialSearch)$$' -benchtime 3x -json . > BENCH_parallel.json
+	$(GO) test -run NONE -bench 'BusPublish$$' -benchmem -json ./internal/obs > BENCH_bus.json
+
+# stream-check is the observability gate: it replays the whole event
+# fabric in-process (pipeline spans, a watched campaign, an adversarial
+# search, a robustness certification), validates every streamed event
+# against the committed wire schema (docs/streaming/events.schema.json),
+# exercises replay-from-sequence-number, and asserts the /dashboard
+# document references no external URLs. The zero-alloc nil-bus publish
+# contract is pinned separately by TestNilBusPublishZeroAlloc (test) and
+# BenchmarkBusPublish (bench-json, with -benchmem).
+stream-check:
+	$(GO) run ./cmd/streamcheck
 
 # ledger-diff is the decision-provenance determinism gate: two paperrepro
 # runs with identical flags must produce byte-identical decision ledgers,

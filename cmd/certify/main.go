@@ -10,7 +10,9 @@
 //	certify -modify pid -trace out.json -log-level info
 //
 // With telemetry enabled the tool records one span per modification's
-// retest step, carrying the retest-set size as attributes.
+// retest step, carrying the retest-set size as attributes; -watch streams
+// the span activity live as NDJSON on stderr (or at /events plus the
+// /dashboard when -metrics-addr is set).
 package main
 
 import (

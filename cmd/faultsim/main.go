@@ -9,7 +9,7 @@
 //	         [-persist P] [-search N]
 //	         [-checkpoint path] [-checkpoint-every N] [-resume] [-workers N]
 //	         [-trace out.json] [-log-level info] [-metrics-addr :9090]
-//	         [-ledger run.jsonl]
+//	         [-watch] [-ledger run.jsonl]
 //
 // -ledger writes a decision-provenance ledger covering every strategy's
 // integration (merges, placements) plus one campaign-summary record per
@@ -28,6 +28,12 @@
 // With telemetry enabled each strategy's campaign records a span with
 // checkpoint events every 10% of trials (running escape-rate estimates)
 // and feeds trial counters into the metrics registry.
+//
+// -watch streams live NDJSON progress events (campaign checkpoints with
+// CI half-widths, search evaluations, stage transitions) to stderr.
+// Combined with -metrics-addr the stream is served over HTTP instead:
+// /events (NDJSON/SSE with replay), /progress (JSON snapshot) and a live
+// /dashboard alongside the usual /metrics.
 //
 // -workers shards each campaign's trials across a worker pool (default
 // GOMAXPROCS). Campaign results — and checkpoints — are bit-identical at
@@ -153,6 +159,8 @@ func run(args []string, stdout io.Writer) (err error) {
 			Workers:           *workers,
 			Span:              span,
 			Metrics:           observer.Metrics(),
+			Bus:               obsFlags.Bus(),
+			Label:             s.String(),
 			Ledger:            led,
 			Ctx:               ctx,
 		}
@@ -182,6 +190,7 @@ func run(args []string, stdout io.Writer) (err error) {
 				CriticalThreshold: 10,
 				Span:              span,
 				Metrics:           observer.Metrics(),
+				Bus:               obsFlags.Bus(),
 				Ledger:            led,
 				Ctx:               ctx,
 			})

@@ -10,7 +10,7 @@
 //	        [-perturb 0.01,0.05,0.1] [-perturb-samples N] [-perturb-trials N]
 //	        [-dot initial|expanded|condensed] [-emit-example] [-v]
 //	        [-trace out.json] [-log-level debug] [-metrics-addr :9090]
-//	        [-ledger run.jsonl] [-explain p1,p8]
+//	        [-watch] [-ledger run.jsonl] [-explain p1,p8]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-profile-dir prof/]
 //
 // -ledger appends every pipeline decision — partition criticalities,
@@ -35,7 +35,9 @@
 // With -emit-example the tool writes the paper's worked example as JSON to
 // stdout (a starting point for custom specifications) and exits. The
 // telemetry flags record one span per pipeline stage plus every merge
-// decision of the condenser; see the README's Observability section.
+// decision of the condenser; -watch streams that activity live as NDJSON
+// on stderr (or at /events plus the /dashboard when -metrics-addr is
+// set); see the README's Observability section.
 package main
 
 import (

@@ -11,7 +11,9 @@
 //	paperrepro -seed S    # campaign seed (default 1998)
 //
 // The telemetry flags (-trace, -log-level, -metrics-addr) record one span
-// per regenerated artifact, so -trace exposes where reproduction time goes.
+// per regenerated artifact, so -trace exposes where reproduction time goes;
+// -watch streams live NDJSON progress to stderr (or, with -metrics-addr,
+// serves it at /events next to the live /dashboard).
 // -ledger <file> additionally writes a decision-provenance ledger: the
 // worked example's integration decisions, a small injection campaign, and
 // one content-hash record per regenerated artifact. Two runs with the same
@@ -92,6 +94,8 @@ func run(args []string, stdout io.Writer) (err error) {
 			Seed:              *seed,
 			CriticalThreshold: 10,
 			Workers:           *workers,
+			Bus:               obsFlags.Bus(),
+			Label:             "ledger-campaign",
 			Ledger:            led,
 			Ctx:               ctx,
 		}); err != nil {

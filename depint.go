@@ -233,8 +233,11 @@ func WithRefinement(maxMoves int) Option { return func(o *options) { o.refineMov
 // map, evaluate), the condenser logs every merge decision with its mutual
 // influence, and the feasibility oracle counts calls and latencies into
 // the observer's metrics registry (a process-global installation — see
-// sched.Observe). A nil observer (the default) keeps the pipeline on its
-// uninstrumented fast path.
+// sched.Observe). An observer built with obs.WithBus additionally streams
+// every span start/end and event live over the observability fabric, where
+// obs.Serve exposes them as /events, /progress and the /dashboard. A nil
+// observer (the default) keeps the pipeline on its uninstrumented fast
+// path.
 func WithObserver(o *obs.Observer) Option { return func(opt *options) { opt.observer = o } }
 
 // WithLedger installs a decision-provenance ledger on the run: Integrate

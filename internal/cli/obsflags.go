@@ -6,8 +6,13 @@
 //	                    metrics snapshot) at exit
 //	-log-level <level>  mirror pipeline events to stderr via log/slog
 //	                    (debug, info, warn, error)
-//	-metrics-addr <a>   serve the Prometheus/JSON metrics endpoint on a
-//	                    for the lifetime of the run
+//	-metrics-addr <a>   serve the observability endpoints on a for the
+//	                    lifetime of the run: /metrics, /metrics.json,
+//	                    /events (NDJSON/SSE stream), /progress, the live
+//	                    /dashboard, /healthz and /buildinfo
+//	-watch              stream NDJSON progress events to stderr (with
+//	                    -metrics-addr the stream is served over HTTP
+//	                    instead, and the dashboard is the front door)
 //
 // plus the pprof trio -cpuprofile, -memprofile and -profile-dir (the last
 // writes one CPU profile per pipeline stage, keyed to the stage span
@@ -18,6 +23,7 @@ package cli
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,11 +43,16 @@ type ObsFlags struct {
 	cpuProfile  string
 	memProfile  string
 	profileDir  string
+	watch       bool
 
-	errw     io.Writer
-	observer *obs.Observer
-	server   *obs.MetricsServer
-	profiler *obs.Profiler
+	errw      io.Writer
+	observer  *obs.Observer
+	server    *obs.MetricsServer
+	profiler  *obs.Profiler
+	bus       *obs.Bus
+	tracker   *obs.Tracker
+	watchSub  *obs.Subscriber
+	watchDone chan struct{}
 }
 
 // RegisterObsFlags binds -trace, -log-level and -metrics-addr onto fs.
@@ -58,13 +69,25 @@ func RegisterObsFlags(fs *flag.FlagSet, errw io.Writer) *ObsFlags {
 	fs.StringVar(&f.cpuProfile, "cpuprofile", "", "write a whole-run CPU profile to this file")
 	fs.StringVar(&f.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	fs.StringVar(&f.profileDir, "profile-dir", "", "write one CPU profile per pipeline stage into this directory (excludes -cpuprofile)")
+	fs.BoolVar(&f.watch, "watch", false, "stream NDJSON progress events to stderr (served over HTTP instead when -metrics-addr is set)")
 	return f
 }
 
 // Enabled reports whether any telemetry flag was set.
 func (f *ObsFlags) Enabled() bool {
 	return f != nil && (f.tracePath != "" || f.logLevel != "" || f.metricsAddr != "" ||
-		f.cpuProfile != "" || f.memProfile != "" || f.profileDir != "")
+		f.cpuProfile != "" || f.memProfile != "" || f.profileDir != "" || f.watch)
+}
+
+// Bus returns the streaming event bus, non-nil once Observer has run with
+// -watch or -metrics-addr set. Tools pass it into bus-aware components
+// (faultsim.Campaign, faultsim.SearchConfig) for richer progress events;
+// span-level activity reaches it automatically via the observer.
+func (f *ObsFlags) Bus() *obs.Bus {
+	if f == nil {
+		return nil
+	}
+	return f.bus
 }
 
 // Observer lazily constructs the observer the flags describe. It returns
@@ -97,14 +120,43 @@ func (f *ObsFlags) Observer() (*obs.Observer, error) {
 		f.profiler = p
 		opts = append(opts, obs.WithProfiler(p))
 	}
+	if f.watch || f.metricsAddr != "" {
+		f.bus = obs.NewBus(0)
+		f.tracker = obs.NewTracker(f.bus)
+		opts = append(opts, obs.WithBus(f.bus))
+	}
 	f.observer = obs.New(opts...)
 	if f.metricsAddr != "" {
-		srv, err := f.observer.Metrics().Serve(f.metricsAddr)
+		srv, err := obs.Serve(f.metricsAddr, obs.ServerConfig{
+			Registry: f.observer.Metrics(),
+			Bus:      f.bus,
+			Progress: f.tracker,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("metrics server: %w", err)
 		}
 		f.server = srv
-		fmt.Fprintf(f.errw, "metrics: serving on http://%s/metrics\n", srv.Addr())
+		fmt.Fprintf(f.errw, "metrics: serving on http://%s/metrics (live dashboard at /dashboard)\n", srv.Addr())
+	} else if f.watch {
+		// No HTTP surface: tail the bus onto stderr as NDJSON. Mirrored
+		// span events (kind "event") are skipped — the high-volume raw
+		// feed belongs to /events; stderr gets the progress skeleton.
+		f.watchSub = f.bus.Subscribe(0, 1024)
+		f.watchDone = make(chan struct{})
+		go func(sub *obs.Subscriber, w io.Writer) {
+			defer close(f.watchDone)
+			enc := json.NewEncoder(w)
+			for {
+				ev, ok := sub.Next(nil)
+				if !ok {
+					return
+				}
+				if ev.Kind == "event" {
+					continue
+				}
+				_ = enc.Encode(ev)
+			}
+		}(f.watchSub, f.errw)
 	}
 	return f.observer, nil
 }
@@ -139,6 +191,11 @@ func (f *ObsFlags) Finish() error {
 			firstErr = err
 		}
 		f.profiler = nil
+	}
+	if f.watchSub != nil {
+		f.watchSub.Close()
+		<-f.watchDone
+		f.watchSub = nil
 	}
 	if f.server != nil {
 		if err := f.server.Close(); err != nil && firstErr == nil {

@@ -101,6 +101,17 @@ type Campaign struct {
 	// the final containment estimates (trials, escape rate, criticality
 	// loss) after a successful run. Nil records nothing.
 	Ledger *ledger.Ledger
+	// Bus, when set, streams live progress over the observability fabric:
+	// one "campaign_start" event, a "campaign_checkpoint" event (with the
+	// running escape rate and its Wald CI half-width) at every telemetry
+	// checkpoint, and a final "campaign_done" event. Publishing is
+	// non-blocking and only ever reads merged state, so the Result stays
+	// bit-identical to an unwatched run — slow subscribers drop events,
+	// never stall trials.
+	Bus *obs.Bus
+	// Label names this campaign in streamed events and progress surfaces
+	// (default "campaign"); give concurrent campaigns distinct labels.
+	Label string
 	// Ctx, when non-nil, is polled at every trial boundary: a cancelled or
 	// expired context aborts the campaign promptly (after persisting a
 	// checkpoint when CheckpointPath is set) with an error wrapping
@@ -545,6 +556,7 @@ type campaignRun struct {
 	eventEvery   int
 	minStop      int
 	z            float64
+	label        string
 
 	trialsCtr, escapesCtr, crossCtr *obs.Counter
 	escapeGauge, workersGauge       *obs.Gauge
@@ -563,6 +575,13 @@ func (r *campaignRun) checkpointEvent(done int) {
 			obs.Int("cross_transmissions", r.res.CrossNodeTransmissions),
 			obs.Float("mean_crit_loss", r.res.CriticalityLoss/float64(done)))
 	}
+	if r.c.Bus != nil {
+		r.c.Bus.Publish("campaign_checkpoint", r.label,
+			obs.Int("trials_done", done),
+			obs.Int("trials_total", r.c.Trials),
+			obs.Float("escape_rate", rate),
+			obs.Float("half_width", waldHalfWidth(rate, done, r.z)))
+	}
 }
 
 // merge folds chunk [b, e) into the Result and fires every evaluation
@@ -578,7 +597,7 @@ func (r *campaignRun) merge(b, e int, ch *chunkResult) (stop bool, err error) {
 		r.escapesCtr.Add(int64(ch.trialsWithEscape))
 		r.crossCtr.Add(int64(ch.crossTransmissions))
 	}
-	if (r.c.Span != nil || r.c.Metrics != nil) &&
+	if (r.c.Span != nil || r.c.Metrics != nil || r.c.Bus != nil) &&
 		(b/r.eventEvery != e/r.eventEvery || e == r.c.Trials) {
 		r.checkpointEvent(e)
 	}
@@ -892,6 +911,17 @@ func Run(c Campaign) (Result, error) {
 		run.minStop = 100
 	}
 	run.z = stopZ(c.StopConfidence)
+	run.label = c.Label
+	if run.label == "" {
+		run.label = "campaign"
+	}
+	if c.Bus != nil {
+		c.Bus.Publish("campaign_start", run.label,
+			obs.Int("trials_total", c.Trials),
+			obs.Int("trials_done", start),
+			obs.String("model", c.model().Name()),
+			obs.Int("workers", workers))
+	}
 
 	if start < c.Trials {
 		// Fail fast on a context that is already dead, before spinning up
@@ -913,6 +943,13 @@ func Run(c Campaign) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+	}
+	if c.Bus != nil {
+		c.Bus.Publish("campaign_done", run.label,
+			obs.Int("trials_done", run.res.Trials),
+			obs.Int("trials_total", c.Trials),
+			obs.Float("escape_rate", run.res.EscapeRate()),
+			obs.Bool("early_stopped", run.res.EarlyStopped))
 	}
 	c.Ledger.Append(ledger.Record{
 		Kind: ledger.KindCampaign, Stage: "faultsim",

@@ -100,6 +100,10 @@ type SearchConfig struct {
 	// "search_done" event; Metrics tracks evaluations and the best score.
 	Span    *obs.Span
 	Metrics *obs.Registry
+	// Bus, when set, streams the same evaluation trail live
+	// ("search_eval" per scenario, "search_done" at the end) over the
+	// observability fabric; publishing never blocks the climb.
+	Bus *obs.Bus
 	// Ledger, when set, receives one "search_eval" provenance record per
 	// evaluation (in evaluation order) and a final "search_best" record
 	// after the climb ends. Nil records nothing.
@@ -259,6 +263,13 @@ climb:
 			obs.Int("evaluations", len(s.log)),
 			obs.Bool("exhausted", exhausted))
 	}
+	if cfg.Bus != nil {
+		cfg.Bus.Publish("search_done", "search",
+			obs.String("scenario", best.Scenario.String()),
+			obs.Float("score", best.Score),
+			obs.Int("evaluations", len(s.log)),
+			obs.Bool("exhausted", exhausted))
+	}
 	// The evaluation log is deterministic (the climb is a pure function of
 	// the scores), so recording it after the fact keeps the ledger
 	// byte-identical run to run.
@@ -359,6 +370,13 @@ func (s *searcher) evaluate(sc Scenario) (Evaluation, error) {
 	}
 	if s.cfg.Span != nil {
 		s.cfg.Span.Event("search_eval",
+			obs.String("scenario", sc.String()),
+			obs.Float("score", ev.Score),
+			obs.Float("escape_rate", ev.EscapeRate),
+			obs.Bool("replayed", replayed))
+	}
+	if s.cfg.Bus != nil {
+		s.cfg.Bus.Publish("search_eval", "search",
 			obs.String("scenario", sc.String()),
 			obs.Float("score", ev.Score),
 			obs.Float("escape_rate", ev.EscapeRate),

@@ -1,0 +1,225 @@
+package obs
+
+import "net/http"
+
+// dashboardHandler serves the live dashboard: one self-contained HTML
+// document (inline CSS and JS, no external assets) that polls /progress
+// and /metrics.json and tails /events over SSE.
+func dashboardHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(DashboardHTML))
+	})
+}
+
+// DashboardHTML is the complete /dashboard document. It is exported so
+// tooling (cmd/streamcheck) can assert the no-external-assets invariant
+// against exactly what the server ships.
+const DashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>depint live dashboard</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #1a1a1a; }
+h1 { font-size: 1.4rem; }
+h2 { margin-top: 2rem; color: #333; font-size: 1.1rem; }
+table { border-collapse: collapse; width: 100%; }
+th, td { border: 1px solid #ddd; padding: .3rem .5rem; text-align: left; font-size: .85rem; }
+th { background: #f0f0f0; }
+code { background: #f5f5f5; padding: 0 .2rem; }
+.muted { color: #777; font-size: .8rem; }
+.chip { display: inline-block; padding: .05rem .45rem; border-radius: .6rem; font-size: .75rem; }
+.chip.pending { background: #eee; color: #666; }
+.chip.running { background: #fff3cd; color: #7a5b00; }
+.chip.done { background: #d4edda; color: #1c5c2e; }
+.bar { background: #eee; border-radius: .25rem; height: .9rem; overflow: hidden; }
+.bar > div { background: #4a7fb5; height: 100%; transition: width .4s; }
+.grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(16rem, 1fr)); gap: .8rem; }
+.card { border: 1px solid #ddd; border-radius: .4rem; padding: .6rem .8rem; }
+.card h3 { margin: 0 0 .3rem; font-size: .9rem; }
+canvas { width: 100%; height: 40px; }
+#eventlog { font-family: ui-monospace, monospace; font-size: .75rem; background: #f8f8f8;
+  border: 1px solid #ddd; padding: .5rem; height: 12rem; overflow-y: auto; white-space: pre; }
+#status { float: right; }
+</style>
+</head>
+<body>
+<h1>depint live dashboard <span id="status" class="chip pending">connecting</span></h1>
+<p class="muted">Streaming from <code>/events</code>, polling <code>/progress</code> and
+<code>/metrics.json</code>. Self-contained: no external assets.</p>
+
+<h2>Pipeline stages <span id="run" class="muted"></span></h2>
+<table><thead><tr><th>stage</th><th>state</th><th>attempts</th><th>duration</th></tr></thead>
+<tbody id="stages"><tr><td colspan="4" class="muted">no run yet</td></tr></tbody></table>
+
+<h2>Campaigns</h2>
+<div id="campaigns" class="grid"><span class="muted">no campaigns yet</span></div>
+
+<h2>Metrics</h2>
+<div id="metrics" class="grid"><span class="muted">no metrics yet</span></div>
+
+<h2>Latency quantiles</h2>
+<table><thead><tr><th>histogram</th><th>count</th><th>p50</th><th>p95</th><th>p99</th></tr></thead>
+<tbody id="quantiles"><tr><td colspan="5" class="muted">no histograms yet</td></tr></tbody></table>
+
+<h2>Event tail</h2>
+<div id="eventlog"></div>
+
+<script>
+"use strict";
+var history = {};            // metric name -> [values] for sparklines
+var HISTORY_CAP = 120;
+var logLines = [];
+var LOG_CAP = 100;
+
+function fmt(v, d) { return (typeof v === "number") ? v.toFixed(d === undefined ? 3 : d) : "-"; }
+function fmtDur(ms) {
+  if (ms === undefined || ms === null) return "-";
+  if (ms < 1000) return ms.toFixed(1) + " ms";
+  return (ms / 1000).toFixed(2) + " s";
+}
+function el(tag, cls, text) {
+  var e = document.createElement(tag);
+  if (cls) e.className = cls;
+  if (text !== undefined) e.textContent = text;
+  return e;
+}
+function spark(canvas, values, color) {
+  var ctx = canvas.getContext("2d");
+  var w = canvas.width = canvas.clientWidth || 240, h = canvas.height = 40;
+  ctx.clearRect(0, 0, w, h);
+  if (!values || values.length < 2) return;
+  var min = Math.min.apply(null, values), max = Math.max.apply(null, values);
+  var span = (max - min) || 1;
+  ctx.beginPath();
+  for (var i = 0; i < values.length; i++) {
+    var x = i / (values.length - 1) * (w - 2) + 1;
+    var y = h - 3 - (values[i] - min) / span * (h - 6);
+    if (i === 0) ctx.moveTo(x, y); else ctx.lineTo(x, y);
+  }
+  ctx.strokeStyle = color || "#4a7fb5";
+  ctx.lineWidth = 1.5;
+  ctx.stroke();
+}
+
+function renderStages(p) {
+  var tb = document.getElementById("stages");
+  tb.textContent = "";
+  document.getElementById("run").textContent = p.run ? "(" + p.run + ")" : "";
+  if (!p.stages || !p.stages.length) {
+    tb.appendChild(el("tr")).appendChild(el("td", "muted", "no run yet")).colSpan = 4;
+    return;
+  }
+  p.stages.forEach(function (s) {
+    var tr = el("tr");
+    tr.appendChild(el("td", null, s.name));
+    tr.appendChild(el("td")).appendChild(el("span", "chip " + s.state, s.state));
+    tr.appendChild(el("td", null, String(s.attempts || 0)));
+    tr.appendChild(el("td", null, s.state === "done" ? fmtDur(s.duration_ms) : "-"));
+    tb.appendChild(tr);
+  });
+}
+
+function renderCampaigns(p) {
+  var root = document.getElementById("campaigns");
+  root.textContent = "";
+  if (!p.campaigns || !p.campaigns.length) {
+    root.appendChild(el("span", "muted", "no campaigns yet"));
+    return;
+  }
+  p.campaigns.forEach(function (c) {
+    var card = el("div", "card");
+    var frac = c.trials_total ? c.trials_done / c.trials_total : 0;
+    var title = c.label + (c.model ? " · " + c.model : "");
+    card.appendChild(el("h3", null, title));
+    var bar = card.appendChild(el("div", "bar"));
+    var fill = bar.appendChild(el("div"));
+    fill.style.width = (frac * 100).toFixed(1) + "%";
+    var line = c.trials_done.toLocaleString() + " / " + c.trials_total.toLocaleString() + " trials";
+    if (c.trials_per_sec) line += " · " + Math.round(c.trials_per_sec).toLocaleString() + "/s";
+    if (c.eta_seconds) line += " · ETA " + c.eta_seconds.toFixed(1) + "s";
+    if (c.done) line += c.early_stopped ? " · done (early stop)" : " · done";
+    card.appendChild(el("div", "muted", line));
+    card.appendChild(el("div", "muted",
+      "escape " + fmt(c.escape_rate, 4) + (c.half_width ? " ± " + fmt(c.half_width, 4) : "")));
+    if (c.trail_half_width && c.trail_half_width.length > 1) {
+      card.appendChild(el("div", "muted", "CI half-width convergence"));
+      spark(card.appendChild(el("canvas")), c.trail_half_width, "#b5574a");
+    }
+    root.appendChild(card);
+  });
+}
+
+function renderMetrics(m) {
+  var root = document.getElementById("metrics");
+  root.textContent = "";
+  var series = [];
+  (m.counters || []).forEach(function (c) { series.push({ name: c.name, value: c.value }); });
+  (m.gauges || []).forEach(function (g) { series.push({ name: g.name, value: g.value }); });
+  if (!series.length) {
+    root.appendChild(el("span", "muted", "no metrics yet"));
+    return;
+  }
+  series.forEach(function (s) {
+    var h = history[s.name] || (history[s.name] = []);
+    h.push(s.value);
+    if (h.length > HISTORY_CAP) h.shift();
+    var card = el("div", "card");
+    card.appendChild(el("h3", null, s.name));
+    card.appendChild(el("div", "muted", Number(s.value).toLocaleString()));
+    spark(card.appendChild(el("canvas")), h);
+    root.appendChild(card);
+  });
+
+  var tb = document.getElementById("quantiles");
+  tb.textContent = "";
+  if (!m.histograms || !m.histograms.length) {
+    tb.appendChild(el("tr")).appendChild(el("td", "muted", "no histograms yet")).colSpan = 5;
+    return;
+  }
+  m.histograms.forEach(function (hg) {
+    var tr = el("tr");
+    tr.appendChild(el("td", null, hg.name));
+    tr.appendChild(el("td", null, String(hg.count)));
+    tr.appendChild(el("td", null, fmt(hg.p50, 5)));
+    tr.appendChild(el("td", null, fmt(hg.p95, 5)));
+    tr.appendChild(el("td", null, fmt(hg.p99, 5)));
+    tb.appendChild(tr);
+  });
+}
+
+function poll() {
+  fetch("/progress").then(function (r) { return r.ok ? r.json() : null; }).then(function (p) {
+    if (p) { renderStages(p); renderCampaigns(p); }
+  }).catch(function () {});
+  fetch("/metrics.json").then(function (r) { return r.ok ? r.json() : null; }).then(function (m) {
+    if (m) renderMetrics(m);
+  }).catch(function () {});
+}
+
+function tail() {
+  var status = document.getElementById("status");
+  var es = new EventSource("/events?sse=1");
+  es.onopen = function () { status.textContent = "live"; status.className = "chip done"; };
+  es.onerror = function () { status.textContent = "reconnecting"; status.className = "chip running"; };
+  es.onmessage = function (msg) {
+    var ev;
+    try { ev = JSON.parse(msg.data); } catch (e) { return; }
+    var line = "#" + ev.seq + " " + ev.t_ms.toFixed(1) + "ms " + ev.kind + " " + ev.name;
+    if (ev.attrs) line += " " + JSON.stringify(ev.attrs);
+    logLines.push(line);
+    if (logLines.length > LOG_CAP) logLines.shift();
+    var log = document.getElementById("eventlog");
+    log.textContent = logLines.join("\n");
+    log.scrollTop = log.scrollHeight;
+  };
+}
+
+poll();
+setInterval(poll, 1000);
+tail();
+</script>
+</body>
+</html>
+`

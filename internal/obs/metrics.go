@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"net"
 	"net/http"
 	"sort"
 	"strconv"
@@ -124,6 +123,63 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// Quantile estimates the q-quantile (0 < q < 1) of the observed samples
+// by linear interpolation inside the bucket containing the rank,
+// Prometheus histogram_quantile-style. The estimate inherits the bucket
+// resolution: exact at bucket boundaries, interpolated within. Samples in
+// the +Inf overflow bucket clamp to the highest finite bound. Returns NaN
+// on a nil/empty histogram or an out-of-range q.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	h.mu.Lock()
+	cum := make([]uint64, len(h.counts))
+	var run uint64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	total := h.count
+	bounds := h.bounds
+	h.mu.Unlock()
+	return bucketQuantile(bounds, cum, total, q)
+}
+
+// bucketQuantile interpolates a quantile from cumulative bucket counts.
+// cum has len(bounds)+1 entries (the last is the +Inf bucket == total).
+func bucketQuantile(bounds []float64, cum []uint64, total uint64, q float64) float64 {
+	if total == 0 || math.IsNaN(q) || q <= 0 || q >= 1 || len(cum) != len(bounds)+1 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	i := sort.Search(len(cum), func(i int) bool { return float64(cum[i]) >= rank })
+	if i >= len(bounds) {
+		// Overflow bucket: no upper bound to interpolate against.
+		if len(bounds) == 0 {
+			return math.NaN()
+		}
+		return bounds[len(bounds)-1]
+	}
+	upper := bounds[i]
+	lower := 0.0
+	if i > 0 {
+		lower = bounds[i-1]
+	} else if upper <= 0 {
+		// All-negative first bucket: no interpolation base below it.
+		return upper
+	}
+	prev := 0.0
+	if i > 0 {
+		prev = float64(cum[i-1])
+	}
+	inBucket := float64(cum[i]) - prev
+	if inBucket == 0 {
+		return upper
+	}
+	return lower + (upper-lower)*(rank-prev)/inBucket
+}
+
 // Count returns the number of samples (0 on nil).
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -231,6 +287,17 @@ type HistogramSnapshot struct {
 	Buckets []uint64  `json:"buckets"`
 	Sum     float64   `json:"sum"`
 	Count   uint64    `json:"count"`
+	// P50/P95/P99 are bucket-interpolated quantile estimates (see
+	// Histogram.Quantile), 0 while the histogram is empty.
+	P50 float64 `json:"p50,omitempty"`
+	P95 float64 `json:"p95,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
+}
+
+// Quantile estimates the q-quantile from the snapshot's cumulative
+// buckets (see Histogram.Quantile for the interpolation contract).
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	return bucketQuantile(h.Bounds, h.Buckets, h.Count, q)
 }
 
 // RegistrySnapshot is a point-in-time copy of every instrument, sorted by
@@ -283,6 +350,19 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 			hs.Buckets = append(hs.Buckets, cum)
 		}
 		h.mu.Unlock()
+		if hs.Count > 0 {
+			// sanitize: NaN is not valid JSON, so an unestimable quantile
+			// (e.g. every sample in the +Inf bucket of a bound-less layout)
+			// stays at the zero value.
+			for _, pq := range []struct {
+				dst *float64
+				q   float64
+			}{{&hs.P50, 0.50}, {&hs.P95, 0.95}, {&hs.P99, 0.99}} {
+				if v := bucketQuantile(hs.Bounds, hs.Buckets, hs.Count, pq.q); !math.IsNaN(v) {
+					*pq.dst = v
+				}
+			}
+		}
 		snap.Histograms = append(snap.Histograms, hs)
 	}
 	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
@@ -419,24 +499,10 @@ func (m *MetricsServer) Shutdown(ctx context.Context) error {
 }
 
 // Serve starts an HTTP server on addr exposing the registry at /metrics
-// (Prometheus text) and /metrics.json (JSON snapshot). The server runs
-// until Close.
+// (Prometheus text) and /metrics.json (JSON snapshot), plus the standard
+// operational endpoints (/healthz, /buildinfo, /dashboard). The server
+// runs until Close. For the streaming endpoints (/events, /progress) use
+// the package-level Serve with a ServerConfig carrying a Bus and Tracker.
 func (r *Registry) Serve(addr string) (*MetricsServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: metrics listener: %w", err)
-	}
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", r.Handler())
-	mux.Handle("/metrics.json", r.Handler())
-	m := &MetricsServer{
-		srv:  &http.Server{Handler: mux},
-		addr: ln.Addr().String(),
-		done: make(chan struct{}),
-	}
-	go func() {
-		defer close(m.done)
-		_ = m.srv.Serve(ln)
-	}()
-	return m, nil
+	return Serve(addr, ServerConfig{Registry: r})
 }

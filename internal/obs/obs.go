@@ -84,6 +84,8 @@ type Observer struct {
 	logger   *slog.Logger
 	now      func() time.Time
 	profiler *Profiler
+	bus      *Bus
+	spanCap  int // max retained root spans; 0 = unbounded
 }
 
 // Option configures New.
@@ -100,6 +102,20 @@ func WithClock(now func() time.Time) Option { return func(o *Observer) { o.now =
 // stage runner) brackets each stage with StageStart/StageEnd so per-stage
 // CPU profiles land next to the telemetry they explain.
 func WithProfiler(p *Profiler) Option { return func(o *Observer) { o.profiler = p } }
+
+// WithBus mirrors every span start/end and span event onto the streaming
+// bus, turning the post-mortem trace tree into a live feed: condenser
+// merges, race outcomes, search evaluations and campaign checkpoints all
+// reach subscribers the moment they happen, with no changes at the
+// instrumentation sites.
+func WithBus(b *Bus) Option { return func(o *Observer) { o.bus = b } }
+
+// WithSpanCap bounds the observer's root-span retention for long-running
+// processes: once more than n root spans exist, starting a new one evicts
+// the oldest root (and its whole subtree), incrementing the registry
+// counter obs_spans_dropped by the number of spans discarded. n <= 0
+// keeps the default unbounded accumulation.
+func WithSpanCap(n int) Option { return func(o *Observer) { o.spanCap = n } }
 
 // New builds an Observer with a fresh metrics registry.
 func New(opts ...Option) *Observer {
@@ -128,6 +144,15 @@ func (o *Observer) Profiler() *Profiler {
 	return o.profiler
 }
 
+// Bus returns the streaming bus attached via WithBus (nil for a nil
+// observer or when none was attached; a nil *Bus absorbs every call).
+func (o *Observer) Bus() *Bus {
+	if o == nil {
+		return nil
+	}
+	return o.bus
+}
+
 // Logger returns the observer's structured logger, which may be nil.
 func (o *Observer) Logger() *slog.Logger {
 	if o == nil {
@@ -142,11 +167,35 @@ func (o *Observer) StartSpan(name string, attrs ...Attr) *Span {
 		return nil
 	}
 	s := &Span{o: o, name: name, attrs: attrs, start: o.now()}
+	evicted := 0
 	o.mu.Lock()
 	o.roots = append(o.roots, s)
+	if o.spanCap > 0 {
+		for len(o.roots) > o.spanCap {
+			evicted += countSpansLocked(o.roots[0])
+			o.roots[0] = nil
+			o.roots = o.roots[1:]
+		}
+	}
 	o.mu.Unlock()
+	if evicted > 0 {
+		o.reg.Counter("obs_spans_dropped",
+			"Spans evicted by the observer's root-span cap.").Add(int64(evicted))
+	}
 	o.logSpan("span start", name)
+	if o.bus != nil {
+		o.bus.publish("span_start", "", name, attrs)
+	}
 	return s
+}
+
+// countSpansLocked sizes a span subtree. Caller holds o.mu.
+func countSpansLocked(s *Span) int {
+	n := 1
+	for _, c := range s.children {
+		n += countSpansLocked(c)
+	}
+	return n
 }
 
 // Roots returns the top-level spans recorded so far.
@@ -187,6 +236,9 @@ func (s *Span) StartChild(name string, attrs ...Attr) *Span {
 	s.children = append(s.children, c)
 	s.o.mu.Unlock()
 	s.o.logSpan("span start", name)
+	if s.o.bus != nil {
+		s.o.bus.publish("span_start", s.name, name, attrs)
+	}
 	return c
 }
 
@@ -196,12 +248,18 @@ func (s *Span) End() {
 		return
 	}
 	t := s.o.now()
+	first := false
 	s.o.mu.Lock()
 	if s.end.IsZero() {
 		s.end = t
+		first = true
 	}
 	s.o.mu.Unlock()
 	s.o.logSpan("span end", s.name)
+	if first && s.o.bus != nil {
+		dur := float64(t.Sub(s.start)) / float64(time.Millisecond)
+		s.o.bus.publish("span_end", "", s.name, []Attr{Float("duration_ms", dur)})
+	}
 }
 
 // SetAttr appends attributes to the span.
@@ -225,6 +283,9 @@ func (s *Span) Event(name string, attrs ...Attr) {
 	s.events = append(s.events, e)
 	s.o.mu.Unlock()
 	s.o.logEvent(s.name, name, attrs)
+	if s.o.bus != nil {
+		s.o.bus.publish("event", s.name, name, attrs)
+	}
 }
 
 // Profiler returns the owning observer's profiler (nil on a nil span).

@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServer boots a full observability server on an ephemeral port and
+// returns it with its base URL.
+func startServer(t *testing.T, cfg ServerConfig) (*MetricsServer, string) {
+	t.Helper()
+	srv, err := Serve("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, "http://" + srv.Addr()
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s read: %v", url, err)
+	}
+	return resp, body
+}
+
+func TestHealthz(t *testing.T) {
+	_, base := startServer(t, ServerConfig{})
+	resp, body := get(t, base+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	if string(body) != "ok\n" {
+		t.Errorf("body = %q, want ok\\n", body)
+	}
+}
+
+func TestBuildinfo(t *testing.T) {
+	_, base := startServer(t, ServerConfig{})
+	resp, body := get(t, base+"/buildinfo")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var info BuildInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatalf("buildinfo not JSON: %v\n%s", err, body)
+	}
+	if info.GoVersion == "" {
+		t.Error("buildinfo go_version is empty")
+	}
+}
+
+// TestServerShutdownPath is the shutdown regression: Close must stop the
+// listener (subsequent requests fail), terminate the serving goroutine,
+// and stay idempotent alongside Shutdown.
+func TestServerShutdownPath(t *testing.T) {
+	srv, base := startServer(t, ServerConfig{})
+	if resp, _ := get(t, base+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-shutdown healthz status = %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("GET succeeded after Close; listener still open")
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown after Close: %v", err)
+	}
+}
+
+// TestServerShutdownWithActiveStream: a graceful-with-deadline shutdown
+// must return even while an /events subscriber is blocked mid-stream.
+func TestServerShutdownWithActiveStream(t *testing.T) {
+	bus := NewBus(64)
+	srv, base := startServer(t, ServerConfig{Bus: bus})
+	resp, err := http.Get(base + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+	select {
+	case <-done:
+		// Shutdown returned; error or not, it must not hang.
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung on an active event stream")
+	}
+}
+
+func TestEventsNDJSONReplay(t *testing.T) {
+	bus := NewBus(64)
+	_, base := startServer(t, ServerConfig{Bus: bus})
+	for i := 0; i < 6; i++ {
+		bus.Publish("event", "pre", Int("i", i))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, base+"/events?from=4", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	// Replay must deliver exactly seqs 4..6, then live events continue on
+	// the same stream.
+	bus.Publish("event", "live")
+	sc := bufio.NewScanner(resp.Body)
+	var seqs []uint64
+	for len(seqs) < 4 && sc.Scan() {
+		var ev BusEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		seqs = append(seqs, ev.Seq)
+	}
+	want := []uint64{4, 5, 6, 7}
+	for i, w := range want {
+		if i >= len(seqs) || seqs[i] != w {
+			t.Fatalf("streamed seqs = %v, want %v", seqs, want)
+		}
+	}
+}
+
+func TestEventsBadFromRejected(t *testing.T) {
+	bus := NewBus(64)
+	_, base := startServer(t, ServerConfig{Bus: bus})
+	resp, _ := get(t, base+"/events?from=notanumber")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestEventsSSEFraming(t *testing.T) {
+	bus := NewBus(64)
+	_, base := startServer(t, ServerConfig{Bus: bus})
+	bus.Publish("event", "one")
+	bus.Publish("event", "two")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, base+"/events?sse=1&from=1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var lines []string
+	for len(lines) < 4 && sc.Scan() {
+		if sc.Text() != "" {
+			lines = append(lines, sc.Text())
+		}
+	}
+	if len(lines) < 4 || lines[0] != "id: 1" || !strings.HasPrefix(lines[1], "data: ") ||
+		lines[2] != "id: 2" || !strings.HasPrefix(lines[3], "data: ") {
+		t.Fatalf("SSE frames = %q, want id:/data: pairs for seqs 1 and 2", lines)
+	}
+	var ev BusEvent
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(lines[1], "data: ")), &ev); err != nil {
+		t.Fatalf("SSE data payload not JSON: %v", err)
+	}
+	if ev.Name != "one" {
+		t.Errorf("first SSE event = %+v, want name=one", ev)
+	}
+}
+
+// TestEventsLastEventIDResume: an EventSource reconnect sends the last
+// seen id; the server must resume from id+1.
+func TestEventsLastEventIDResume(t *testing.T) {
+	bus := NewBus(64)
+	_, base := startServer(t, ServerConfig{Bus: bus})
+	for i := 0; i < 5; i++ {
+		bus.Publish("event", "e")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, base+"/events?sse=1", nil)
+	req.Header.Set("Last-Event-ID", "3")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if line := sc.Text(); line != "" {
+			if line != "id: 4" {
+				t.Errorf("first frame after Last-Event-ID: 3 is %q, want id: 4", line)
+			}
+			return
+		}
+	}
+	t.Fatal("no SSE frame received")
+}
+
+func TestProgressEndpoint(t *testing.T) {
+	bus := NewBus(64)
+	tracker := NewTracker(bus)
+	_, base := startServer(t, ServerConfig{Bus: bus, Progress: tracker})
+	bus.Publish("campaign_start", "c1", Int("trials_total", 1000), Int("trials_done", 0))
+	bus.Publish("campaign_checkpoint", "c1",
+		Int("trials_done", 200), Int("trials_total", 1000),
+		Float("escape_rate", 0.1), Float("half_width", 0.04))
+
+	resp, body := get(t, base+"/progress")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var snap ProgressSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("progress not JSON: %v\n%s", err, body)
+	}
+	if len(snap.Campaigns) != 1 || snap.Campaigns[0].TrialsDone != 200 ||
+		snap.Campaigns[0].HalfWidth != 0.04 {
+		t.Errorf("progress campaigns = %+v", snap.Campaigns)
+	}
+	if snap.Seq != 2 {
+		t.Errorf("progress seq = %d, want 2", snap.Seq)
+	}
+}
+
+func TestDashboardServedAndSelfContained(t *testing.T) {
+	_, base := startServer(t, ServerConfig{})
+	resp, body := get(t, base+"/dashboard")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("Content-Type = %q, want text/html", ct)
+	}
+	html := string(body)
+	if html != DashboardHTML {
+		t.Error("served dashboard differs from DashboardHTML")
+	}
+	for _, marker := range []string{"http://", "https://", "//cdn", "@import", "integrity="} {
+		if strings.Contains(html, marker) {
+			t.Errorf("dashboard contains external reference %q — must be self-contained", marker)
+		}
+	}
+	for _, needed := range []string{"/progress", "/events?sse=1", "/metrics.json", "EventSource"} {
+		if !strings.Contains(html, needed) {
+			t.Errorf("dashboard missing %q wiring", needed)
+		}
+	}
+}
+
+// TestEndpointsAbsentWithoutBackingComponent: endpoints whose component is
+// not configured respond 404 instead of panicking on nil.
+func TestEndpointsAbsentWithoutBackingComponent(t *testing.T) {
+	_, base := startServer(t, ServerConfig{})
+	for _, path := range []string{"/events", "/progress", "/metrics"} {
+		if resp, _ := get(t, base+path); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without backing component = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

@@ -85,6 +85,10 @@ type Config struct {
 	// evaluations and the stable fraction at the widest ε.
 	Span    *obs.Span
 	Metrics *obs.Registry
+	// Bus, when set, streams live certification progress: one
+	// "certify_member" event per ensemble evaluation, one "certify_level"
+	// event per ladder ε, and a final "certify_done" event.
+	Bus *obs.Bus
 	// Ledger, when set, receives one "certify_level" provenance record
 	// per ladder ε and a final "certify" summary record. Nil records
 	// nothing.
@@ -328,6 +332,12 @@ func Certify(sys *spec.System, eval Evaluator, cfg Config) (*Certificate, error)
 				}
 				lvl.Errors++
 				stable[i] = false
+				if cfg.Bus != nil {
+					cfg.Bus.Publish("certify_member", "certify",
+						obs.Float("epsilon", e),
+						obs.Int("sample", i),
+						obs.Bool("error", true))
+				}
 				continue
 			}
 			measured++
@@ -339,6 +349,13 @@ func Certify(sys *spec.System, eval Evaluator, cfg Config) (*Certificate, error)
 			worstInf = math.Max(worstInf, dInf)
 			if out.Placement != base.Placement {
 				stable[i] = false
+			}
+			if cfg.Bus != nil {
+				cfg.Bus.Publish("certify_member", "certify",
+					obs.Float("epsilon", e),
+					obs.Int("sample", i),
+					obs.Bool("stable", stable[i]),
+					obs.Float("escape_delta", dEsc))
 			}
 		}
 		n := 0
@@ -374,9 +391,21 @@ func Certify(sys *spec.System, eval Evaluator, cfg Config) (*Certificate, error)
 				obs.Float("worst_escape_delta", lvl.WorstEscapeDelta),
 				obs.Int("errors", lvl.Errors))
 		}
+		if cfg.Bus != nil {
+			cfg.Bus.Publish("certify_level", "certify",
+				obs.Float("epsilon", e),
+				obs.Float("stable_frac", lvl.StableFraction),
+				obs.Float("worst_escape_delta", lvl.WorstEscapeDelta),
+				obs.Int("errors", lvl.Errors))
+		}
 	}
 	if stableGauge != nil {
 		stableGauge.Set(cert.StableAt())
+	}
+	if cfg.Bus != nil {
+		cfg.Bus.Publish("certify_done", "certify",
+			obs.Int("levels", len(cert.Levels)),
+			obs.Float("stable_frac_widest", cert.StableAt()))
 	}
 
 	if !cfg.SkipSensitivity && len(eps) > 0 && eps[len(eps)-1] > 0 {

@@ -118,6 +118,7 @@ func CertifyRobustness(sys *System, cfg RobustnessConfig) (*Certificate, error) 
 		SkipSensitivity: cfg.SkipSensitivity,
 		Span:            span,
 		Metrics:         reg,
+		Bus:             observer.Bus(),
 		Ledger:          o.ledger,
 		Ctx:             cfg.Ctx,
 	})

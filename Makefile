@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check fmt vet build test race bench bench-json fuzz-smoke ledger-diff stream-check
+.PHONY: check fmt vet build test race bench bench-json fuzz-smoke ledger-diff stream-check fabric-check
 
-check: fmt vet build test race bench fuzz-smoke ledger-diff stream-check
+check: fmt vet build test race bench fuzz-smoke ledger-diff stream-check fabric-check
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -44,6 +44,17 @@ bench:
 bench-json:
 	$(GO) test -run NONE -bench '((Campaign|Separation)Parallel|AdversarialSearch)$$' -benchtime 3x -json . > BENCH_parallel.json
 	$(GO) test -run NONE -bench 'BusPublish$$' -benchmem -json ./internal/obs > BENCH_bus.json
+	$(GO) test -run NONE -bench 'FabricCampaign$$' -benchtime 3x -json ./internal/fabric > BENCH_fabric.json
+
+# fabric-check certifies the distributed campaign fabric: the merged
+# result of a sharded campaign must be reflect.DeepEqual-identical to a
+# local Workers=1 run with 1 and 4 workers, with a worker killed while
+# holding a lease (reassignment observed), under a chaos transport that
+# drops/duplicates/delays frames, and across a coordinator drain +
+# frontier-checkpoint resume. Runs under -race so every scenario is also
+# a data-race probe over the coordinator loop and worker sessions.
+fabric-check:
+	$(GO) run -race ./cmd/fabriccheck
 
 # stream-check is the observability gate: it replays the whole event
 # fabric in-process (pipeline spans, a watched campaign, an adversarial

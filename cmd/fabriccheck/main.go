@@ -1,0 +1,300 @@
+// Fabriccheck is the `make fabric-check` gate: it certifies the
+// distributed campaign fabric's core guarantee — the merged result of a
+// sharded campaign is bit-identical (reflect.DeepEqual on the full
+// faultsim.Result) to a local Workers=1 run — under every failure mode
+// the protocol claims to survive:
+//
+//   - clean transport, 1 worker and 4 workers (and zero lease churn);
+//   - a worker killed the moment it first holds a lease, with the
+//     coordinator observed reassigning its chunks;
+//   - a chaos transport dropping, duplicating and delaying frames in
+//     both directions, with a short lease TTL forcing real expiries;
+//   - a coordinator drained mid-campaign (graceful ctx cancel) and
+//     restarted from its frontier checkpoint, finishing with strictly
+//     fewer fresh leases than a from-zero run.
+//
+// The Makefile runs it under -race, so every scenario doubles as a data
+// race probe over the coordinator loop, worker sessions and chaos timers.
+// Exits non-zero with a per-scenario report on any violation.
+//
+// Usage: go run -race ./cmd/fabriccheck [-trials 3200]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/fabric"
+	"repro/internal/faultsim"
+	"repro/internal/obs"
+)
+
+var failures int
+
+func fail(format string, args ...any) {
+	failures++
+	fmt.Fprintf(os.Stderr, "fabric-check: FAIL: "+format+"\n", args...)
+}
+
+func main() {
+	trials := flag.Int("trials", 3200, "campaign trials per scenario")
+	flag.Parse()
+
+	sys := depint.PaperExample()
+	res, err := depint.Integrate(sys)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fabric-check: integrate: %v\n", err)
+		os.Exit(1)
+	}
+	c := faultsim.Campaign{
+		Graph:             res.Expanded,
+		HWOf:              res.HWOf(),
+		Trials:            *trials,
+		Seed:              1998,
+		CriticalThreshold: 10,
+		CommFaultFraction: 0.3,
+	}
+	local := c
+	local.Workers = 1
+	want, err := faultsim.Run(local)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fabric-check: local reference: %v\n", err)
+		os.Exit(1)
+	}
+
+	cleanTopologies(c, want)
+	killedWorker(c, want)
+	chaosTransport(c, want)
+	drainAndResume(c, want)
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "fabric-check: %d failure(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("fabric-check: OK")
+}
+
+// workerDefaults are the fast-cadence settings every scenario shares.
+func workerDefaults(c faultsim.Campaign, dial fabric.Dialer, name string, seed uint64) fabric.WorkerConfig {
+	return fabric.WorkerConfig{
+		Campaign:         c,
+		Dial:             dial,
+		Name:             name,
+		HeartbeatEvery:   25 * time.Millisecond,
+		HandshakeTimeout: 250 * time.Millisecond,
+		BackoffBase:      2 * time.Millisecond,
+		BackoffMax:       50 * time.Millisecond,
+		MaxReconnects:    200,
+		Seed:             seed,
+	}
+}
+
+// runFabric serves cfg while n workers (built by wcfg, run under wctx)
+// compute, and returns the merged result. Worker errors are intentionally
+// ignored: scenarios kill and drain workers on purpose.
+func runFabric(ctx context.Context, cfg fabric.Config, n int,
+	wcfg func(i int) fabric.WorkerConfig, wctx func(i int) context.Context,
+) (faultsim.Result, fabric.Stats, error) {
+	type out struct {
+		res   faultsim.Result
+		stats fabric.Stats
+		err   error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		res, stats, err := fabric.Serve(ctx, cfg)
+		ch <- out{res, stats, err}
+	}()
+	stop, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		c := stop
+		if wctx != nil {
+			c = wctx(i)
+		}
+		wg.Add(1)
+		go func(i int, c context.Context) {
+			defer wg.Done()
+			_ = fabric.RunWorker(c, wcfg(i))
+		}(i, c)
+	}
+	o := <-ch
+	cancel()
+	wg.Wait()
+	return o.res, o.stats, o.err
+}
+
+func cleanTopologies(c faultsim.Campaign, want faultsim.Result) {
+	for _, n := range []int{1, 4} {
+		pl := fabric.NewPipeListener()
+		got, stats, err := runFabric(context.Background(),
+			fabric.Config{Campaign: c, Listener: pl}, n,
+			func(i int) fabric.WorkerConfig {
+				return workerDefaults(c, pl.Dial(), fmt.Sprintf("w%d", i), uint64(i))
+			}, nil)
+		if err != nil {
+			fail("%d workers: %v", n, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			fail("%d workers: merged result differs from Workers=1", n)
+		}
+		if stats.WorkersSeen != n || stats.Duplicates != 0 || stats.LeasesExpired != 0 {
+			fail("%d workers: unexpected churn on a clean transport: %+v", n, stats)
+		}
+		fmt.Printf("fabric-check: %d worker(s), clean transport: bit-identical (%d leases)\n",
+			n, stats.LeasesGranted)
+	}
+}
+
+func killedWorker(c faultsim.Campaign, want faultsim.Result) {
+	bus := obs.NewBus(256)
+	defer bus.Close()
+	victimCtx, kill := context.WithCancel(context.Background())
+	defer kill()
+	sub := bus.Subscribe(0, 256)
+	watcherDone := make(chan struct{})
+	var once sync.Once
+	go func() {
+		defer close(watcherDone)
+		for {
+			ev, ok := sub.Next(nil)
+			if !ok {
+				return
+			}
+			if ev.Kind == "fabric_lease" && ev.Attrs["worker"] == "victim" && ev.Attrs["state"] == "grant" {
+				once.Do(kill)
+			}
+		}
+	}()
+
+	pl := fabric.NewPipeListener()
+	got, stats, err := runFabric(context.Background(),
+		fabric.Config{Campaign: c, Listener: pl, Bus: bus, LeaseTTL: 2 * time.Second}, 4,
+		func(i int) fabric.WorkerConfig {
+			name := fmt.Sprintf("w%d", i)
+			if i == 0 {
+				name = "victim"
+			}
+			return workerDefaults(c, pl.Dial(), name, uint64(i))
+		},
+		func(i int) context.Context {
+			if i == 0 {
+				return victimCtx
+			}
+			return context.Background()
+		})
+	sub.Close()
+	<-watcherDone
+	if err != nil {
+		fail("killed worker: %v", err)
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		fail("killed worker: merged result differs from Workers=1")
+	}
+	if stats.WorkersLost == 0 || stats.Reassigned == 0 {
+		fail("killed worker: no observed loss/reassignment (stats %+v) — victim never held a lease?", stats)
+	}
+	fmt.Printf("fabric-check: killed worker: bit-identical, %d chunk(s) reassigned after %d loss(es)\n",
+		stats.Reassigned, stats.WorkersLost)
+}
+
+func chaosTransport(c faultsim.Campaign, want faultsim.Result) {
+	chaos := fabric.ChaosConfig{
+		Seed: 7, Drop: 0.05, Dup: 0.08, Delay: 0.15, MaxDelay: 10 * time.Millisecond,
+	}
+	pl := fabric.NewPipeListener()
+	ln := fabric.ChaosListener(pl, chaos)
+	dial := fabric.ChaosDialer(pl.Dial(), chaos)
+	got, stats, err := runFabric(context.Background(),
+		fabric.Config{Campaign: c, Listener: ln, LeaseTTL: 150 * time.Millisecond}, 3,
+		func(i int) fabric.WorkerConfig {
+			return workerDefaults(c, dial, fmt.Sprintf("w%d", i), uint64(i))
+		}, nil)
+	if err != nil {
+		fail("chaos transport: %v", err)
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		fail("chaos transport: merged result differs from Workers=1 (stats %+v)", stats)
+	}
+	fmt.Printf("fabric-check: chaos transport (drop/dup/delay): bit-identical (%d expired, %d reassigned, %d duplicates suppressed)\n",
+		stats.LeasesExpired, stats.Reassigned, stats.Duplicates)
+}
+
+func drainAndResume(c faultsim.Campaign, want faultsim.Result) {
+	dir, err := os.MkdirTemp("", "fabriccheck")
+	if err != nil {
+		fail("drain/resume: %v", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	c.CheckpointPath = filepath.Join(dir, "frontier.ckpt")
+	c.Resume = true
+
+	// Phase 1: cancel the coordinator after a few merged chunks; the
+	// frontier checkpoint must survive the drain.
+	bus := obs.NewBus(256)
+	serveCtx, drain := context.WithCancel(context.Background())
+	sub := bus.Subscribe(0, 256)
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		results := 0
+		for {
+			ev, ok := sub.Next(nil)
+			if !ok {
+				return
+			}
+			if ev.Kind == "fabric_lease" && ev.Attrs["state"] == "result" {
+				if results++; results == 5 {
+					drain()
+				}
+			}
+		}
+	}()
+	pl := fabric.NewPipeListener()
+	_, first, err := runFabric(serveCtx,
+		fabric.Config{Campaign: c, Listener: pl, Bus: bus}, 2,
+		func(i int) fabric.WorkerConfig {
+			return workerDefaults(c, pl.Dial(), fmt.Sprintf("w%d", i), uint64(i))
+		}, nil)
+	drain()
+	sub.Close()
+	bus.Close()
+	<-watcherDone
+	if !errors.Is(err, context.Canceled) {
+		fail("drain/resume: drained Serve returned %v, want context.Canceled", err)
+		return
+	}
+
+	// Phase 2: a fresh coordinator resumes from the frontier and must
+	// still match the local reference — with fewer leases than a cold run.
+	pl2 := fabric.NewPipeListener()
+	got, second, err := runFabric(context.Background(),
+		fabric.Config{Campaign: c, Listener: pl2}, 2,
+		func(i int) fabric.WorkerConfig {
+			return workerDefaults(c, pl2.Dial(), fmt.Sprintf("r%d", i), uint64(i))
+		}, nil)
+	if err != nil {
+		fail("drain/resume: resumed Serve: %v", err)
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		fail("drain/resume: resumed result differs from Workers=1")
+	}
+	if total := faultsim.NumChunks(c.Trials); second.LeasesGranted >= total {
+		fail("drain/resume: resumed run granted %d leases for %d chunks — checkpoint ignored", second.LeasesGranted, total)
+	}
+	fmt.Printf("fabric-check: drain + checkpoint resume: bit-identical (%d leases before drain, %d after resume)\n",
+		first.LeasesGranted, second.LeasesGranted)
+}

@@ -6,10 +6,31 @@
 //
 //	faultsim [-spec system.json] [-trials N] [-seed S] [-timeout 2m]
 //	         [-fault-model single|correlated|burst|transient] [-burst K]
-//	         [-persist P] [-search N]
-//	         [-checkpoint path] [-checkpoint-every N] [-resume] [-workers N]
+//	         [-persist P] [-search N] [-strategy name]
+//	         [-checkpoint path] [-checkpoint-every N] [-resume] [-resume-strict]
+//	         [-workers N]
+//	         [-serve addr | -connect addr] [-worker-name id] [-lease-ttl 5s]
 //	         [-trace out.json] [-log-level info] [-metrics-addr :9090]
 //	         [-watch] [-ledger run.jsonl]
+//
+// -strategy restricts the run to one condensation strategy by name (for
+// example "H1" or "criticality"); by default every strategy runs.
+//
+// -serve and -connect distribute a single-strategy campaign over TCP.
+// The coordinator (`faultsim -serve :7000 -strategy H1`) shards the trial
+// grid into lease-bound chunks across every connected worker, reassigns
+// chunks whose leases expire, and merges results in grid order — the
+// merged result is bit-identical to a local run at any worker count.
+// Workers (`faultsim -connect host:7000 -strategy H1`) must be launched
+// with the same spec/trials/seed/model flags: the handshake compares
+// campaign fingerprints and rejects any divergence. -checkpoint composes
+// with -serve (the coordinator persists its merge frontier and resumes
+// crash-safe); workers hold no durable state. See docs/fabric/protocol.md.
+//
+// -resume-strict (default true) fails a resume on a truncated or corrupt
+// checkpoint/journal with a typed diagnosis naming the file and offset;
+// -resume-strict=false logs the damage and restarts that campaign from
+// zero instead.
 //
 // -ledger writes a decision-provenance ledger covering every strategy's
 // integration (merges, placements) plus one campaign-summary record per
@@ -51,9 +72,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro"
 	"repro/internal/cli"
+	"repro/internal/fabric"
 	"repro/internal/faultsim"
 	"repro/internal/obs"
 	"repro/internal/spec"
@@ -80,6 +103,12 @@ func run(args []string, stdout io.Writer) (err error) {
 	ckpt := fs.String("checkpoint", "", "persist campaign state to <path>.<strategy> for crash-safe resume")
 	ckptEvery := fs.Int("checkpoint-every", 0, "trials between checkpoint writes (default trials/10)")
 	resume := fs.Bool("resume", false, "resume campaigns from their -checkpoint files when present")
+	resumeStrict := fs.Bool("resume-strict", true, "fail on a corrupt checkpoint/journal instead of restarting from zero")
+	strategyName := fs.String("strategy", "", "run only the named condensation strategy (required by -serve/-connect)")
+	serveAddr := fs.String("serve", "", "coordinate a distributed campaign: listen on addr for -connect workers")
+	connectAddr := fs.String("connect", "", "join a distributed campaign: dial the coordinator at addr")
+	workerName := fs.String("worker-name", "", "worker identity reported to the coordinator (with -connect)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "coordinator lease TTL before an unacknowledged chunk is reassigned (default 5s)")
 	workers := cli.RegisterWorkers(fs)
 	timeout := cli.RegisterTimeout(fs)
 	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
@@ -89,6 +118,33 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 	if *resume && *ckpt == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	strategies := []depint.Strategy{
+		depint.H1, depint.H1PairAll, depint.H2, depint.H3,
+		depint.Criticality, depint.TimingOrder,
+	}
+	if *strategyName != "" {
+		s, err := strategyByName(*strategyName)
+		if err != nil {
+			return err
+		}
+		strategies = []depint.Strategy{s}
+	}
+	if *serveAddr != "" && *connectAddr != "" {
+		return fmt.Errorf("-serve and -connect are mutually exclusive")
+	}
+	if *serveAddr != "" || *connectAddr != "" {
+		// The fabric shards exactly one campaign; coordinator and workers
+		// must agree on which, so a single named strategy is required.
+		if *strategyName == "" {
+			return fmt.Errorf("-serve/-connect require -strategy (one campaign per fabric)")
+		}
+		if *search > 0 {
+			return fmt.Errorf("-search does not compose with -serve/-connect")
+		}
+	}
+	if *connectAddr != "" && *ckpt != "" {
+		return fmt.Errorf("-checkpoint is coordinator state; workers hold none")
 	}
 	model, err := faultsim.ModelByName(*modelName, *burst, *persist)
 	if err != nil {
@@ -129,13 +185,46 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 	}
 
+	// Worker mode: integrate the same system the coordinator did, so the
+	// campaign fingerprint matches, then compute leased chunks until the
+	// fabric completes or drains. No table: results live at the coordinator.
+	if *connectAddr != "" {
+		s := strategies[0]
+		res, err := depint.IntegrateContext(ctx, sys, depint.WithStrategy(s),
+			depint.WithWorkers(*workers), depint.WithObserver(observer),
+			depint.WithLedger(led))
+		if err != nil {
+			return err
+		}
+		campaign := faultsim.Campaign{
+			Graph:             res.Expanded,
+			HWOf:              res.HWOf(),
+			Trials:            *trials,
+			Seed:              *seed,
+			CriticalThreshold: 10,
+			CommFaultFraction: *comm,
+			Model:             model,
+			Label:             s.String(),
+			Ctx:               ctx,
+		}
+		fmt.Fprintf(stdout, "fabric worker: joining %s  strategy=%s trials=%d fingerprint=%s\n",
+			*connectAddr, s, *trials, campaign.Fingerprint())
+		if err := fabric.RunWorker(ctx, fabric.WorkerConfig{
+			Campaign: campaign,
+			Dial:     fabric.DialTCP(*connectAddr),
+			Name:     *workerName,
+			Bus:      obsFlags.Bus(),
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "fabric worker: campaign complete")
+		return nil
+	}
+
 	fmt.Fprintf(stdout, "fault injection: system=%s trials=%d seed=%d comm-fraction=%g model=%s\n\n",
 		sys.Name, *trials, *seed, *comm, model.Name())
 	fmt.Fprintln(stdout, "strategy      escape-rate  mean-affected  mean-crit-loss  cross-transmissions")
-	for _, s := range []depint.Strategy{
-		depint.H1, depint.H1PairAll, depint.H2, depint.H3,
-		depint.Criticality, depint.TimingOrder,
-	} {
+	for _, s := range strategies {
 		res, err := depint.IntegrateContext(ctx, sys, depint.WithStrategy(s),
 			depint.WithWorkers(*workers), depint.WithObserver(observer),
 			depint.WithLedger(led))
@@ -168,8 +257,28 @@ func run(args []string, stdout io.Writer) (err error) {
 			campaign.CheckpointPath = fmt.Sprintf("%s.%s", *ckpt, s)
 			campaign.CheckpointEvery = *ckptEvery
 			campaign.Resume = *resume
+			campaign.LaxResume = !*resumeStrict
 		}
-		fi, err := faultsim.Run(campaign)
+		var fi faultsim.Result
+		var fstats fabric.Stats
+		if *serveAddr != "" {
+			ln, lerr := fabric.ListenTCP(*serveAddr)
+			if lerr != nil {
+				span.End()
+				return lerr
+			}
+			fmt.Fprintf(stdout, "fabric coordinator: %s on %s  fingerprint=%s\n",
+				s, ln.Addr(), campaign.Fingerprint())
+			fi, fstats, err = fabric.Serve(ctx, fabric.Config{
+				Campaign: campaign,
+				Listener: ln,
+				LeaseTTL: *leaseTTL,
+				Bus:      obsFlags.Bus(),
+				Label:    s.String(),
+			})
+		} else {
+			fi, err = faultsim.Run(campaign)
+		}
 		span.End()
 		if err != nil {
 			return err
@@ -177,6 +286,11 @@ func run(args []string, stdout io.Writer) (err error) {
 		fmt.Fprintf(stdout, "%-12s  %11.4f  %13.3f  %14.3f  %19d\n",
 			s, fi.EscapeRate(), fi.MeanAffected(), fi.MeanCriticalityLoss(),
 			fi.CrossNodeTransmissions)
+		if *serveAddr != "" {
+			fmt.Fprintf(stdout, "  fabric: workers=%d lost=%d  leases granted=%d expired=%d reassigned=%d duplicates=%d\n",
+				fstats.WorkersSeen, fstats.WorkersLost, fstats.LeasesGranted,
+				fstats.LeasesExpired, fstats.Reassigned, fstats.Duplicates)
+		}
 		if *search > 0 {
 			span := observer.StartSpan("adversarial_search",
 				obs.String("strategy", s.String()), obs.Int("max_evals", *search))
@@ -203,4 +317,22 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 	}
 	return nil
+}
+
+// strategyByName resolves a -strategy flag value against every strategy's
+// canonical String() name, case-insensitively.
+func strategyByName(name string) (depint.Strategy, error) {
+	all := []depint.Strategy{
+		depint.H1, depint.H1PairAll, depint.H2, depint.H2SourceTarget,
+		depint.H3, depint.Criticality, depint.TimingOrder,
+		depint.SeparationGuided,
+	}
+	names := make([]string, 0, len(all))
+	for _, s := range all {
+		if strings.EqualFold(name, s.String()) {
+			return s, nil
+		}
+		names = append(names, s.String())
+	}
+	return 0, fmt.Errorf("unknown -strategy %q (one of %s)", name, strings.Join(names, ", "))
 }

@@ -1,8 +1,8 @@
 // Streamcheck is the `make stream-check` gate: it runs the full
 // observability fabric in-process — an Integrate of the paper's worked
-// example, a fault-injection campaign, an adversarial search and a small
-// robustness certification, all publishing onto one obs.Bus — and then
-// verifies the streaming contract end to end:
+// example, a fault-injection campaign, a distributed fabric campaign, an
+// adversarial search and a small robustness certification, all publishing
+// onto one obs.Bus — and then verifies the streaming contract end to end:
 //
 //   - every event, JSON-encoded exactly as /events and -watch emit it,
 //     validates against the committed schema
@@ -20,14 +20,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"repro"
+	"repro/internal/fabric"
 	"repro/internal/faultsim"
 	"repro/internal/obs"
 )
@@ -164,6 +168,40 @@ func produce(trials int) ([]obs.BusEvent, *obs.Bus, error) {
 		Label:   "stream-check",
 	}); err != nil {
 		return nil, nil, fmt.Errorf("campaign: %w", err)
+	}
+
+	// A small distributed campaign over the in-process transport feeds
+	// the fabric_* kinds: worker liveness, lease churn, terminal summary.
+	fc := faultsim.Campaign{
+		Graph: res.Expanded, HWOf: res.HWOf(),
+		Trials: 512, Seed: 11, Label: "fabric-check",
+	}
+	pl := fabric.NewPipeListener()
+	serveDone := make(chan error, 1)
+	go func() {
+		_, _, err := fabric.Serve(context.Background(), fabric.Config{
+			Campaign: fc, Listener: pl, Bus: bus,
+		})
+		serveDone <- err
+	}()
+	wctx, wcancel := context.WithCancel(context.Background())
+	var wwg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wwg.Add(1)
+		go func(i int) {
+			defer wwg.Done()
+			_ = fabric.RunWorker(wctx, fabric.WorkerConfig{
+				Campaign: fc, Dial: pl.Dial(), Name: fmt.Sprintf("fw%d", i),
+				HeartbeatEvery: 20 * time.Millisecond,
+				BackoffBase:    2 * time.Millisecond, MaxReconnects: 100,
+			})
+		}(i)
+	}
+	fabricErr := <-serveDone
+	wcancel()
+	wwg.Wait()
+	if fabricErr != nil {
+		return nil, nil, fmt.Errorf("fabric: %w", fabricErr)
 	}
 
 	if _, err := faultsim.Search(faultsim.SearchConfig{

@@ -1,0 +1,85 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/attrs"
+	"repro/internal/faultsim"
+	"repro/internal/graph"
+)
+
+// benchCampaign mirrors testCampaign without a *testing.T so benchmarks
+// can build it in setup code.
+func benchCampaign(trials int) faultsim.Campaign {
+	g := graph.New()
+	crits := map[string]float64{"a": 12, "b": 3, "c": 7, "d": 1}
+	for _, n := range []string{"a", "b", "c", "d"} {
+		if err := g.AddNode(n, attrs.New(map[attrs.Kind]float64{attrs.Criticality: crits[n]})); err != nil {
+			panic(err)
+		}
+	}
+	for _, e := range []struct {
+		from, to string
+		w        float64
+	}{
+		{"a", "b", 0.6}, {"b", "c", 0.4}, {"c", "d", 0.5}, {"d", "a", 0.3}, {"a", "c", 0.2},
+	} {
+		if err := g.SetEdge(e.from, e.to, e.w); err != nil {
+			panic(err)
+		}
+	}
+	return faultsim.Campaign{
+		Graph:             g,
+		HWOf:              map[string]string{"a": "h1", "b": "h1", "c": "h2", "d": "h2"},
+		Trials:            trials,
+		Seed:              1998,
+		CriticalThreshold: 10,
+		CommFaultFraction: 0.3,
+	}
+}
+
+// BenchmarkFabricCampaign measures one full distributed campaign over the
+// in-process transport at 1, 2 and 4 workers — protocol overhead plus
+// compute, the number behind the scaling row in BENCH_fabric.json. The
+// merged result is the same at every width; only wall clock moves.
+func BenchmarkFabricCampaign(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("%d", workers), func(b *testing.B) {
+			c := benchCampaign(6400)
+			for i := 0; i < b.N; i++ {
+				pl := NewPipeListener()
+				done := make(chan error, 1)
+				go func() {
+					_, _, err := Serve(context.Background(), Config{Campaign: c, Listener: pl})
+					done <- err
+				}()
+				wctx, wcancel := context.WithCancel(context.Background())
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						_ = RunWorker(wctx, WorkerConfig{
+							Campaign:       c,
+							Dial:           pl.Dial(),
+							Name:           fmt.Sprintf("w%d", w),
+							HeartbeatEvery: 50 * time.Millisecond,
+							BackoffBase:    time.Millisecond,
+							MaxReconnects:  100,
+							Seed:           uint64(w),
+						})
+					}(w)
+				}
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+				wcancel()
+				wg.Wait()
+			}
+		})
+	}
+}

@@ -1,0 +1,549 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/faultsim"
+	"repro/internal/obs"
+)
+
+// Config configures a campaign coordinator.
+type Config struct {
+	// Campaign is the campaign to shard. All merge-side features ride
+	// along unchanged: CheckpointPath/Resume give crash-safe coordinator
+	// restart on the v2 frontier format, StopHalfWidth gives Wald early
+	// stopping, Bus/Span/Metrics/Ledger stream and record as in Run.
+	Campaign faultsim.Campaign
+	// Listener accepts worker connections; the coordinator owns it and
+	// closes it on exit.
+	Listener Listener
+	// LeaseTTL is how long a granted chunk may go without a result or
+	// heartbeat before it is reassigned (default 5s).
+	LeaseTTL time.Duration
+	// LeasesPerWorker bounds a worker's outstanding chunks (default 2):
+	// one computing, one queued to hide the round trip.
+	LeasesPerWorker int
+	// Bus receives the fabric's own progress events — "fabric_worker"
+	// (join/lost/drain), "fabric_lease" (grant/result/expire/duplicate)
+	// and a final "fabric_done" — alongside whatever Campaign.Bus streams.
+	// Typically the same bus.
+	Bus *obs.Bus
+	// Label names the fabric in streamed events (default Campaign.Label,
+	// then "campaign").
+	Label string
+}
+
+// Stats counts the fabric's fault-tolerance activity during one Serve —
+// the observable evidence that leases expired, chunks were reassigned and
+// duplicates were suppressed rather than double-counted.
+type Stats struct {
+	// WorkersSeen counts accepted handshakes; WorkersLost counts
+	// connections that died while holding state.
+	WorkersSeen int
+	WorkersLost int
+	// Rejected counts refused handshakes (protocol or fingerprint
+	// mismatch).
+	Rejected int
+	// LeasesGranted counts every lease handed out, including re-grants of
+	// reassigned chunks. LeasesExpired counts TTL expiries.
+	LeasesGranted int
+	LeasesExpired int
+	// Reassigned counts chunks returned to the queue by expiry or worker
+	// loss. Duplicates counts completed-chunk results that arrived again
+	// (a slow worker finishing a reassigned chunk) and were suppressed.
+	Reassigned int
+	Duplicates int
+}
+
+// lease is one granted chunk.
+type lease struct {
+	id       uint64
+	seq      int // grid chunk index
+	worker   *workerConn
+	deadline time.Time
+}
+
+// workerConn is the coordinator's view of one connected worker.
+type workerConn struct {
+	name    string
+	conn    Conn
+	out     chan *Frame
+	helloed bool
+	closed  bool
+	leases  map[uint64]*lease
+	chunks  int // results delivered
+}
+
+// inbound is one reader-goroutine message into the coordinator loop.
+type inbound struct {
+	w   *workerConn
+	f   *Frame
+	err error
+}
+
+// coordinator is the single-goroutine event loop owning all fabric state.
+type coordinator struct {
+	cfg    Config
+	merger *faultsim.Merger
+	label  string
+	fp     string
+	trials int
+
+	totalChunks int
+	mergeSeq    int // next chunk index to merge (frontier / ChunkSize)
+	nextSeq     int // next never-granted chunk index
+	requeue     []int
+	completed   map[int]bool
+	pending     map[int]*faultsim.ChunkOutput
+	leased      map[int]*lease
+	leases      map[uint64]*lease
+	leaseID     uint64
+
+	workers map[*workerConn]struct{}
+	writers sync.WaitGroup // per-conn writer goroutines; cleanup waits for their flush
+	stats   Stats
+	stopped bool
+
+	inbox    chan inbound
+	accepted chan Conn
+	done     chan struct{}
+	ttl      time.Duration
+	perWork  int
+}
+
+// Serve runs the coordinator until the campaign completes, the merge
+// fails, or ctx is cancelled (graceful drain: workers get a drain frame,
+// the frontier checkpoint is persisted when configured, and the
+// cancellation error is returned). The returned Result is DeepEqual-
+// identical to faultsim.Run with Workers=1 on the same Campaign, for any
+// number of workers, under any transport chaos, because chunks merge
+// strictly in grid order and a chunk's content is a pure function of
+// (campaign, bounds).
+func Serve(ctx context.Context, cfg Config) (faultsim.Result, Stats, error) {
+	label := cfg.Label
+	if label == "" {
+		label = cfg.Campaign.Label
+	}
+	if label == "" {
+		label = "campaign"
+	}
+	merger, err := faultsim.NewMerger(cfg.Campaign, 0)
+	if err != nil {
+		return faultsim.Result{}, Stats{}, err
+	}
+	co := &coordinator{
+		cfg:       cfg,
+		merger:    merger,
+		label:     label,
+		fp:        cfg.Campaign.Fingerprint(),
+		trials:    cfg.Campaign.Trials,
+		completed: map[int]bool{},
+		pending:   map[int]*faultsim.ChunkOutput{},
+		leased:    map[int]*lease{},
+		leases:    map[uint64]*lease{},
+		workers:   map[*workerConn]struct{}{},
+		inbox:     make(chan inbound, 64),
+		accepted:  make(chan Conn),
+		done:      make(chan struct{}),
+		ttl:       cfg.LeaseTTL,
+		perWork:   cfg.LeasesPerWorker,
+	}
+	if co.ttl <= 0 {
+		co.ttl = 5 * time.Second
+	}
+	if co.perWork <= 0 {
+		co.perWork = 2
+	}
+	co.totalChunks = faultsim.NumChunks(co.trials)
+	co.mergeSeq = faultsim.ChunkIndex(merger.Frontier())
+	if merger.Frontier() >= co.trials {
+		co.mergeSeq = co.totalChunks
+	}
+	co.nextSeq = co.mergeSeq
+	return co.run(ctx)
+}
+
+func (co *coordinator) run(ctx context.Context) (faultsim.Result, Stats, error) {
+	// The accept goroutine feeds new connections into the loop; it exits
+	// when the listener closes.
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			c, err := co.cfg.Listener.Accept()
+			if err != nil {
+				return
+			}
+			select {
+			case co.accepted <- c:
+			case <-co.done:
+				c.Close()
+				return
+			}
+		}
+	}()
+	cleanup := func() {
+		close(co.done)
+		co.cfg.Listener.Close()
+		for w := range co.workers {
+			co.closeWorker(w)
+		}
+		// Wait for every writer to flush its queue and close its conn.
+		// Serve's caller may exit the process immediately on return; an
+		// unflushed writer would strand the final done/drain verdicts in
+		// memory, leaving TCP workers redialling a coordinator that no
+		// longer exists. Queued frames are small (verdicts, leases), so
+		// the flush cannot block on socket buffers in practice.
+		co.writers.Wait()
+		<-acceptDone
+	}
+
+	// A resumed-complete campaign has nothing to shard.
+	if co.mergeSeq >= co.totalChunks {
+		cleanup()
+		res := co.merger.Finish()
+		co.publishDone(res)
+		return res, co.stats, nil
+	}
+
+	tick := time.NewTicker(co.tickEvery())
+	defer tick.Stop()
+	for {
+		select {
+		case c := <-co.accepted:
+			co.admit(c)
+		case in := <-co.inbox:
+			if _, live := co.workers[in.w]; !live {
+				continue // stale message from an already-dropped worker
+			}
+			if in.err != nil {
+				co.dropWorker(in.w, "lost")
+				continue
+			}
+			if fatal := co.handle(in.w, in.f); fatal != nil {
+				cleanup()
+				return faultsim.Result{}, co.stats, fatal
+			}
+			if co.mergeSeq >= co.totalChunks || co.stopped {
+				// Campaign complete: tell every worker, then shut down.
+				for w := range co.workers {
+					co.send(w, &Frame{Type: TypeDone})
+					co.publishWorker(w, "done")
+				}
+				cleanup()
+				res := co.merger.Finish()
+				co.publishDone(res)
+				return res, co.stats, nil
+			}
+		case <-tick.C:
+			co.expireLeases()
+		case <-ctx.Done():
+			// Graceful drain: notify workers, persist the frontier, exit.
+			for w := range co.workers {
+				co.send(w, &Frame{Type: TypeDrain})
+				co.publishWorker(w, "drain")
+			}
+			cleanup()
+			return faultsim.Result{}, co.stats, co.merger.Abort(ctx.Err())
+		}
+	}
+}
+
+// tickEvery is the lease-expiry scan interval: a quarter TTL, floored so
+// tiny test TTLs do not busy-spin.
+func (co *coordinator) tickEvery() time.Duration {
+	t := co.ttl / 4
+	if t < 5*time.Millisecond {
+		t = 5 * time.Millisecond
+	}
+	return t
+}
+
+// admit starts the reader/writer goroutines of a fresh connection. The
+// worker holds no state until its hello passes.
+func (co *coordinator) admit(c Conn) {
+	w := &workerConn{conn: c, out: make(chan *Frame, 64), leases: map[uint64]*lease{}}
+	co.workers[w] = struct{}{}
+	co.writers.Add(1)
+	go func() { // writer: drains out, then closes the conn
+		defer co.writers.Done()
+		for f := range w.out {
+			_ = c.Send(f)
+		}
+		c.Close()
+	}()
+	go func() { // reader: pumps frames into the loop until the conn dies
+		for {
+			f, err := c.Recv()
+			select {
+			case co.inbox <- inbound{w: w, f: f, err: err}:
+			case <-co.done:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// send enqueues one frame for w without ever blocking the loop; a worker
+// whose writer queue is jammed is treated as lost.
+func (co *coordinator) send(w *workerConn, f *Frame) {
+	select {
+	case w.out <- f:
+	default:
+		co.dropWorker(w, "lost")
+	}
+}
+
+// closeWorker shuts the worker's writer (flushing queued frames, then
+// closing the conn). Idempotent.
+func (co *coordinator) closeWorker(w *workerConn) {
+	if !w.closed {
+		w.closed = true
+		close(w.out)
+	}
+}
+
+// dropWorker removes w and requeues its leases for reassignment.
+func (co *coordinator) dropWorker(w *workerConn, state string) {
+	if _, live := co.workers[w]; !live {
+		return
+	}
+	delete(co.workers, w)
+	if w.helloed {
+		co.stats.WorkersLost++
+		co.publishWorker(w, state)
+	}
+	for id, l := range w.leases {
+		delete(co.leases, id)
+		delete(co.leased, l.seq)
+		if !co.completed[l.seq] {
+			co.requeue = append(co.requeue, l.seq)
+			co.stats.Reassigned++
+			co.publishLease(l, "reassign")
+		}
+	}
+	co.closeWorker(w)
+}
+
+// handle processes one frame; a non-nil return is a fatal merge error.
+func (co *coordinator) handle(w *workerConn, f *Frame) error {
+	switch f.Type {
+	case TypeHello:
+		if w.helloed {
+			return nil // duplicated hello frame (chaos): already welcomed
+		}
+		if f.Proto != Proto {
+			co.reject(w, fmt.Sprintf("protocol version %d, want %d", f.Proto, Proto))
+			return nil
+		}
+		if f.Fingerprint != co.fp {
+			co.reject(w, fmt.Sprintf("campaign fingerprint %s, want %s", f.Fingerprint, co.fp))
+			return nil
+		}
+		w.helloed = true
+		w.name = f.Worker
+		if w.name == "" {
+			w.name = fmt.Sprintf("w%d", co.stats.WorkersSeen+1)
+		}
+		co.stats.WorkersSeen++
+		co.send(w, &Frame{Type: TypeWelcome, Trials: co.trials, Worker: w.name})
+		co.publishWorker(w, "join")
+		co.grant(w)
+	case TypeHeartbeat:
+		co.renew(w, f.Leases)
+	case TypeResult:
+		co.renew(w, f.Leases)
+		if err := co.result(w, f); err != nil {
+			return err
+		}
+		co.grant(w)
+	}
+	return nil
+}
+
+// reject refuses a handshake and discards the connection.
+func (co *coordinator) reject(w *workerConn, reason string) {
+	co.stats.Rejected++
+	co.send(w, &Frame{Type: TypeReject, Reason: reason})
+	delete(co.workers, w)
+	co.closeWorker(w)
+}
+
+// renew pushes the deadlines of the leases the worker says it holds out
+// by one TTL. Leases the worker does not list — its grant frame was lost
+// in transit — are left to expire on schedule so they get reassigned;
+// renewing blindly on any sign of life would keep a lost grant alive for
+// as long as the worker heartbeats.
+func (co *coordinator) renew(w *workerConn, ids []uint64) {
+	deadline := time.Now().Add(co.ttl)
+	for _, id := range ids {
+		if l, ok := w.leases[id]; ok {
+			l.deadline = deadline
+		}
+	}
+}
+
+// grant hands w chunks until it holds LeasesPerWorker, preferring
+// reassigned chunks over fresh ones.
+func (co *coordinator) grant(w *workerConn) {
+	for !co.stopped && w.helloed && !w.closed && len(w.leases) < co.perWork {
+		seq, ok := co.nextChunk()
+		if !ok {
+			return
+		}
+		co.leaseID++
+		l := &lease{id: co.leaseID, seq: seq, worker: w, deadline: time.Now().Add(co.ttl)}
+		co.leases[l.id] = l
+		co.leased[seq] = l
+		w.leases[l.id] = l
+		begin, end := faultsim.ChunkBounds(seq, co.trials)
+		co.stats.LeasesGranted++
+		co.send(w, &Frame{Type: TypeLease, Lease: l.id, Begin: begin, End: end})
+		co.publishLease(l, "grant")
+	}
+}
+
+// nextChunk picks the next chunk needing an owner: reassignments first
+// (skipping any that completed while queued), then the fresh frontier.
+func (co *coordinator) nextChunk() (int, bool) {
+	for len(co.requeue) > 0 {
+		seq := co.requeue[0]
+		co.requeue = co.requeue[1:]
+		if !co.completed[seq] && co.leased[seq] == nil {
+			return seq, true
+		}
+	}
+	if co.nextSeq < co.totalChunks {
+		seq := co.nextSeq
+		co.nextSeq++
+		return seq, true
+	}
+	return 0, false
+}
+
+// expireLeases reassigns chunks whose lease outlived its TTL. The slow
+// worker stays connected — if its result still arrives first it is
+// accepted (the content is deterministic), and if it arrives after the
+// reassigned copy it is suppressed as a duplicate.
+func (co *coordinator) expireLeases() {
+	now := time.Now()
+	for id, l := range co.leases {
+		if now.Before(l.deadline) {
+			continue
+		}
+		delete(co.leases, id)
+		delete(l.worker.leases, id)
+		delete(co.leased, l.seq)
+		co.stats.LeasesExpired++
+		co.publishLease(l, "expire")
+		if !co.completed[l.seq] {
+			co.requeue = append(co.requeue, l.seq)
+			co.stats.Reassigned++
+		}
+		co.grant(l.worker)
+	}
+}
+
+// result accepts one chunk result: validates its bounds, suppresses
+// duplicates, then merges every contiguous pending chunk in grid order.
+func (co *coordinator) result(w *workerConn, f *Frame) error {
+	if f.Chunk == nil {
+		return nil
+	}
+	wantB, wantE := faultsim.ChunkBounds(faultsim.ChunkIndex(f.Begin), co.trials)
+	if f.Begin != wantB || f.End != wantE || f.Chunk.Begin != f.Begin || f.Chunk.End != f.End {
+		return nil // malformed bounds: ignore; the lease will expire
+	}
+	seq := faultsim.ChunkIndex(f.Begin)
+	if seq < co.mergeSeq || co.completed[seq] {
+		co.stats.Duplicates++
+		co.publishLease(&lease{seq: seq, worker: w}, "duplicate")
+		return nil
+	}
+	// Release whichever lease covers the chunk — possibly another
+	// worker's, when the chunk was reassigned and the first owner won.
+	if l := co.leased[seq]; l != nil {
+		delete(co.leases, l.id)
+		delete(l.worker.leases, l.id)
+		delete(co.leased, seq)
+	}
+	if l, ok := w.leases[f.Lease]; ok && l.seq == seq {
+		delete(co.leases, l.id)
+		delete(w.leases, l.id)
+	}
+	co.completed[seq] = true
+	co.pending[seq] = f.Chunk
+	w.chunks++
+	co.publishLease(&lease{id: f.Lease, seq: seq, worker: w}, "result")
+	for !co.stopped {
+		out, ok := co.pending[co.mergeSeq]
+		if !ok {
+			break
+		}
+		delete(co.pending, co.mergeSeq)
+		stop, err := co.merger.Absorb(out)
+		if err != nil {
+			return err
+		}
+		co.mergeSeq++
+		if stop {
+			// Early stopping: discard speculative chunks beyond the
+			// stopping frontier, exactly as the in-process pool does.
+			co.stopped = true
+			co.pending = map[int]*faultsim.ChunkOutput{}
+		}
+	}
+	return nil
+}
+
+// publishWorker emits a "fabric_worker" liveness event.
+func (co *coordinator) publishWorker(w *workerConn, state string) {
+	if co.cfg.Bus == nil {
+		return
+	}
+	co.cfg.Bus.Publish("fabric_worker", w.name,
+		obs.String("state", state),
+		obs.String("campaign", co.label),
+		obs.Int("leases", len(w.leases)),
+		obs.Int("chunks_done", w.chunks))
+}
+
+// publishLease emits a "fabric_lease" churn event.
+func (co *coordinator) publishLease(l *lease, state string) {
+	if co.cfg.Bus == nil {
+		return
+	}
+	begin, end := faultsim.ChunkBounds(l.seq, co.trials)
+	name := ""
+	if l.worker != nil {
+		name = l.worker.name
+	}
+	co.cfg.Bus.Publish("fabric_lease", co.label,
+		obs.String("state", state),
+		obs.String("worker", name),
+		obs.Int("lease", int(l.id)),
+		obs.Int("begin", begin),
+		obs.Int("end", end))
+}
+
+// publishDone emits the terminal "fabric_done" event.
+func (co *coordinator) publishDone(res faultsim.Result) {
+	if co.cfg.Bus == nil {
+		return
+	}
+	co.cfg.Bus.Publish("fabric_done", co.label,
+		obs.Int("trials_done", res.Trials),
+		obs.Int("workers_seen", co.stats.WorkersSeen),
+		obs.Int("workers_lost", co.stats.WorkersLost),
+		obs.Int("leases_granted", co.stats.LeasesGranted),
+		obs.Int("leases_expired", co.stats.LeasesExpired),
+		obs.Int("reassigned", co.stats.Reassigned),
+		obs.Int("duplicates", co.stats.Duplicates),
+		obs.Bool("early_stopped", res.EarlyStopped))
+}

@@ -1,0 +1,160 @@
+// Package fabric is the distributed campaign fabric: a coordinator/worker
+// protocol that shards fault-injection campaign trial ranges across
+// processes or machines while keeping the merged Result bit-identical to
+// a single-process run at any topology — ROADMAP item 3.
+//
+// The protocol is deliberately application-layer (per De Florio's
+// application-layer fault-tolerance argument): leases, heartbeats,
+// retry/backoff and reassignment live where the trial-frontier semantics
+// live, not in the transport. The transport only has to move frames; it
+// is allowed to drop, delay, duplicate or sever them (see Chaos), because
+// every loss mode maps onto the lease state machine:
+//
+//   - a lost lease or result frame expires the lease → the chunk is
+//     reassigned;
+//   - a duplicated result frame hits the completed-chunk set → suppressed;
+//   - a severed connection queues the worker's leases for reassignment
+//     and the worker redials with bounded exponential backoff.
+//
+// Determinism is inherited from faultsim's substream contract: a chunk's
+// content is a pure function of (campaign, chunk bounds), so it does not
+// matter which worker computes it, how often, or in what order results
+// arrive — the coordinator merges strictly in grid order through
+// faultsim.Merger and the Result is DeepEqual-identical to Workers=1.
+// docs/fabric/protocol.md describes the frames, the lease state machine
+// and the determinism argument in full.
+package fabric
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/faultsim"
+)
+
+// Proto is the fabric wire-protocol version. A hello carrying any other
+// version is rejected before fingerprints are even compared.
+const Proto = 1
+
+// Frame types. The zero value of unused fields is elided on the wire.
+const (
+	// TypeHello is the worker's opening frame: proto version, campaign
+	// fingerprint and worker name.
+	TypeHello = "hello"
+	// TypeWelcome accepts a hello; Trials carries the campaign's total
+	// trial count as a sanity echo.
+	TypeWelcome = "welcome"
+	// TypeReject refuses a hello (protocol or fingerprint mismatch);
+	// Reason says why. The connection closes after it.
+	TypeReject = "reject"
+	// TypeLease grants the worker one grid chunk [Begin, End) under lease
+	// Lease; the worker must deliver its result (or keep heartbeating)
+	// before the coordinator's lease TTL expires.
+	TypeLease = "lease"
+	// TypeResult delivers a computed chunk back under its lease.
+	TypeResult = "result"
+	// TypeHeartbeat renews exactly the leases listed in the frame's
+	// Leases field (see Frame.Leases for why never all of them).
+	TypeHeartbeat = "heartbeat"
+	// TypeDrain tells the worker the coordinator is shutting down without
+	// completing the campaign (graceful SIGTERM drain); the worker exits
+	// with ErrDrained instead of redialling.
+	TypeDrain = "drain"
+	// TypeDone tells the worker the campaign completed; the worker exits
+	// cleanly.
+	TypeDone = "done"
+)
+
+// Frame is one protocol message. All frame types share the struct; the
+// Type tag says which fields are meaningful.
+type Frame struct {
+	Type string `json:"type"`
+	// Hello / Welcome / Reject.
+	Proto       int    `json:"proto,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Worker      string `json:"worker,omitempty"`
+	Reason      string `json:"reason,omitempty"`
+	Trials      int    `json:"trials,omitempty"`
+	// Lease / Result.
+	Lease uint64                `json:"lease,omitempty"`
+	Begin int                   `json:"begin,omitempty"`
+	End   int                   `json:"end,omitempty"`
+	Chunk *faultsim.ChunkOutput `json:"chunk,omitempty"`
+	// Heartbeat / Result: the lease ids the worker currently holds. The
+	// coordinator renews exactly these — a lease missing from the list
+	// (its grant frame was lost in transit) is deliberately left to
+	// expire, which is what reassigns it. Renewing blindly on any sign of
+	// life would keep a lost grant alive forever.
+	Leases []uint64 `json:"leases,omitempty"`
+}
+
+// maxFrameSize bounds one frame on the wire (length prefix included
+// payload only). Chunk results over sizeable graphs stay well under this;
+// the bound exists so a corrupt or hostile length prefix cannot make the
+// codec allocate unboundedly.
+const maxFrameSize = 64 << 20
+
+// ErrFrameTooLarge is returned by the codec for a frame exceeding
+// maxFrameSize in either direction.
+var ErrFrameTooLarge = errors.New("fabric: frame exceeds size limit")
+
+// codecConn frames JSON documents with a 4-byte big-endian length prefix
+// over any io.ReadWriteCloser — the TCP wire format. Sends are serialised
+// by a mutex (delayed chaos frames and heartbeats may send concurrently);
+// Recv is single-consumer.
+type codecConn struct {
+	rw io.ReadWriteCloser
+
+	sendMu sync.Mutex
+	closed sync.Once
+}
+
+// NewCodecConn wraps rw in the length-prefixed JSON frame codec.
+func NewCodecConn(rw io.ReadWriteCloser) Conn { return &codecConn{rw: rw} }
+
+func (c *codecConn) Send(f *Frame) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("fabric: encode %s frame: %w", f.Type, err)
+	}
+	if len(payload) > maxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	_, err = c.rw.Write(buf)
+	return err
+}
+
+func (c *codecConn) Recv() (*Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.rw, payload); err != nil {
+		return nil, err
+	}
+	var f Frame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return nil, fmt.Errorf("fabric: decode frame: %w", err)
+	}
+	return &f, nil
+}
+
+func (c *codecConn) Close() error {
+	var err error
+	c.closed.Do(func() { err = c.rw.Close() })
+	return err
+}

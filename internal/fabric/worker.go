@@ -1,0 +1,387 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"repro/internal/faultsim"
+	"repro/internal/obs"
+)
+
+// ErrDrained reports that the coordinator shut down gracefully before the
+// campaign completed; the worker should not redial.
+var ErrDrained = errors.New("fabric: coordinator draining")
+
+// ErrRejected reports that the coordinator refused the handshake —
+// protocol or campaign-fingerprint mismatch. Permanent: redialling with
+// the same campaign cannot succeed.
+var ErrRejected = errors.New("fabric: handshake rejected")
+
+// ErrUnreachable reports that the reconnect budget was exhausted without
+// reaching a live coordinator.
+var ErrUnreachable = errors.New("fabric: coordinator unreachable")
+
+// WorkerConfig configures one campaign worker.
+type WorkerConfig struct {
+	// Campaign must be built from the same specification as the
+	// coordinator's; the handshake compares fingerprints and rejects any
+	// divergence before trials move.
+	Campaign faultsim.Campaign
+	// Dial opens a connection to the coordinator; it is called on every
+	// (re)connect attempt.
+	Dial Dialer
+	// Name identifies the worker in coordinator events (optional; the
+	// coordinator assigns "wN" otherwise).
+	Name string
+	// HeartbeatEvery is the lease-renewal interval (default 1s). Keep it
+	// well under the coordinator's LeaseTTL.
+	HeartbeatEvery time.Duration
+	// HandshakeTimeout bounds the wait for a welcome (default 5s); a
+	// timeout counts as a failed attempt and triggers a reconnect.
+	HandshakeTimeout time.Duration
+	// BackoffBase and BackoffMax bound the jittered exponential backoff
+	// between connect attempts (defaults 50ms and 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxReconnects is the budget of consecutive failed attempts before
+	// the worker gives up with ErrUnreachable (default 8). The counter
+	// resets on every accepted handshake, so a long campaign can survive
+	// any number of spaced-out disconnects.
+	MaxReconnects int
+	// Seed seeds the backoff jitter (a fixed default otherwise); it has no
+	// effect on trial outcomes.
+	Seed uint64
+	// Bus, when set, receives worker-side "fabric_worker" liveness events
+	// (connected / retry / done / drained) — useful when the worker runs
+	// in its own process with its own dashboard.
+	Bus *obs.Bus
+}
+
+// RunWorker connects to the coordinator and computes leased chunks until
+// the campaign completes (nil), the coordinator drains (ErrDrained), the
+// handshake is rejected (ErrRejected), the reconnect budget runs out
+// (ErrUnreachable), or ctx is cancelled.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	runner, err := faultsim.NewChunkRunner(cfg.Campaign)
+	if err != nil {
+		return err
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = time.Second
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 5 * time.Second
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.MaxReconnects <= 0 {
+		cfg.MaxReconnects = 8
+	}
+	w := &worker{
+		cfg:    cfg,
+		runner: runner,
+		fp:     cfg.Campaign.Fingerprint(),
+		rng:    rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x6a09e667f3bcc909)),
+	}
+	attempts := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		conn, err := cfg.Dial(ctx)
+		if err == nil {
+			var handshaked, terminal bool
+			handshaked, terminal, err = w.session(ctx, conn)
+			conn.Close()
+			if terminal {
+				return err
+			}
+			if handshaked {
+				attempts = 0 // a live coordinator resets the budget
+			}
+		}
+		attempts++
+		if attempts > cfg.MaxReconnects {
+			return fmt.Errorf("%w after %d attempts: %v", ErrUnreachable, attempts, err)
+		}
+		w.publish("retry", obs.Int("attempt", attempts))
+		if err := w.backoff(ctx, attempts); err != nil {
+			return err
+		}
+	}
+}
+
+// worker is the per-RunWorker state shared across reconnects.
+type worker struct {
+	cfg    WorkerConfig
+	runner *faultsim.ChunkRunner
+	fp     string
+	rng    *rand.Rand
+	chunks int
+}
+
+// backoff sleeps a jittered exponential delay, honouring ctx.
+func (w *worker) backoff(ctx context.Context, attempt int) error {
+	d := w.cfg.BackoffBase << min(attempt-1, 16)
+	if d > w.cfg.BackoffMax {
+		d = w.cfg.BackoffMax
+	}
+	// Full jitter over [d/2, d]: desynchronises a fleet of workers
+	// redialling a restarted coordinator.
+	d = d/2 + time.Duration(w.rng.Int64N(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// computeOut is one finished chunk computation.
+type computeOut struct {
+	lease uint64
+	out   *faultsim.ChunkOutput
+	err   error
+}
+
+// session runs one connection's lifetime: handshake, then the
+// lease/compute/heartbeat loop. handshaked reports whether a welcome was
+// received (resets the reconnect budget); terminal reports that RunWorker
+// should return err instead of redialling.
+func (w *worker) session(ctx context.Context, conn Conn) (handshaked, terminal bool, err error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Reader goroutine: pumps frames until the conn dies. sessDone stops
+	// it if the session exits while frames are still arriving; the
+	// deferred conn.Close in RunWorker unblocks a pending Recv.
+	incoming := make(chan *Frame, 16)
+	rerr := make(chan error, 1)
+	sessDone := make(chan struct{})
+	var rwg sync.WaitGroup
+	defer func() {
+		close(sessDone)
+		conn.Close()
+		rwg.Wait()
+	}()
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			f, e := conn.Recv()
+			if e != nil {
+				rerr <- e
+				return
+			}
+			select {
+			case incoming <- f:
+			case <-sessDone:
+				return
+			}
+		}
+	}()
+
+	if err := conn.Send(&Frame{Type: TypeHello, Proto: Proto, Fingerprint: w.fp, Worker: w.cfg.Name}); err != nil {
+		return false, false, err
+	}
+
+	// Await the welcome. Chaos can reorder a lease ahead of the welcome;
+	// stash such leases rather than dropping them.
+	var leaseQ []*Frame
+	seen := map[uint64]bool{}
+	// held is the set of leases accepted but not yet answered; heartbeats
+	// and results carry it so the coordinator renews exactly these and
+	// lets lost-in-transit grants expire.
+	held := map[uint64]bool{}
+	heldIDs := func() []uint64 {
+		ids := make([]uint64, 0, len(held))
+		for id := range held {
+			ids = append(ids, id)
+		}
+		return ids
+	}
+	hsTimer := time.NewTimer(w.cfg.HandshakeTimeout)
+	defer hsTimer.Stop()
+handshake:
+	for {
+		select {
+		case f := <-incoming:
+			switch f.Type {
+			case TypeWelcome:
+				break handshake
+			case TypeReject:
+				return false, true, fmt.Errorf("%w: %s", ErrRejected, f.Reason)
+			case TypeDrain:
+				w.publish("drained")
+				return false, true, ErrDrained
+			case TypeDone:
+				w.publish("done")
+				return false, true, nil
+			case TypeLease:
+				if !seen[f.Lease] {
+					seen[f.Lease] = true
+					held[f.Lease] = true
+					leaseQ = append(leaseQ, f)
+				}
+			}
+		case e := <-rerr:
+			// The conn died, but the reader delivers in order before its
+			// error, so a terminal verdict that beat the close is already
+			// buffered — honour it over the redial loop.
+			for {
+				select {
+				case f := <-incoming:
+					switch f.Type {
+					case TypeReject:
+						return false, true, fmt.Errorf("%w: %s", ErrRejected, f.Reason)
+					case TypeDrain:
+						w.publish("drained")
+						return false, true, ErrDrained
+					case TypeDone:
+						w.publish("done")
+						return false, true, nil
+					}
+				default:
+					return false, false, e
+				}
+			}
+		case <-hsTimer.C:
+			return false, false, fmt.Errorf("fabric: handshake timeout after %s", w.cfg.HandshakeTimeout)
+		case <-ctx.Done():
+			return false, true, ctx.Err()
+		}
+	}
+	w.publish("connected")
+
+	// terminalFrame maps a done/drain frame onto the session's exit.
+	terminalFrame := func(f *Frame) (error, bool) {
+		switch f.Type {
+		case TypeDone:
+			w.publish("done")
+			return nil, true
+		case TypeDrain:
+			w.publish("drained")
+			return ErrDrained, true
+		}
+		return nil, false
+	}
+
+	// failover handles a dead connection. A failure is often the far side
+	// of a clean shutdown — the coordinator queues done/drain, flushes,
+	// and closes, so the worker's next send (or the select's random pick
+	// of the read-error arm) can race a verdict that was already
+	// delivered. Before redialling, wait for the reader to hand over
+	// everything the coordinator managed to send and honour any terminal
+	// frame in it; HandshakeTimeout bounds the wait on a genuinely dead
+	// transport.
+	failover := func(cause error, readerExited bool) (bool, bool, error) {
+		deadline := time.NewTimer(w.cfg.HandshakeTimeout)
+		defer deadline.Stop()
+		for {
+			if readerExited {
+				// The reader is gone: every delivered frame is buffered.
+				select {
+				case f := <-incoming:
+					if err, ok := terminalFrame(f); ok {
+						return true, true, err
+					}
+					continue
+				default:
+					return true, false, cause
+				}
+			}
+			select {
+			case f := <-incoming:
+				if err, ok := terminalFrame(f); ok {
+					return true, true, err
+				}
+			case <-rerr:
+				readerExited = true
+			case <-deadline.C:
+				return true, false, cause
+			case <-ctx.Done():
+				return true, true, ctx.Err()
+			}
+		}
+	}
+
+	// Main loop: compute one chunk at a time off the lease queue, send
+	// results, heartbeat, and obey done/drain.
+	computing := false
+	results := make(chan computeOut, 1)
+	hb := time.NewTicker(w.cfg.HeartbeatEvery)
+	defer hb.Stop()
+	for {
+		if !computing && len(leaseQ) > 0 {
+			lf := leaseQ[0]
+			leaseQ = leaseQ[1:]
+			computing = true
+			go func(lf *Frame) {
+				out, err := w.runner.Run(sctx, lf.Begin, lf.End)
+				results <- computeOut{lease: lf.Lease, out: out, err: err}
+			}(lf)
+		}
+		select {
+		case f := <-incoming:
+			if err, ok := terminalFrame(f); ok {
+				return true, true, err
+			}
+			if f.Type == TypeLease && !seen[f.Lease] { // chaos-duplicated grants
+				seen[f.Lease] = true
+				held[f.Lease] = true
+				leaseQ = append(leaseQ, f)
+			}
+		case r := <-results:
+			computing = false
+			if r.err != nil {
+				if ctx.Err() != nil {
+					return true, true, ctx.Err()
+				}
+				return true, true, r.err
+			}
+			w.chunks++
+			delete(held, r.lease)
+			if err := conn.Send(&Frame{
+				Type: TypeResult, Lease: r.lease,
+				Begin: r.out.Begin, End: r.out.End, Chunk: r.out,
+				Leases: heldIDs(),
+			}); err != nil {
+				return failover(err, false)
+			}
+		case <-hb.C:
+			if err := conn.Send(&Frame{Type: TypeHeartbeat, Leases: heldIDs()}); err != nil {
+				return failover(err, false)
+			}
+		case e := <-rerr:
+			return failover(e, true)
+		case <-ctx.Done():
+			return true, true, ctx.Err()
+		}
+	}
+}
+
+// publish emits a worker-side liveness event when a bus is configured.
+func (w *worker) publish(state string, extra ...obs.Attr) {
+	if w.cfg.Bus == nil {
+		return
+	}
+	name := w.cfg.Name
+	if name == "" {
+		name = "worker"
+	}
+	attrs := append([]obs.Attr{
+		obs.String("state", state),
+		obs.Int("chunks_done", w.chunks),
+	}, extra...)
+	w.cfg.Bus.Publish("fabric_worker", name, attrs...)
+}

@@ -11,6 +11,7 @@ import (
 	"strconv"
 
 	"repro/internal/attrs"
+	"repro/internal/stage"
 )
 
 // ErrCheckpointMismatch is returned when a checkpoint file exists but was
@@ -18,6 +19,33 @@ import (
 // model, …). The trial count is deliberately NOT part of the identity, so
 // a finished campaign can be resumed with a larger Trials to extend it.
 var ErrCheckpointMismatch = errors.New("faultsim: checkpoint does not match campaign")
+
+// ErrCheckpointCorrupt is returned when a checkpoint or search-journal
+// file exists but does not decode — a truncated torn write, a leftover
+// temp file renamed into place, byte rot. The error is classified under
+// the taxonomy's "resume" stage and names the path and, when the decoder
+// can pin one, the byte offset of the damage. Campaign.LaxResume (and
+// SearchConfig.LaxResume) downgrade it to a logged restart-from-zero;
+// identity mismatches are never downgraded.
+var ErrCheckpointCorrupt = errors.New("faultsim: checkpoint corrupt")
+
+// corruptError classifies a decode failure of the file at path as an
+// ErrCheckpointCorrupt wrapped in a "resume"-stage taxonomy error. The
+// offset of the damage is recovered from the JSON decoder when it reports
+// one; a truncated file reports its length (the decoder ran off the end).
+func corruptError(rule, path string, data []byte, err error) error {
+	offset := int64(len(data))
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	switch {
+	case errors.As(err, &syn):
+		offset = syn.Offset
+	case errors.As(err, &typ):
+		offset = typ.Offset
+	}
+	return stage.Wrap("resume", rule, "", fmt.Errorf(
+		"%w: %s at offset %d of %d: %v", ErrCheckpointCorrupt, path, offset, len(data), err))
+}
 
 // Version 2 dropped the serialized PCG state: per-trial substream seeding
 // means the completed-trial frontier alone positions a resume exactly, for
@@ -115,7 +143,7 @@ func loadCheckpoint(path, fp string) (checkpointFile, bool, error) {
 	}
 	var cf checkpointFile
 	if err := json.Unmarshal(data, &cf); err != nil {
-		return checkpointFile{}, false, fmt.Errorf("faultsim: checkpoint decode %s: %w", path, err)
+		return checkpointFile{}, false, corruptError("checkpoint", path, data, err)
 	}
 	if cf.Version != checkpointVersion {
 		return checkpointFile{}, false, fmt.Errorf("%w: version %d, want %d",

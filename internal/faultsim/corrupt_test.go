@@ -1,0 +1,145 @@
+package faultsim
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/stage"
+)
+
+// truncate chops the file to half its bytes — a crash mid-write on a
+// filesystem without atomic rename, or a copy that died partway.
+func truncate(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampaignCorruptCheckpointStrict(t *testing.T) {
+	g, hw := web(t)
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+	c := campaign(g, hw, path)
+	if _, err := Run(c); err != nil {
+		t.Fatal(err)
+	}
+	truncate(t, path)
+
+	rs := campaign(g, hw, path)
+	rs.Resume = true
+	_, err := Run(rs)
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("resume from truncated checkpoint err = %v, want ErrCheckpointCorrupt", err)
+	}
+	var serr *stage.Error
+	if !errors.As(err, &serr) {
+		t.Fatalf("corrupt error is not a stage.Error: %v", err)
+	}
+	if serr.Stage != "resume" || serr.Rule != "checkpoint" {
+		t.Errorf("stage/rule = %s/%s, want resume/checkpoint", serr.Stage, serr.Rule)
+	}
+	// The message must name the file and the offending offset so the
+	// operator can inspect the damage.
+	if msg := err.Error(); !strings.Contains(msg, path) || !strings.Contains(msg, "offset") {
+		t.Errorf("corrupt error does not name path and offset: %s", msg)
+	}
+}
+
+func TestCampaignCorruptCheckpointLaxRestartsFresh(t *testing.T) {
+	g, hw := web(t)
+	dir := t.TempDir()
+
+	want, err := Run(campaign(g, hw, filepath.Join(dir, "fresh.ckpt")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "campaign.ckpt")
+	c := campaign(g, hw, path)
+	if _, err := Run(c); err != nil {
+		t.Fatal(err)
+	}
+	// Not even valid JSON: lax resume must discard it and restart from
+	// trial zero, producing the identical fresh result.
+	if err := os.WriteFile(path, []byte("{\"version\":2,"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rs := campaign(g, hw, path)
+	rs.Resume = true
+	rs.LaxResume = true
+	got, err := Run(rs)
+	if err != nil {
+		t.Fatalf("lax resume from corrupt checkpoint: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("lax-resumed run differs from a fresh run")
+	}
+
+	// Lax resume forgives damage, not identity mismatches: a checkpoint
+	// from a different campaign must still be rejected.
+	other := campaign(g, hw, path)
+	other.Seed++
+	if _, err := Run(other); err != nil {
+		t.Fatal(err)
+	}
+	rs2 := campaign(g, hw, path)
+	rs2.Resume = true
+	rs2.LaxResume = true
+	if _, err := Run(rs2); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("lax resume from foreign checkpoint err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestSearchCorruptJournalStrictAndLax(t *testing.T) {
+	g, hw := web(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "search.ckpt")
+
+	want, err := Search(searchConfig(g, hw, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Search(searchConfig(g, hw, path)); err != nil {
+		t.Fatal(err)
+	}
+	truncate(t, path)
+
+	// Strict: a typed error naming the journal and offset.
+	rs := searchConfig(g, hw, path)
+	rs.Resume = true
+	_, err = Search(rs)
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("resume from truncated journal err = %v, want ErrCheckpointCorrupt", err)
+	}
+	var serr *stage.Error
+	if !errors.As(err, &serr) {
+		t.Fatalf("corrupt error is not a stage.Error: %v", err)
+	}
+	if serr.Stage != "resume" || serr.Rule != "search" {
+		t.Errorf("stage/rule = %s/%s, want resume/search", serr.Stage, serr.Rule)
+	}
+	if msg := err.Error(); !strings.Contains(msg, path) || !strings.Contains(msg, "offset") {
+		t.Errorf("corrupt error does not name path and offset: %s", msg)
+	}
+
+	// Lax: the damaged journal is discarded and the climb restarts
+	// fresh, landing on the identical result.
+	lax := searchConfig(g, hw, path)
+	lax.Resume = true
+	lax.LaxResume = true
+	got, err := Search(lax)
+	if err != nil {
+		t.Fatalf("lax resume from corrupt journal: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("lax-resumed search differs from a fresh search")
+	}
+}

@@ -136,6 +136,13 @@ type Campaign struct {
 	// different campaign is ErrCheckpointMismatch; an absent file starts
 	// from trial zero.
 	Resume bool
+	// LaxResume softens Resume against damaged files only: a checkpoint
+	// that fails to decode (truncated torn write, leftover temp content —
+	// ErrCheckpointCorrupt) is discarded with a "resume_discarded" span
+	// event and the campaign restarts from trial zero. A checkpoint that
+	// decodes but belongs to a different campaign is still rejected: lax
+	// mode forgives damage, never identity mismatches.
+	LaxResume bool
 	// StopHalfWidth, when positive, enables confidence-interval early
 	// stopping: the campaign ends once the normal-approximation interval
 	// for the escape rate at StopConfidence is narrower than ±StopHalfWidth
@@ -833,17 +840,51 @@ func (c Campaign) validate() error {
 
 // Run executes the campaign.
 func Run(c Campaign) (Result, error) {
-	if err := c.validate(); err != nil {
-		return Result{}, err
-	}
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	run, start, err := newCampaignRun(&c, workers)
+	if err != nil {
+		return Result{}, err
+	}
 
+	if start < c.Trials {
+		// Fail fast on a context that is already dead, before spinning up
+		// any pool machinery.
+		if c.Ctx != nil {
+			if err := c.Ctx.Err(); err != nil {
+				return Result{}, run.cancelled(err)
+			}
+		}
+		if remaining := (c.Trials - start + trialChunkSize - 1) / trialChunkSize; workers > remaining {
+			workers = remaining
+		}
+		if workers <= 1 {
+			err = run.serial(start)
+		} else {
+			err = run.parallel(start, workers)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return run.finish(), nil
+}
+
+// newCampaignRun validates the campaign and builds its merge-side state:
+// the precomputed environment, the (possibly resumed) partial Result, the
+// telemetry instruments and every evaluation-point interval. It publishes
+// the "campaign_start" event and returns the completed-trial frontier the
+// execution should start from. Both Run and the distributed Merger build
+// on it, which is what keeps the two bit-identical.
+func newCampaignRun(c *Campaign, workers int) (*campaignRun, int, error) {
+	if err := c.validate(); err != nil {
+		return nil, 0, err
+	}
 	run := &campaignRun{
-		c:   &c,
-		env: newCampaignEnv(&c),
+		c:   c,
+		env: newCampaignEnv(c),
 		res: Result{
 			Trials:            c.Trials,
 			AffectedCount:     map[string]int{},
@@ -869,11 +910,22 @@ func Run(c Campaign) (Result, error) {
 	if c.Resume && c.CheckpointPath != "" {
 		cf, ok, err := loadCheckpoint(c.CheckpointPath, run.fp)
 		if err != nil {
-			return Result{}, err
+			if !c.LaxResume || !errors.Is(err, ErrCheckpointCorrupt) {
+				return nil, 0, err
+			}
+			// Lax resume: the file is damaged, not foreign. Record the
+			// discard and restart from trial zero; the next checkpoint
+			// write replaces the damaged file atomically.
+			if c.Span != nil {
+				c.Span.Event("resume_discarded",
+					obs.String("path", c.CheckpointPath),
+					obs.String("error", err.Error()))
+			}
+			ok = false
 		}
 		if ok {
 			if cf.TrialsDone > c.Trials {
-				return Result{}, fmt.Errorf("%w: checkpoint has %d trials done, campaign wants %d",
+				return nil, 0, fmt.Errorf("%w: checkpoint has %d trials done, campaign wants %d",
 					ErrCheckpointMismatch, cf.TrialsDone, c.Trials)
 			}
 			run.res = cf.Result
@@ -922,49 +974,34 @@ func Run(c Campaign) (Result, error) {
 			obs.String("model", c.model().Name()),
 			obs.Int("workers", workers))
 	}
+	return run, start, nil
+}
 
-	if start < c.Trials {
-		// Fail fast on a context that is already dead, before spinning up
-		// any pool machinery.
-		if c.Ctx != nil {
-			if err := c.Ctx.Err(); err != nil {
-				return Result{}, run.cancelled(err)
-			}
-		}
-		var err error
-		if remaining := (c.Trials - start + trialChunkSize - 1) / trialChunkSize; workers > remaining {
-			workers = remaining
-		}
-		if workers <= 1 {
-			err = run.serial(start)
-		} else {
-			err = run.parallel(start, workers)
-		}
-		if err != nil {
-			return Result{}, err
-		}
-	}
+// finish publishes the terminal telemetry (the "campaign_done" event and
+// the ledger's campaign record) and returns the merged Result.
+func (r *campaignRun) finish() Result {
+	c := r.c
 	if c.Bus != nil {
-		c.Bus.Publish("campaign_done", run.label,
-			obs.Int("trials_done", run.res.Trials),
+		c.Bus.Publish("campaign_done", r.label,
+			obs.Int("trials_done", r.res.Trials),
 			obs.Int("trials_total", c.Trials),
-			obs.Float("escape_rate", run.res.EscapeRate()),
-			obs.Bool("early_stopped", run.res.EarlyStopped))
+			obs.Float("escape_rate", r.res.EscapeRate()),
+			obs.Bool("early_stopped", r.res.EarlyStopped))
 	}
 	c.Ledger.Append(ledger.Record{
 		Kind: ledger.KindCampaign, Stage: "faultsim",
 		Detail: fmt.Sprintf("model %s, seed %d", c.model().Name(), c.Seed),
 		Values: map[string]float64{
-			"trials":                float64(run.res.Trials),
-			"escape_rate":           run.res.EscapeRate(),
-			"mean_affected":         run.res.MeanAffected(),
-			"mean_criticality_loss": run.res.MeanCriticalityLoss(),
-			"weighted_escape_rate":  run.res.CriticalityWeightedEscapeRate(),
-			"cross_transmissions":   float64(run.res.CrossNodeTransmissions),
-			"early_stopped":         b2f(run.res.EarlyStopped),
+			"trials":                float64(r.res.Trials),
+			"escape_rate":           r.res.EscapeRate(),
+			"mean_affected":         r.res.MeanAffected(),
+			"mean_criticality_loss": r.res.MeanCriticalityLoss(),
+			"weighted_escape_rate":  r.res.CriticalityWeightedEscapeRate(),
+			"cross_transmissions":   float64(r.res.CrossNodeTransmissions),
+			"early_stopped":         b2f(r.res.EarlyStopped),
 		},
 	})
-	return run.res, nil
+	return r.res
 }
 
 // b2f encodes a flag into a ledger value.

@@ -119,6 +119,11 @@ type SearchConfig struct {
 	// SearchResult bit-identical to an uninterrupted run.
 	CheckpointPath string
 	Resume         bool
+	// LaxResume discards a corrupt (undecodable) evaluation journal with
+	// a "resume_discarded" span event and starts the climb fresh, instead
+	// of failing with ErrCheckpointCorrupt. Journals from a different
+	// search configuration are still rejected.
+	LaxResume bool
 }
 
 // searchCheckpoint is the on-disk evaluation history of a search in
@@ -466,7 +471,16 @@ func (s *searcher) loadCheckpoint() error {
 	}
 	var ck searchCheckpoint
 	if err := json.Unmarshal(data, &ck); err != nil {
-		return fmt.Errorf("faultsim: search checkpoint decode: %w", err)
+		cerr := corruptError("search", s.cfg.CheckpointPath, data, err)
+		if !s.cfg.LaxResume {
+			return cerr
+		}
+		if s.cfg.Span != nil {
+			s.cfg.Span.Event("resume_discarded",
+				obs.String("path", s.cfg.CheckpointPath),
+				obs.String("error", cerr.Error()))
+		}
+		return nil
 	}
 	if ck.Version != searchCheckpointVersion || ck.Fingerprint != s.cfg.fingerprint() {
 		return fmt.Errorf("%w: %s", ErrCheckpointMismatch, s.cfg.CheckpointPath)

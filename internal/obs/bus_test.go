@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 func drain(s *Subscriber) []BusEvent {
@@ -99,6 +101,7 @@ func TestSubscriberOverflowDropsOldest(t *testing.T) {
 }
 
 func TestSubscriberNextBlocksAndWakes(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	b := NewBus(16)
 	sub := b.Subscribe(0, 16)
 	got := make(chan BusEvent, 1)
@@ -122,6 +125,7 @@ func TestSubscriberNextBlocksAndWakes(t *testing.T) {
 }
 
 func TestSubscriberNextContextCancel(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	b := NewBus(16)
 	sub := b.Subscribe(0, 16)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -142,6 +146,7 @@ func TestSubscriberNextContextCancel(t *testing.T) {
 }
 
 func TestBusCloseDrainsSubscribers(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	b := NewBus(16)
 	sub := b.Subscribe(0, 16)
 	b.Publish("event", "before")
@@ -161,6 +166,7 @@ func TestBusCloseDrainsSubscribers(t *testing.T) {
 }
 
 func TestBusConcurrentPublish(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	b := NewBus(1024)
 	sub := b.Subscribe(0, 2048)
 	var wg sync.WaitGroup

@@ -56,6 +56,11 @@ canvas { width: 100%; height: 40px; }
 <h2>Campaigns</h2>
 <div id="campaigns" class="grid"><span class="muted">no campaigns yet</span></div>
 
+<h2 id="fabrichdr" style="display:none">Distributed fabric <span id="fabricsum" class="muted"></span></h2>
+<table id="fabrictbl" style="display:none"><thead>
+<tr><th>worker</th><th>state</th><th>leases</th><th>chunks done</th></tr></thead>
+<tbody id="fabric"></tbody></table>
+
 <h2>Metrics</h2>
 <div id="metrics" class="grid"><span class="muted">no metrics yet</span></div>
 
@@ -151,6 +156,31 @@ function renderCampaigns(p) {
   });
 }
 
+function renderFabric(p) {
+  var hdr = document.getElementById("fabrichdr");
+  var tbl = document.getElementById("fabrictbl");
+  if (!p.fabric) { hdr.style.display = "none"; tbl.style.display = "none"; return; }
+  hdr.style.display = ""; tbl.style.display = "";
+  var f = p.fabric;
+  var sum = (f.label ? "(" + f.label + ") " : "") + f.leases_granted + " leases granted";
+  if (f.leases_expired) sum += " · " + f.leases_expired + " expired";
+  if (f.reassigned) sum += " · " + f.reassigned + " reassigned";
+  if (f.duplicates) sum += " · " + f.duplicates + " duplicates suppressed";
+  if (f.done) sum += " · done";
+  document.getElementById("fabricsum").textContent = sum;
+  var tb = document.getElementById("fabric");
+  tb.textContent = "";
+  (f.workers || []).forEach(function (w) {
+    var tr = el("tr");
+    tr.appendChild(el("td", null, w.name));
+    var cls = w.state === "lost" ? "pending" : (w.state === "done" ? "done" : "running");
+    tr.appendChild(el("td")).appendChild(el("span", "chip " + cls, w.state));
+    tr.appendChild(el("td", null, String(w.leases || 0)));
+    tr.appendChild(el("td", null, String(w.chunks_done || 0)));
+    tb.appendChild(tr);
+  });
+}
+
 function renderMetrics(m) {
   var root = document.getElementById("metrics");
   root.textContent = "";
@@ -191,7 +221,7 @@ function renderMetrics(m) {
 
 function poll() {
   fetch("/progress").then(function (r) { return r.ok ? r.json() : null; }).then(function (p) {
-    if (p) { renderStages(p); renderCampaigns(p); }
+    if (p) { renderStages(p); renderCampaigns(p); renderFabric(p); }
   }).catch(function () {});
   fetch("/metrics.json").then(function (r) { return r.ok ? r.json() : null; }).then(function (m) {
     if (m) renderMetrics(m);

@@ -1,0 +1,182 @@
+// External test package: these tests drive obs.Serve with a live fabric
+// campaign publishing onto the bus, which package obs cannot import
+// without a cycle.
+package obs_test
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/attrs"
+	"repro/internal/fabric"
+	"repro/internal/faultsim"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/testutil"
+)
+
+func streamCampaign(t *testing.T, trials int) faultsim.Campaign {
+	t.Helper()
+	g := graph.New()
+	crits := map[string]float64{"a": 12, "b": 3, "c": 7, "d": 1}
+	for _, n := range []string{"a", "b", "c", "d"} {
+		if err := g.AddNode(n, attrs.New(map[attrs.Kind]float64{attrs.Criticality: crits[n]})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []struct {
+		from, to string
+		w        float64
+	}{
+		{"a", "b", 0.6}, {"b", "c", 0.4}, {"c", "d", 0.5}, {"d", "a", 0.3},
+	} {
+		if err := g.SetEdge(e.from, e.to, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return faultsim.Campaign{
+		Graph: g, HWOf: map[string]string{"a": "h1", "b": "h1", "c": "h2", "d": "h2"},
+		Trials: trials, Seed: 11, CriticalThreshold: 10,
+	}
+}
+
+// waitSubscribersGone polls until the bus has no registered subscribers.
+func waitSubscribersGone(t *testing.T, bus *obs.Bus) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for bus.Subscribers() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("bus still has %d subscribers; disconnected client not unregistered", bus.Subscribers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestEventsSSEClientDisconnectMidReplay: a client that opens /events
+// with a deep replay backlog and vanishes after a few events must be
+// unregistered from the bus, and later publishes must proceed without
+// panics or phantom drop accounting.
+func TestEventsSSEClientDisconnectMidReplay(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
+	bus := obs.NewBus(512)
+	defer bus.Close()
+	for i := 0; i < 200; i++ {
+		bus.Publish("event", "pre", obs.Int("i", i))
+	}
+	srv, err := obs.Serve("127.0.0.1:0", obs.ServerConfig{Bus: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+srv.Addr()+"/events?sse=1&from=1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bus.Subscribers() != 1 {
+		t.Fatalf("Subscribers = %d after connect, want 1", bus.Subscribers())
+	}
+	// Read a couple of replayed frames, then disconnect mid-replay.
+	sc := bufio.NewScanner(resp.Body)
+	for lines := 0; lines < 4 && sc.Scan(); lines++ {
+	}
+	cancel()
+	resp.Body.Close()
+
+	waitSubscribersGone(t, bus)
+	before := bus.Dropped()
+	for i := 0; i < 50; i++ {
+		bus.Publish("event", "post", obs.Int("i", i))
+	}
+	if got := bus.Dropped(); got != before {
+		t.Errorf("Dropped grew %d -> %d after the only subscriber left", before, got)
+	}
+}
+
+// TestServerShutdownWithFabricFedStream: shutting the server down while a
+// distributed fabric campaign is streaming onto its bus and an /events
+// client is attached must return promptly, unregister the subscriber and
+// leave the campaign itself unharmed.
+func TestServerShutdownWithFabricFedStream(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
+	bus := obs.NewBus(4096)
+	defer bus.Close()
+	srv, err := obs.Serve("127.0.0.1:0", obs.ServerConfig{Bus: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := streamCampaign(t, 12800)
+	pl := fabric.NewPipeListener()
+	serveDone := make(chan error, 1)
+	go func() {
+		_, _, err := fabric.Serve(context.Background(), fabric.Config{
+			Campaign: c, Listener: pl, Bus: bus,
+		})
+		serveDone <- err
+	}()
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		_ = fabric.RunWorker(wctx, fabric.WorkerConfig{
+			Campaign: c, Dial: pl.Dial(), Name: "sw",
+			HeartbeatEvery: 20 * time.Millisecond,
+			BackoffBase:    2 * time.Millisecond, MaxReconnects: 100,
+		})
+	}()
+
+	// Attach a live stream and wait until fabric events flow through it.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+srv.Addr()+"/events?sse=1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sawFabric := false
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), "fabric_") {
+			sawFabric = true
+			break
+		}
+	}
+	if !sawFabric {
+		t.Fatal("stream closed before any fabric event arrived")
+	}
+
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer shutCancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(shutCtx) }()
+	select {
+	case <-done:
+		// Returned; an active stream must not wedge shutdown.
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung on a fabric-fed stream")
+	}
+	cancel()
+	resp.Body.Close()
+	waitSubscribersGone(t, bus)
+
+	// The campaign outlives its dashboard: it must still complete.
+	if err := <-serveDone; err != nil {
+		t.Fatalf("fabric Serve after server shutdown: %v", err)
+	}
+	wcancel()
+	<-workerDone
+}

@@ -62,6 +62,31 @@ type CertifyProgress struct {
 	Done          bool    `json:"done"`
 }
 
+// FabricWorkerProgress is the live state of one distributed-campaign
+// worker as seen by the coordinator.
+type FabricWorkerProgress struct {
+	Name string `json:"name"`
+	// State is the last liveness transition: join, lost, drain, done (or
+	// the worker-side connected/retry/drained when tracking a worker
+	// process's own bus).
+	State      string `json:"state"`
+	Leases     int    `json:"leases"`
+	ChunksDone int    `json:"chunks_done"`
+}
+
+// FabricProgress is the live state of the distributed campaign fabric,
+// folded from fabric_worker/fabric_lease/fabric_done events.
+type FabricProgress struct {
+	Label         string                 `json:"label,omitempty"`
+	Workers       []FabricWorkerProgress `json:"workers,omitempty"`
+	LeasesGranted int                    `json:"leases_granted"`
+	LeasesExpired int                    `json:"leases_expired,omitempty"`
+	Reassigned    int                    `json:"reassigned,omitempty"`
+	Duplicates    int                    `json:"duplicates,omitempty"`
+	Done          bool                   `json:"done"`
+	byName        map[string]*FabricWorkerProgress
+}
+
 // ProgressSnapshot is the /progress JSON document: everything the bus has
 // revealed about the run so far, summarised for an operator.
 type ProgressSnapshot struct {
@@ -71,6 +96,7 @@ type ProgressSnapshot struct {
 	Campaigns []CampaignProgress `json:"campaigns,omitempty"`
 	Search    *SearchProgress    `json:"search,omitempty"`
 	Certify   *CertifyProgress   `json:"certify,omitempty"`
+	Fabric    *FabricProgress    `json:"fabric,omitempty"`
 	// Events/Seq/DroppedEvents describe the bus itself.
 	Events        uint64 `json:"events"`
 	Seq           uint64 `json:"seq"`
@@ -96,6 +122,7 @@ type Tracker struct {
 	byLabel   map[string]*CampaignProgress
 	search    *SearchProgress
 	certify   *CertifyProgress
+	fabric    *FabricProgress
 	events    uint64
 	firstSeen time.Time
 	now       func() time.Time
@@ -245,7 +272,81 @@ func (t *Tracker) Apply(ev BusEvent) {
 			t.certify = &CertifyProgress{}
 		}
 		t.certify.Done = true
+	case "fabric_worker":
+		f := t.fabricState()
+		if label, ok := ev.Attrs["campaign"].(string); ok && f.Label == "" {
+			f.Label = label
+		}
+		w := f.worker(ev.Name)
+		if s, ok := ev.Attrs["state"].(string); ok {
+			w.State = s
+		}
+		if v, ok := toInt(ev.Attrs["leases"]); ok {
+			w.Leases = v
+		}
+		if v, ok := toInt(ev.Attrs["chunks_done"]); ok {
+			w.ChunksDone = v
+		}
+	case "fabric_lease":
+		f := t.fabricState()
+		if f.Label == "" {
+			f.Label = ev.Name
+		}
+		switch ev.Attrs["state"] {
+		case "grant":
+			f.LeasesGranted++
+		case "expire":
+			f.LeasesExpired++
+		case "reassign":
+			f.Reassigned++
+		case "duplicate":
+			f.Duplicates++
+		}
+	case "fabric_done":
+		f := t.fabricState()
+		if f.Label == "" {
+			f.Label = ev.Name
+		}
+		f.Done = true
+		// The terminal summary is authoritative; overwrite the folded
+		// counters in case lease events were dropped under load.
+		if v, ok := toInt(ev.Attrs["leases_granted"]); ok {
+			f.LeasesGranted = v
+		}
+		if v, ok := toInt(ev.Attrs["leases_expired"]); ok {
+			f.LeasesExpired = v
+		}
+		if v, ok := toInt(ev.Attrs["reassigned"]); ok {
+			f.Reassigned = v
+		}
+		if v, ok := toInt(ev.Attrs["duplicates"]); ok {
+			f.Duplicates = v
+		}
 	}
+}
+
+// fabricState finds or creates the fabric board. Caller holds t.mu.
+func (t *Tracker) fabricState() *FabricProgress {
+	if t.fabric == nil {
+		t.fabric = &FabricProgress{byName: map[string]*FabricWorkerProgress{}}
+	}
+	return t.fabric
+}
+
+// worker finds or creates a fabric worker row by name.
+func (f *FabricProgress) worker(name string) *FabricWorkerProgress {
+	if w, ok := f.byName[name]; ok {
+		return w
+	}
+	f.Workers = append(f.Workers, FabricWorkerProgress{Name: name})
+	w := &f.Workers[len(f.Workers)-1]
+	f.byName[name] = w
+	// Appends can move the backing array; rebuild the index so every
+	// pointer targets the current slice.
+	for i := range f.Workers {
+		f.byName[f.Workers[i].Name] = &f.Workers[i]
+	}
+	return f.byName[name]
 }
 
 // stage finds a stage row by name (nil when it is not a pipeline stage).
@@ -303,6 +404,12 @@ func (t *Tracker) Snapshot() ProgressSnapshot {
 	if t.certify != nil {
 		c := *t.certify
 		snap.Certify = &c
+	}
+	if t.fabric != nil {
+		f := *t.fabric
+		f.Workers = append([]FabricWorkerProgress(nil), t.fabric.Workers...)
+		f.byName = nil
+		snap.Fabric = &f
 	}
 	snap.Events = t.events
 	snap.Seq = t.bus.Seq()

@@ -176,3 +176,54 @@ func TestTrackerAttachesToBus(t *testing.T) {
 		t.Errorf("snapshot seq/events = %d/%d, want 1/1", snap.Seq, snap.Events)
 	}
 }
+
+func TestTrackerFabricBoard(t *testing.T) {
+	tr := NewTracker(nil)
+	tr.Apply(evAt(0, "fabric_worker", "w1",
+		String("state", "join"), String("campaign", "camp"), Int("leases", 2)))
+	tr.Apply(evAt(1, "fabric_lease", "camp", String("state", "grant")))
+	tr.Apply(evAt(2, "fabric_lease", "camp", String("state", "grant")))
+	tr.Apply(evAt(3, "fabric_lease", "camp", String("state", "expire")))
+	tr.Apply(evAt(4, "fabric_lease", "camp", String("state", "reassign")))
+	tr.Apply(evAt(5, "fabric_worker", "w2", String("state", "join"), Int("leases", 1)))
+	tr.Apply(evAt(6, "fabric_worker", "w1",
+		String("state", "done"), Int("leases", 0), Int("chunks_done", 7)))
+
+	snap := tr.Snapshot()
+	f := snap.Fabric
+	if f == nil {
+		t.Fatal("no fabric board after fabric events")
+	}
+	if f.Label != "camp" {
+		t.Errorf("Label = %q, want camp", f.Label)
+	}
+	if f.LeasesGranted != 2 || f.LeasesExpired != 1 || f.Reassigned != 1 {
+		t.Errorf("counters = %+v, want 2 granted / 1 expired / 1 reassigned", f)
+	}
+	if len(f.Workers) != 2 {
+		t.Fatalf("Workers = %d, want 2", len(f.Workers))
+	}
+	if w := f.Workers[0]; w.Name != "w1" || w.State != "done" || w.Leases != 0 || w.ChunksDone != 7 {
+		t.Errorf("w1 row = %+v", w)
+	}
+	if f.Done {
+		t.Error("fabric done before fabric_done event")
+	}
+
+	// The terminal summary is authoritative: it overwrites the folded
+	// counters (some lease events may have been dropped under load).
+	tr.Apply(evAt(7, "fabric_done", "camp",
+		Int("leases_granted", 9), Int("leases_expired", 3),
+		Int("reassigned", 2), Int("duplicates", 1)))
+	f = tr.Snapshot().Fabric
+	if !f.Done || f.LeasesGranted != 9 || f.LeasesExpired != 3 || f.Reassigned != 2 || f.Duplicates != 1 {
+		t.Errorf("after fabric_done: %+v", f)
+	}
+
+	// Snapshot isolation: mutating the tracker afterwards must not reach
+	// an already-taken snapshot.
+	tr.Apply(evAt(8, "fabric_worker", "w3", String("state", "join")))
+	if len(f.Workers) != 2 {
+		t.Error("snapshot shares worker slice with live tracker")
+	}
+}

@@ -1,0 +1,57 @@
+// Package testutil holds shared test helpers. It must only be imported
+// from _test.go files.
+package testutil
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines registers a cleanup that fails the test if the
+// goroutine count has not returned to its current baseline by the end of
+// the test — a hand-rolled goleak. Call it first in the test; every
+// goroutine the test spawns (workers, coordinators, bus subscribers,
+// chaos timers) must be joined by the time the test returns.
+//
+// Exits are asynchronous (a goroutine that closed its done channel may
+// not have left runtime accounting yet), so the check polls with a
+// deadline before declaring a leak, then dumps all stacks so the culprit
+// is identifiable.
+func CheckGoroutines(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if n > base {
+			t.Errorf("goroutine leak: %d alive, baseline %d\n%s", n, base, stacks())
+		}
+	})
+}
+
+// stacks renders all goroutine stacks, trimming runtime-internal ones to
+// keep failure output readable.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var out bytes.Buffer
+	for _, g := range bytes.Split(buf, []byte("\n\n")) {
+		s := string(g)
+		if strings.Contains(s, "testing.") || strings.Contains(s, "runtime.goexit") && strings.Count(s, "\n") <= 3 {
+			continue
+		}
+		fmt.Fprintf(&out, "%s\n\n", s)
+	}
+	return out.String()
+}

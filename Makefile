@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check fmt vet build test race bench bench-json fuzz-smoke ledger-diff stream-check fabric-check
+.PHONY: check fmt vet build test race bench bench-json fuzz-smoke ledger-diff stream-check fabric-check scenario-check cover
 
-check: fmt vet build test race bench fuzz-smoke ledger-diff stream-check fabric-check
+check: fmt vet build test race bench fuzz-smoke ledger-diff stream-check fabric-check scenario-check cover
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -45,6 +45,29 @@ bench-json:
 	$(GO) test -run NONE -bench '((Campaign|Separation)Parallel|AdversarialSearch)$$' -benchtime 3x -json . > BENCH_parallel.json
 	$(GO) test -run NONE -bench 'BusPublish$$' -benchmem -json ./internal/obs > BENCH_bus.json
 	$(GO) test -run NONE -bench 'FabricCampaign$$' -benchtime 3x -json ./internal/fabric > BENCH_fabric.json
+	$(GO) test -run NONE -bench '(ScenarioGen|IntegrateGenerated)$$' -benchtime 3x -json . > BENCH_scenarios.json
+
+# scenario-check is the corpus acceptance gate: every committed scenario
+# in testdata/corpus is regenerated from its seed (spec drift fails),
+# run through Integrate plus a short fault campaign at Workers 1 and 4,
+# and its decision ledger compared byte-for-byte against the committed
+# golden, with the measured metrics held inside the recorded envelopes;
+# a deliberate one-weight perturbation must be caught as the negative
+# control. Under -race every corpus entry doubles as a race probe over
+# the sharded generator and pipeline. Regenerate goldens deliberately
+# with `go run ./cmd/scenariocheck -update` and commit the diff.
+scenario-check:
+	$(GO) run -race ./cmd/scenariocheck
+
+# cover prints per-package statement coverage and enforces the floor on
+# the scenario generator: internal/scengen below 85% fails the gate (it
+# is the workload source every other suite leans on).
+cover:
+	@out="$$($(GO) test -count=1 -cover ./... )" || { echo "$$out"; exit 1; }; \
+	echo "$$out" | grep 'coverage:'; \
+	pct="$$(echo "$$out" | awk '$$2 == "repro/internal/scengen" { for (i = 1; i <= NF; i++) if ($$i ~ /%$$/) print substr($$i, 1, length($$i)-1) }')"; \
+	if [ -z "$$pct" ]; then echo "cover: no coverage reported for internal/scengen"; exit 1; fi; \
+	awk -v p="$$pct" 'BEGIN { if (p+0 < 85) { printf "cover: internal/scengen %.1f%% is below the 85%% floor\n", p; exit 1 } printf "cover: internal/scengen %.1f%% (floor 85%%)\n", p }'
 
 # fabric-check certifies the distributed campaign fabric: the merged
 # result of a sharded campaign must be reflect.DeepEqual-identical to a

@@ -19,6 +19,7 @@ import (
 	"repro/internal/faultsim"
 	"repro/internal/influence"
 	"repro/internal/obs"
+	"repro/internal/scengen"
 	"repro/internal/sched"
 )
 
@@ -509,6 +510,50 @@ func BenchmarkSeparationParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkScenarioGen measures the corpus generator at the large preset
+// (120 processes): the cost of producing a whole scenario — topology,
+// sharded attribute synthesis, hierarchy — per family. The generator is
+// the workload source for every other benchmark family, so its own cost
+// must stay negligible next to the pipeline's.
+func BenchmarkScenarioGen(b *testing.B) {
+	for _, fam := range scengen.Families() {
+		b.Run(string(fam), func(b *testing.B) {
+			var edges int
+			for i := 0; i < b.N; i++ {
+				sc, err := scengen.Generate(scengen.Config{Family: fam, Processes: 120, Seed: 7})
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges = len(sc.System.Influences)
+			}
+			b.ReportMetric(float64(edges), "edges")
+		})
+	}
+}
+
+// BenchmarkIntegrateGenerated runs the full pipeline on a generated
+// medium scenario per family — the honest end-to-end workload numbers
+// the worked example (8 processes) cannot provide.
+func BenchmarkIntegrateGenerated(b *testing.B) {
+	for _, fam := range scengen.Families() {
+		sc, err := scengen.Generate(scengen.Config{Family: fam, Processes: 36, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(string(fam), func(b *testing.B) {
+			var cross float64
+			for i := 0; i < b.N; i++ {
+				res, err := Integrate(sc.System.Clone())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cross = res.Report.CrossInfluence
+			}
+			b.ReportMetric(cross, "cross-influence")
 		})
 	}
 }

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	fcmtool [-spec system.json] [-strategy h1|h1pair|h2|h2st|h3|crit|timing|sep]
+//	fcmtool [-spec system.json] [-gen family:size:seed]
+//	        [-strategy h1|h1pair|h2|h2st|h3|crit|timing|sep]
 //	        [-fallback h2,h3] [-race-strategies] [-workers N]
 //	        [-approach importance|lex|fcr] [-refine N] [-compare] [-json]
 //	        [-perturb 0.01,0.05,0.1] [-perturb-samples N] [-perturb-trials N]
@@ -32,7 +33,14 @@
 // acceptable result winning. -workers sizes the worker pools of the
 // parallel stages (0 = GOMAXPROCS) without changing a single output bit.
 //
-// With -emit-example the tool writes the paper's worked example as JSON to
+// -gen generates a scenario from the seeded corpus generator instead of
+// reading one: "family" is ladder, mesh, layered or sensor-voter, "size"
+// is small, medium, large or a process count, and the same seed always
+// reproduces the same system byte-for-byte (see internal/scengen). It
+// conflicts with -spec.
+//
+// With -emit-example the tool writes the paper's worked example — or,
+// combined with -gen, the generated scenario — as JSON to
 // stdout (a starting point for custom specifications) and exits. The
 // telemetry flags record one span per pipeline stage plus every merge
 // decision of the condenser; -watch streams that activity live as NDJSON
@@ -54,6 +62,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/scengen"
 	"repro/internal/spec"
 )
 
@@ -68,6 +77,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("fcmtool", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	specPath := fs.String("spec", "", "path to a system specification JSON (default: built-in paper example)")
+	gen := fs.String("gen", "", "generate the scenario family:size:seed (e.g. ladder:small:7) instead of reading a spec")
 	strategy := fs.String("strategy", "h1", "condensation strategy: h1, h1pair, h2, h2st, h3, crit, timing, sep")
 	fallback := fs.String("fallback", "", "comma-separated fallback strategies tried (or raced) after -strategy")
 	approach := fs.String("approach", "importance", "assignment approach: importance, lex, fcr")
@@ -92,11 +102,26 @@ func run(args []string, stdout io.Writer) (err error) {
 	ctx, stop := cli.RunContext(*timeout)
 	defer stop()
 
+	sys := depint.PaperExample()
+	if *gen != "" {
+		if *specPath != "" {
+			return fmt.Errorf("-gen and -spec are mutually exclusive")
+		}
+		cfg, err := scengen.Parse(*gen)
+		if err != nil {
+			return err
+		}
+		cfg.Workers = *workers
+		sc, err := scengen.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		sys = sc.System
+	}
 	if *emit {
-		return depint.PaperExample().Encode(stdout)
+		return sys.Encode(stdout)
 	}
 
-	sys := depint.PaperExample()
 	if *specPath != "" {
 		f, err := os.Open(*specPath)
 		if err != nil {

@@ -74,6 +74,41 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-spec", "/nonexistent.json"}, &out); err == nil {
 		t.Error("missing spec file accepted")
 	}
+	if err := run([]string{"-gen", "bogus:small:1"}, &out); err == nil {
+		t.Error("unknown -gen family accepted")
+	}
+	if err := run([]string{"-gen", "mesh:small:1", "-spec", "x.json"}, &out); err == nil {
+		t.Error("-gen with -spec accepted")
+	}
+}
+
+func TestRunGeneratedScenario(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gen", "ladder:small:7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `system "ladder-n12-s7"`) {
+		t.Errorf("dossier missing generated system name:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "constraints satisfied:    true") {
+		t.Errorf("generated scenario violated constraints:\n%s", out.String())
+	}
+
+	// -emit-example with -gen emits the generated spec; the emitted JSON
+	// must be byte-stable across invocations and worker counts.
+	var emit1, emit4 strings.Builder
+	if err := run([]string{"-gen", "sensor-voter:16:3", "-emit-example", "-workers", "1"}, &emit1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-gen", "sensor-voter:16:3", "-emit-example", "-workers", "4"}, &emit4); err != nil {
+		t.Fatal(err)
+	}
+	if emit1.String() != emit4.String() {
+		t.Error("-gen emission differs between -workers 1 and 4")
+	}
+	if !strings.Contains(emit1.String(), `"g00-vote"`) {
+		t.Errorf("emitted scenario missing voter process:\n%.200s", emit1.String())
+	}
 }
 
 func TestRunPerturbCertificate(t *testing.T) {

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scengen"
+)
+
+// TestScenarioCheck drives the gate end to end in a temp corpus: -update
+// builds it, a clean check passes, a tampered golden fails, and the
+// ledger of every corpus family is byte-identical at Workers 1 and 4
+// (the determinism satellite, exercised under -race by `make race`).
+func TestScenarioCheck(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	args := []string{"-corpus", dir, "-trials", "64", "-fuzz-decode-dir", "", "-fuzz-integrate-dir", ""}
+
+	if code := run(append([]string{"-update"}, args...), &out, &errOut); code != 0 {
+		t.Fatalf("update exited %d: %s", code, errOut.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+	specs, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	goldens, _ := filepath.Glob(filepath.Join(dir, "*.golden.jsonl"))
+	if len(specs) != 13 || len(goldens) != 12 { // 12 specs + manifest
+		t.Fatalf("corpus has %d json, %d goldens; want 13, 12", len(specs), len(goldens))
+	}
+
+	t.Run("clean check passes", func(t *testing.T) {
+		out.Reset()
+		errOut.Reset()
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("check exited %d: %s", code, errOut.String())
+		}
+		if !strings.Contains(out.String(), "scenario-check: OK (12 scenarios + perturbation control)") {
+			t.Fatalf("missing OK line in:\n%s", out.String())
+		}
+		if !strings.Contains(out.String(), "perturbation caught") {
+			t.Fatalf("negative control did not report in:\n%s", out.String())
+		}
+	})
+
+	t.Run("tampered golden fails", func(t *testing.T) {
+		target := goldens[0]
+		orig, err := os.ReadFile(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flip one merge score digit: a decision change, not just noise.
+		tampered := bytes.Replace(orig, []byte(`"score":`), []byte(`"score":9`), 1)
+		if bytes.Equal(tampered, orig) {
+			t.Fatal("golden has no score field to tamper with")
+		}
+		if err := os.WriteFile(target, tampered, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		defer os.WriteFile(target, orig, 0o644)
+		out.Reset()
+		errOut.Reset()
+		if code := run(args, &out, &errOut); code != 1 {
+			t.Fatalf("check with tampered golden exited %d, want 1\n%s", code, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "ledger differs from golden") {
+			t.Fatalf("missing mismatch diagnosis in:\n%s", errOut.String())
+		}
+	})
+
+	t.Run("missing corpus explains itself", func(t *testing.T) {
+		out.Reset()
+		errOut.Reset()
+		if code := run([]string{"-corpus", filepath.Join(dir, "nope")}, &out, &errOut); code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+		if !strings.Contains(errOut.String(), "-update") {
+			t.Fatalf("error does not point at -update:\n%s", errOut.String())
+		}
+	})
+
+	t.Run("ledger worker invariance", func(t *testing.T) {
+		m := &manifest{Trials: 64, CampaignSeed: 1998, CriticalThreshold: 10}
+		for _, fam := range scengen.Families() {
+			cfg := scengen.Config{Family: fam, Processes: 12, Seed: 5}
+			sc, err := scengen.Generate(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", fam, err)
+			}
+			one, _, err := runScenario(cfg, sc.System.Clone(), m, 1)
+			if err != nil {
+				t.Fatalf("%s workers=1: %v", fam, err)
+			}
+			four, _, err := runScenario(cfg, sc.System.Clone(), m, 4)
+			if err != nil {
+				t.Fatalf("%s workers=4: %v", fam, err)
+			}
+			if !bytes.Equal(one, four) {
+				t.Fatalf("%s: ledger differs between Workers=1 and Workers=4", fam)
+			}
+		}
+	})
+}
+
+func TestWriteFuzzSeeds(t *testing.T) {
+	decode := filepath.Join(t.TempDir(), "decode")
+	integrate := filepath.Join(t.TempDir(), "integrate")
+	var out bytes.Buffer
+	if err := writeFuzzSeeds(decode, integrate, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []string{decode, integrate} {
+		files, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) != len(scengen.Families()) {
+			t.Fatalf("%s: %d seeds, want %d", dir, len(files), len(scengen.Families()))
+		}
+		for _, f := range files {
+			raw, err := os.ReadFile(filepath.Join(dir, f.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.HasPrefix(string(raw), "go test fuzz v1\nstring(\"") {
+				t.Fatalf("%s/%s: not a fuzz corpus file:\n%.80s", dir, f.Name(), raw)
+			}
+		}
+	}
+}

@@ -88,6 +88,11 @@ const (
 	// KindArtifact records a derived artifact (a regenerated table or
 	// figure) by content hash, for run-to-run regression diffing.
 	KindArtifact = "artifact"
+	// KindScenario identifies a generated scenario under test (Detail =
+	// family:processes:seed). A decision record: any change to the
+	// generator that alters what a corpus entry denotes must surface as
+	// a byte diff.
+	KindScenario = "scenario"
 )
 
 // measurementKind reports whether a kind carries measured values rather

@@ -357,9 +357,17 @@ func Evaluate(full *graph.Graph, asg Assignment, p *hw.Platform, cfg EvalConfig)
 		}
 		return full.Attrs(base).Value(attrs.Criticality)
 	}
+	// Accumulate in sorted base order: float addition is order-sensitive
+	// in the last ulps, and map iteration would make MaxNodeCriticality
+	// differ between byte-identical runs.
+	bases := make([]string, 0, len(hwOf))
+	for base := range hwOf {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
 	perNode := map[string][]float64{}
-	for base, nodeName := range hwOf {
-		perNode[nodeName] = append(perNode[nodeName], critOf(base))
+	for _, base := range bases {
+		perNode[hwOf[base]] = append(perNode[hwOf[base]], critOf(base))
 	}
 	for _, crits := range perNode {
 		sum := 0.0

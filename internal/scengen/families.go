@@ -1,0 +1,316 @@
+package scengen
+
+import "fmt"
+
+// The four topology families. Each builder only decides structure — which
+// processes exist (with their role's attribute ranges) and which influence
+// edges connect them (with their weight ranges) — on the serial shape
+// stream; concrete values are drawn later on per-element substreams.
+
+// Influence factors by coupling style (the catalogue the worked example
+// uses).
+const (
+	facMsg    = "message-passing"
+	facShm    = "shared-memory"
+	facParam  = "parameter-passing"
+	facTiming = "timing"
+	facRes    = "resource-sharing"
+)
+
+// buildLadder grows an automotive/avionics criticality ladder: four tiers
+// of descending criticality and replication, chain edges inside each tier
+// and feed edges from every process up to the tier above it.
+func buildLadder(g *genEnv, n int) build {
+	rng := g.shape()
+	// Tier fractions: safety 15%, control 25%, operational 35%, monitor
+	// the rest. Every tier keeps at least one process.
+	sizes := []int{n * 15 / 100, n * 25 / 100, n * 35 / 100}
+	for i := range sizes {
+		if sizes[i] < 1 {
+			sizes[i] = 1
+		}
+	}
+	rest := n - sizes[0] - sizes[1] - sizes[2]
+	if rest < 1 {
+		rest = 1
+	}
+	sizes = append(sizes, rest)
+
+	type tierSpec struct {
+		tag            string
+		critLo, critHi float64
+		fts            []int
+		ctScale        float64
+		factor         string
+	}
+	tiers := []tierSpec{
+		{"safety", 16, 20, []int{2, 3}, 0.6, facMsg},
+		{"ctl", 10, 15, []int{2}, 0.8, facShm},
+		{"op", 4, 9, []int{1, 2}, 1.2, facMsg},
+		{"mon", 1, 3, []int{1}, 1.5, facShm},
+	}
+
+	var b build
+	tierOf := make([][]int, len(tiers)) // tier -> process indexes
+	for t, ts := range tiers {
+		for k := 0; k < sizes[t]; k++ {
+			idx := len(b.protos)
+			tierOf[t] = append(tierOf[t], idx)
+			b.protos = append(b.protos, protoProcess{
+				name:    fmt.Sprintf("%s-%02d", ts.tag, k),
+				critLo:  ts.critLo,
+				critHi:  ts.critHi,
+				fts:     ts.fts,
+				ctScale: ts.ctScale,
+			})
+		}
+	}
+	// Chain edges inside each tier (pipeline coupling), then one or two
+	// feed edges from each process to the tier above: the operational
+	// functions influence the controllers they supply, the controllers
+	// the safety tier.
+	for t, members := range tierOf {
+		for k := 0; k+1 < len(members); k++ {
+			b.edges = append(b.edges, protoEdge{
+				from: members[k], to: members[k+1],
+				wLo: 0.3, wHi: 0.6, factor: tiers[t].factor,
+			})
+		}
+		if t == 0 {
+			continue
+		}
+		above := tierOf[t-1]
+		for _, from := range members {
+			k := 1 + rng.IntN(2)
+			for _, j := range pickDistinct(rng, len(above), k, -1) {
+				b.edges = append(b.edges, protoEdge{
+					from: from, to: above[j],
+					wLo: 0.2, wHi: 0.5, factor: facMsg,
+				})
+			}
+		}
+	}
+	// A sprinkle of downward diagnostics edges (safety state mirrored to
+	// monitors) keeps the graph strongly coupled without cycles of high
+	// weight.
+	mon := tierOf[len(tierOf)-1]
+	for _, j := range pickDistinct(rng, len(mon), 1+len(mon)/4, -1) {
+		b.edges = append(b.edges, protoEdge{
+			from: tierOf[0][rng.IntN(len(tierOf[0]))], to: mon[j],
+			wLo: 0.05, wHi: 0.2, factor: facRes,
+		})
+	}
+	return b
+}
+
+// buildMesh grows a microservice mesh: h hub services with a backbone
+// ring, leaves calling one or two hubs each (and occasionally each
+// other), hubs pushing back to some of their leaves.
+func buildMesh(g *genEnv, n int) build {
+	rng := g.shape()
+	h := n / 8
+	if h < 2 {
+		h = 2
+	}
+	var b build
+	for k := 0; k < h; k++ {
+		b.protos = append(b.protos, protoProcess{
+			name:   fmt.Sprintf("hub-%02d", k),
+			critLo: 10, critHi: 18, fts: []int{2}, ctScale: 0.7,
+		})
+	}
+	for k := 0; k < n-h; k++ {
+		b.protos = append(b.protos, protoProcess{
+			name:   fmt.Sprintf("svc-%03d", k),
+			critLo: 1, critHi: 9, fts: []int{1, 1, 2}, ctScale: 1.1,
+		})
+	}
+	// Hub backbone ring (shared state replication between hubs).
+	for k := 0; k < h && h > 1; k++ {
+		b.edges = append(b.edges, protoEdge{
+			from: k, to: (k + 1) % h,
+			wLo: 0.3, wHi: 0.6, factor: facShm,
+		})
+	}
+	// Leaves: each calls 1-2 hubs; a faulty leaf corrupts the hub with
+	// the call, and half the hubs push state back to the leaf.
+	for k := h; k < n; k++ {
+		for _, hub := range pickDistinct(rng, h, 1+rng.IntN(2), -1) {
+			b.edges = append(b.edges, protoEdge{
+				from: k, to: hub,
+				wLo: 0.2, wHi: 0.5, factor: facMsg,
+			})
+			if rng.Float64() < 0.5 {
+				b.edges = append(b.edges, protoEdge{
+					from: hub, to: k,
+					wLo: 0.1, wHi: 0.4, factor: facMsg,
+				})
+			}
+		}
+	}
+	// Sparse leaf-to-leaf chatter (each ordered pair at most once).
+	seen := make(map[[2]int]bool)
+	for c := 0; c < (n-h)/6; c++ {
+		pair := pickDistinct(rng, n-h, 2, -1)
+		if len(pair) < 2 {
+			break
+		}
+		key := [2]int{pair[0], pair[1]}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.edges = append(b.edges, protoEdge{
+			from: h + pair[0], to: h + pair[1],
+			wLo: 0.05, wHi: 0.2, factor: facMsg,
+		})
+	}
+	return b
+}
+
+// buildLayered grows an ALFRED-style layered architecture: four strictly
+// ranked layers, criticality and replication increasing toward the bottom
+// (the kernel layer everything rests on), influence flowing from each
+// provider layer to its consumers above, plus intra-layer neighbour
+// coupling. Components carry the richest per-component fault trees of the
+// four families.
+func buildLayered(g *genEnv, n int) build {
+	rng := g.shape()
+	sizes := []int{n * 20 / 100, n * 30 / 100, n * 30 / 100}
+	for i := range sizes {
+		if sizes[i] < 1 {
+			sizes[i] = 1
+		}
+	}
+	rest := n - sizes[0] - sizes[1] - sizes[2]
+	if rest < 1 {
+		rest = 1
+	}
+	sizes = append(sizes, rest)
+
+	type layerSpec struct {
+		tag            string
+		critLo, critHi float64
+		fts            []int
+		ctScale        float64
+	}
+	layers := []layerSpec{
+		{"ui", 1, 5, []int{1}, 1.4},
+		{"app", 4, 9, []int{1, 2}, 1.2},
+		{"mw", 8, 14, []int{2}, 0.8},
+		{"kern", 14, 20, []int{2, 3}, 0.6},
+	}
+	var b build
+	layerOf := make([][]int, len(layers))
+	for l, ls := range layers {
+		for k := 0; k < sizes[l]; k++ {
+			idx := len(b.protos)
+			layerOf[l] = append(layerOf[l], idx)
+			b.protos = append(b.protos, protoProcess{
+				name:    fmt.Sprintf("%s-%02d", ls.tag, k),
+				critLo:  ls.critLo,
+				critHi:  ls.critHi,
+				fts:     ls.fts,
+				ctScale: ls.ctScale,
+				// ALFRED-style component fault trees: deeper below.
+				tasksLo: 1 + l/2, tasksHi: 2 + l/2,
+				procsLo: 1, procsHi: 2 + l,
+			})
+		}
+	}
+	// Provider edges: every component in layer l (a consumer) binds to
+	// one or two providers in layer l+1; a provider fault propagates up
+	// the binding.
+	for l := 0; l+1 < len(layers); l++ {
+		below := layerOf[l+1]
+		for _, consumer := range layerOf[l] {
+			k := 1 + rng.IntN(2)
+			for _, j := range pickDistinct(rng, len(below), k, -1) {
+				b.edges = append(b.edges, protoEdge{
+					from: below[j], to: consumer,
+					wLo: 0.3, wHi: 0.7, factor: facParam,
+				})
+			}
+		}
+	}
+	// Intra-layer neighbour coupling (shared middleware state, sibling
+	// services).
+	for _, members := range layerOf {
+		for k := 0; k+1 < len(members); k++ {
+			if rng.Float64() < 0.6 {
+				b.edges = append(b.edges, protoEdge{
+					from: members[k], to: members[k+1],
+					wLo: 0.1, wHi: 0.3, factor: facShm,
+				})
+			}
+		}
+	}
+	return b
+}
+
+// buildSensorVoter grows the sensor/voter redundancy pattern: groups of
+// three sensors feeding a voter feeding an actuator, every voter
+// reporting into a shared health monitor, remaining processes becoming
+// low-criticality loggers fed by the monitor.
+func buildSensorVoter(g *genEnv, n int) build {
+	// The redundancy pattern is fully structural: no topology randomness,
+	// all variation comes from the per-element attribute substreams.
+	groups := (n - 1) / 5
+	if groups < 1 {
+		groups = 1
+	}
+	var b build
+	for gi := 0; gi < groups; gi++ {
+		base := len(b.protos)
+		for s := 0; s < 3; s++ {
+			b.protos = append(b.protos, protoProcess{
+				name:   fmt.Sprintf("g%02d-sense%d", gi, s),
+				critLo: 2, critHi: 6, fts: []int{1}, ctScale: 0.8,
+			})
+		}
+		voter := len(b.protos)
+		b.protos = append(b.protos, protoProcess{
+			name:   fmt.Sprintf("g%02d-vote", gi),
+			critLo: 12, critHi: 18, fts: []int{2, 3}, ctScale: 0.5,
+		})
+		act := len(b.protos)
+		b.protos = append(b.protos, protoProcess{
+			name:   fmt.Sprintf("g%02d-act", gi),
+			critLo: 10, critHi: 16, fts: []int{2}, ctScale: 0.9,
+		})
+		for s := 0; s < 3; s++ {
+			b.edges = append(b.edges, protoEdge{
+				from: base + s, to: voter,
+				wLo: 0.4, wHi: 0.7, factor: facMsg,
+			})
+		}
+		b.edges = append(b.edges, protoEdge{
+			from: voter, to: act,
+			wLo: 0.5, wHi: 0.8, factor: facTiming,
+		})
+	}
+	monitor := len(b.protos)
+	b.protos = append(b.protos, protoProcess{
+		name:   "health-mon",
+		critLo: 6, critHi: 10, fts: []int{2}, ctScale: 0.7,
+	})
+	for gi := 0; gi < groups; gi++ {
+		b.edges = append(b.edges, protoEdge{
+			from: gi*5 + 3, to: monitor, // the group's voter
+			wLo: 0.05, wHi: 0.2, factor: facMsg,
+		})
+	}
+	// Fill the remainder with loggers the monitor feeds.
+	for k := len(b.protos); k < n; k++ {
+		idx := len(b.protos)
+		b.protos = append(b.protos, protoProcess{
+			name:   fmt.Sprintf("log-%02d", idx-monitor-1),
+			critLo: 1, critHi: 3, fts: []int{1}, ctScale: 1.6,
+		})
+		b.edges = append(b.edges, protoEdge{
+			from: monitor, to: idx,
+			wLo: 0.1, wHi: 0.3, factor: facRes,
+		})
+	}
+	return b
+}

@@ -1,0 +1,240 @@
+package scengen
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// encodeScenario renders the scenario to the exact bytes the corpus
+// stores: the spec JSON followed by the hierarchy JSON.
+func encodeScenario(t *testing.T, sc *Scenario) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sc.System.Encode(&buf); err != nil {
+		t.Fatalf("encode system: %v", err)
+	}
+	if err := sc.Hierarchy.Encode(&buf); err != nil {
+		t.Fatalf("encode hierarchy: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestGenerateDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	for _, fam := range Families() {
+		fam := fam
+		t.Run(string(fam), func(t *testing.T) {
+			t.Parallel()
+			var ref []byte
+			for _, workers := range []int{1, 4, 1, 7} {
+				sc, err := Generate(Config{Family: fam, Processes: 36, Seed: 1998, Workers: workers})
+				if err != nil {
+					t.Fatalf("Generate(workers=%d): %v", workers, err)
+				}
+				got := encodeScenario(t, sc)
+				if ref == nil {
+					ref = got
+					continue
+				}
+				if !bytes.Equal(ref, got) {
+					t.Fatalf("workers=%d: scenario bytes differ from workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a, err := Generate(Config{Family: Mesh, Processes: 24, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Family: Mesh, Processes: 24, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(encodeScenario(t, a), encodeScenario(t, b)) {
+		t.Fatal("different seeds produced identical scenarios")
+	}
+}
+
+func TestGenerateFamiliesDiffer(t *testing.T) {
+	seen := map[string]Family{}
+	for _, fam := range Families() {
+		sc, err := Generate(Config{Family: fam, Processes: 20, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		key := string(encodeScenario(t, sc))
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("families %s and %s generated identical scenarios", prev, fam)
+		}
+		seen[key] = fam
+	}
+}
+
+func TestGenerateHWAboveMaxFT(t *testing.T) {
+	for _, fam := range Families() {
+		sc, err := Generate(Config{Family: fam, Processes: 12, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		maxFT := 1
+		for _, p := range sc.System.Processes {
+			if p.FT > maxFT {
+				maxFT = p.FT
+			}
+		}
+		if sc.System.HWNodes <= maxFT {
+			t.Fatalf("%s: hw_nodes %d must exceed max FT %d (replica separation)",
+				fam, sc.System.HWNodes, maxFT)
+		}
+	}
+}
+
+func TestGenerateTimingInvariant(t *testing.T) {
+	for _, fam := range Families() {
+		sc, err := Generate(Config{Family: fam, Processes: 36, Seed: 11})
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		sum := 0.0
+		for _, p := range sc.System.Processes {
+			sum += p.CT
+			if p.EST < 0 || p.EST > timingBudget {
+				t.Fatalf("%s/%s: EST %g outside [0, %g]", fam, p.Name, p.EST, timingBudget)
+			}
+			if p.TCD-p.EST < 2*timingBudget {
+				t.Fatalf("%s/%s: window %g below 2B", fam, p.Name, p.TCD-p.EST)
+			}
+		}
+		if sum > timingBudget {
+			t.Fatalf("%s: ΣCT = %g exceeds budget %g", fam, sum, timingBudget)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Config
+	}{
+		{"ladder:small:7", Config{Family: Ladder, Processes: 12, Seed: 7}},
+		{"mesh:medium:1998", Config{Family: Mesh, Processes: 36, Seed: 1998}},
+		{"layered:large:0", Config{Family: Layered, Processes: 120, Seed: 0}},
+		{"sensor-voter:48:5", Config{Family: SensorVoter, Processes: 48, Seed: 5}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want error
+	}{
+		{"ladder:small", ErrBadConfig},
+		{"ring:small:1", ErrBadFamily},
+		{"mesh:tiny:1", ErrBadConfig},
+		{"mesh:small:-1", ErrBadConfig},
+		{"mesh:small:x", ErrBadConfig},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if !errors.Is(err, c.want) {
+			t.Fatalf("Parse(%q) error = %v, want %v", c.in, err, c.want)
+		}
+	}
+}
+
+func TestGenerateConfigErrors(t *testing.T) {
+	if _, err := Generate(Config{Family: "ring"}); !errors.Is(err, ErrBadFamily) {
+		t.Fatalf("unknown family error = %v", err)
+	}
+	if _, err := Generate(Config{Family: Ladder, Processes: 2}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("too-small error = %v", err)
+	}
+	if _, err := Generate(Config{Family: Ladder, Processes: 1 << 20}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("too-large error = %v", err)
+	}
+}
+
+func TestGenerateDefaultsAndName(t *testing.T) {
+	sc, err := Generate(Config{Family: Ladder, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(sc.System.Processes); n != 12 {
+		t.Fatalf("default size = %d processes, want 12 (small)", n)
+	}
+	if !strings.HasPrefix(sc.System.Name, "ladder-n12-s9") {
+		t.Fatalf("generated name %q", sc.System.Name)
+	}
+	if sc.Hierarchy.Name != sc.System.Name+"-hierarchy" {
+		t.Fatalf("hierarchy name %q", sc.Hierarchy.Name)
+	}
+
+	named, err := Generate(Config{Family: Ladder, Seed: 9, Name: "custom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if named.System.Name != "custom" {
+		t.Fatalf("name override = %q", named.System.Name)
+	}
+}
+
+func TestHierarchyMatchesProcesses(t *testing.T) {
+	sc, err := Generate(Config{Family: Layered, Processes: 24, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(sc.Hierarchy.Processes), len(sc.System.Processes); got != want {
+		t.Fatalf("hierarchy has %d processes, system %d", got, want)
+	}
+	for i, ps := range sc.Hierarchy.Processes {
+		p := sc.System.Processes[i]
+		if ps.Name != p.Name {
+			t.Fatalf("hierarchy[%d] = %q, system %q", i, ps.Name, p.Name)
+		}
+		if ps.Criticality != p.Criticality {
+			t.Fatalf("%s: hierarchy criticality %g, system %g", p.Name, ps.Criticality, p.Criticality)
+		}
+		if len(ps.Tasks) == 0 {
+			t.Fatalf("%s: no tasks", p.Name)
+		}
+	}
+	if _, err := sc.Hierarchy.Build(); err != nil {
+		t.Fatalf("hierarchy does not build: %v", err)
+	}
+}
+
+func TestPickDistinct(t *testing.T) {
+	rng := (&genEnv{base: 42, workers: 1}).shape()
+	for trial := 0; trial < 50; trial++ {
+		out := pickDistinct(rng, 10, 3, 4)
+		if len(out) != 3 {
+			t.Fatalf("got %d values, want 3", len(out))
+		}
+		seen := map[int]bool{}
+		for i, v := range out {
+			if v < 0 || v >= 10 || v == 4 || seen[v] {
+				t.Fatalf("bad draw %v", out)
+			}
+			seen[v] = true
+			if i > 0 && out[i-1] >= v {
+				t.Fatalf("unsorted draw %v", out)
+			}
+		}
+	}
+	if out := pickDistinct(rng, 1, 3, -1); out != nil {
+		t.Fatalf("n=1 should yield nil, got %v", out)
+	}
+}

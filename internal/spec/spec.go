@@ -122,6 +122,35 @@ func (s *System) Validate() error {
 	return nil
 }
 
+// Clone returns a deep copy of the system: mutating the copy (or any
+// slice reachable from it) never aliases the original. Scenario tooling
+// uses it to perturb a generated system without disturbing the source.
+func (s *System) Clone() *System {
+	if s == nil {
+		return nil
+	}
+	c := &System{Name: s.Name, HWNodes: s.HWNodes}
+	if s.Processes != nil {
+		c.Processes = make([]Process, len(s.Processes))
+		for i, p := range s.Processes {
+			if p.Resources != nil {
+				p.Resources = append([]string(nil), p.Resources...)
+			}
+			c.Processes[i] = p
+		}
+	}
+	if s.Influences != nil {
+		c.Influences = make([]Influence, len(s.Influences))
+		for i, inf := range s.Influences {
+			if inf.Factors != nil {
+				inf.Factors = append([]string(nil), inf.Factors...)
+			}
+			c.Influences[i] = inf
+		}
+	}
+	return c
+}
+
 // Process returns the named process.
 func (s *System) Process(name string) (Process, bool) {
 	for _, p := range s.Processes {

@@ -271,3 +271,39 @@ func TestIndustrialControlValid(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSystemClone(t *testing.T) {
+	if (*System)(nil).Clone() != nil {
+		t.Fatal("nil Clone should stay nil")
+	}
+	orig := PaperExample()
+	orig.Processes[0].Resources = []string{"sensor"}
+	orig.Influences[0].Factors = []string{"message-passing"}
+
+	c := orig.Clone()
+	var a, b bytes.Buffer
+	if err := orig.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("clone encodes differently from the original")
+	}
+
+	// Mutating every level of the clone must leave the original alone.
+	c.Name = "mutant"
+	c.HWNodes++
+	c.Processes[0].Criticality = 99
+	c.Processes[0].Resources[0] = "mutated"
+	c.Influences[0].Weight = 0.123
+	c.Influences[0].Factors[0] = "mutated"
+	var after bytes.Buffer
+	if err := orig.Encode(&after); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != after.String() {
+		t.Fatal("mutating the clone changed the original")
+	}
+}

@@ -11,7 +11,17 @@
 //     both directions, with a short lease TTL forcing real expiries;
 //   - a coordinator drained mid-campaign (graceful ctx cancel) and
 //     restarted from its frontier checkpoint, finishing with strictly
-//     fewer fresh leases than a from-zero run.
+//     fewer fresh leases than a from-zero run;
+//   - a lying worker corrupting every chunk it returns: deterministic
+//     spot-checks quarantine it and the merge stays bit-identical;
+//   - an unauthenticated (and a wrong-token) dialer, rejected by the
+//     HMAC challenge-response before any campaign material — spec,
+//     fingerprint, trials, leases — crosses the wire;
+//   - flagless workers self-configuring from the shipped spec over
+//     TLS 1.3 with mutual certificate verification plus the token gate,
+//     on real TCP sockets;
+//   - the fabric-sharded adversarial search, whose SearchResult must be
+//     bit-identical to the local faultsim.Search at 1 and 4 workers.
 //
 // The Makefile runs it under -race, so every scenario doubles as a data
 // race probe over the coordinator loop, worker sessions and chaos timers.
@@ -34,6 +44,7 @@ import (
 	"repro"
 	"repro/internal/fabric"
 	"repro/internal/faultsim"
+	"repro/internal/graph"
 	"repro/internal/obs"
 )
 
@@ -74,6 +85,10 @@ func main() {
 	killedWorker(c, want)
 	chaosTransport(c, want)
 	drainAndResume(c, want)
+	lyingWorkerQuarantine(c, want)
+	authReject(c, want)
+	selfConfiguringTLS(c, want)
+	searchIdentity(res.Expanded, res.HWOf(), *trials)
 
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "fabric-check: %d failure(s)\n", failures)
@@ -229,6 +244,223 @@ func chaosTransport(c faultsim.Campaign, want faultsim.Result) {
 	}
 	fmt.Printf("fabric-check: chaos transport (drop/dup/delay): bit-identical (%d expired, %d reassigned, %d duplicates suppressed)\n",
 		stats.LeasesExpired, stats.Reassigned, stats.Duplicates)
+}
+
+// lyingWorkerQuarantine certifies the untrusted-worker defence: one of
+// four workers corrupts every result chunk it returns. Deterministic
+// spot-checks must catch it on its first divergent chunk, quarantine it
+// (with local fallback covering its chunks), and the final merge must
+// still be bit-identical to the local reference.
+func lyingWorkerQuarantine(c faultsim.Campaign, want faultsim.Result) {
+	pl := fabric.NewPipeListener()
+	got, stats, err := runFabric(context.Background(),
+		fabric.Config{Campaign: c, Listener: pl, SpotCheck: 0.25, LeaseTTL: 2 * time.Second}, 4,
+		func(i int) fabric.WorkerConfig {
+			name := fmt.Sprintf("w%d", i)
+			dial := pl.Dial()
+			if i == 0 {
+				name = "liar"
+				dial = fabric.CorruptDialer(dial, 7, 1)
+			}
+			return workerDefaults(c, dial, name, uint64(i))
+		}, nil)
+	if err != nil {
+		fail("lying worker: %v", err)
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		fail("lying worker: merged result differs from Workers=1 — corrupt bytes reached the merge (stats %+v)", stats)
+	}
+	if stats.Quarantined != 1 {
+		fail("lying worker: Quarantined = %d, want 1 (stats %+v)", stats.Quarantined, stats)
+	}
+	fmt.Printf("fabric-check: lying worker: quarantined after %d spot-check(s), merge bit-identical\n",
+		stats.Quarantined)
+}
+
+// authReject certifies the token gate at the protocol level: a dialer
+// with the wrong token (and one with none) must be rejected before any
+// campaign material — fingerprint, trials, spec, lease — crosses the
+// wire, while a correct-token run stays bit-identical.
+func authReject(c faultsim.Campaign, want faultsim.Result) {
+	const token = "fabric-check-secret"
+	pl := fabric.NewPipeListener()
+	serveCtx, stop := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := fabric.Serve(serveCtx, fabric.Config{
+			Campaign: c, Listener: pl, AuthToken: token, LeaseTTL: 2 * time.Second,
+		})
+		done <- err
+	}()
+
+	// Raw probe: say hello without the token and record every frame the
+	// coordinator sends before rejecting us.
+	probe := func(mac string) bool {
+		conn, err := pl.Dial()(context.Background())
+		if err != nil {
+			fail("auth: probe dial: %v", err)
+			return false
+		}
+		defer conn.Close()
+		if err := conn.Send(&fabric.Frame{Type: fabric.TypeHello, Proto: fabric.Proto, Worker: "probe", Nonce: "00"}); err != nil {
+			fail("auth: probe hello: %v", err)
+			return false
+		}
+		for {
+			f, err := conn.Recv()
+			if err != nil {
+				fail("auth: probe recv: %v", err)
+				return false
+			}
+			if f.Fingerprint != "" || f.Spec != nil || f.Trials != 0 || f.Lease != 0 {
+				fail("auth: campaign material sent pre-auth in %q frame: %+v", f.Type, f)
+				return false
+			}
+			switch f.Type {
+			case fabric.TypeChallenge:
+				if err := conn.Send(&fabric.Frame{Type: fabric.TypeAuth, MAC: mac}); err != nil {
+					fail("auth: probe auth frame: %v", err)
+					return false
+				}
+			case fabric.TypeReject:
+				return true
+			default:
+				fail("auth: unexpected pre-auth frame %q", f.Type)
+				return false
+			}
+		}
+	}
+	if probe("") && probe("deadbeef") {
+		fmt.Println("fabric-check: auth: unauthenticated and wrong-token dialers rejected, zero campaign material pre-auth")
+	}
+
+	// Wrong-token worker: terminal ErrRejected, no retry storm.
+	bad := workerDefaults(c, pl.Dial(), "intruder", 99)
+	bad.AuthToken = "wrong-" + token
+	if err := fabric.RunWorker(context.Background(), bad); !errors.Is(err, fabric.ErrRejected) {
+		fail("auth: wrong-token worker returned %v, want ErrRejected", err)
+	}
+
+	// Correct token: the campaign completes bit-identically.
+	ok := workerDefaults(c, pl.Dial(), "legit", 1)
+	ok.AuthToken = token
+	wdone := make(chan error, 1)
+	go func() { wdone <- fabric.RunWorker(context.Background(), ok) }()
+	err := <-done
+	stop()
+	if werr := <-wdone; werr != nil {
+		fail("auth: correct-token worker: %v", werr)
+	}
+	if err != nil {
+		fail("auth: Serve: %v", err)
+		return
+	}
+	fmt.Println("fabric-check: auth: correct-token campaign completed")
+}
+
+// selfConfiguringTLS runs the full trust-domain-crossing configuration:
+// TLS 1.3 with mutual certificate verification, the shared-token
+// handshake, and flagless workers that self-configure from the shipped
+// spec — over real TCP sockets, end to end.
+func selfConfiguringTLS(c faultsim.Campaign, want faultsim.Result) {
+	dir, err := os.MkdirTemp("", "fabriccheck-tls")
+	if err != nil {
+		fail("tls: %v", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	certs, err := fabric.WriteEphemeralCerts(dir)
+	if err != nil {
+		fail("tls: %v", err)
+		return
+	}
+	ln, err := fabric.ListenTLS("127.0.0.1:0", certs.ServerCertFile, certs.ServerKeyFile, certs.CAFile)
+	if err != nil {
+		fail("tls: listen: %v", err)
+		return
+	}
+	dial, err := fabric.DialTLS(ln.Addr(), certs.ClientCertFile, certs.ClientKeyFile, certs.CAFile)
+	if err != nil {
+		fail("tls: dial: %v", err)
+		return
+	}
+	got, stats, err := runFabric(context.Background(),
+		fabric.Config{Campaign: c, Listener: ln, AuthToken: "sesame", SpotCheck: 0.1, LeaseTTL: 2 * time.Second}, 2,
+		func(i int) fabric.WorkerConfig {
+			w := workerDefaults(faultsim.Campaign{}, dial, fmt.Sprintf("w%d", i), uint64(i))
+			w.AuthToken = "sesame"
+			return w
+		}, nil)
+	if err != nil {
+		fail("tls: %v", err)
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		fail("tls: flagless result differs from Workers=1 (stats %+v)", stats)
+	}
+	if stats.WorkersSeen != 2 {
+		fail("tls: WorkersSeen = %d, want 2", stats.WorkersSeen)
+	}
+	fmt.Printf("fabric-check: TLS + token + flagless self-configuration over TCP: bit-identical (%d leases)\n",
+		stats.LeasesGranted)
+}
+
+// searchIdentity certifies the fabric-sharded adversarial search: the
+// SearchResult from ServeSearch over 1 and 4 flagless workers must be
+// reflect.DeepEqual-identical to the local faultsim.Search — same best
+// scenario, same scores, same evaluation trail.
+func searchIdentity(g *graph.Graph, hwOf map[string]string, trials int) {
+	scfg := faultsim.SearchConfig{
+		Graph:             g,
+		HWOf:              hwOf,
+		Trials:            trials / 4,
+		Seed:              1998,
+		MaxEvals:          6,
+		CriticalThreshold: 10,
+	}
+	want, err := faultsim.Search(scfg)
+	if err != nil {
+		fail("search: local reference: %v", err)
+		return
+	}
+	for _, n := range []int{1, 4} {
+		pl := fabric.NewPipeListener()
+		type out struct {
+			res   faultsim.SearchResult
+			stats fabric.Stats
+			err   error
+		}
+		ch := make(chan out, 1)
+		go func() {
+			res, stats, err := fabric.ServeSearch(context.Background(), fabric.Config{
+				Listener: pl, SpotCheck: 0.1, LeaseTTL: 2 * time.Second, Label: "search",
+			}, scfg)
+			ch <- out{res, stats, err}
+		}()
+		wctx, wcancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_ = fabric.RunWorker(wctx, workerDefaults(faultsim.Campaign{}, pl.Dial(), fmt.Sprintf("w%d", i), uint64(i)))
+			}(i)
+		}
+		o := <-ch
+		wcancel()
+		wg.Wait()
+		if o.err != nil {
+			fail("search: %d workers: %v", n, o.err)
+			continue
+		}
+		if !reflect.DeepEqual(o.res, want) {
+			fail("search: %d workers: fabric-sharded SearchResult differs from local Search", n)
+			continue
+		}
+		fmt.Printf("fabric-check: fabric-sharded search, %d worker(s): bit-identical to local Search (%d evaluations, best %s)\n",
+			n, len(o.res.Evaluations), o.res.Best.Scenario)
+	}
 }
 
 func drainAndResume(c faultsim.Campaign, want faultsim.Result) {

@@ -10,6 +10,8 @@
 //	         [-checkpoint path] [-checkpoint-every N] [-resume] [-resume-strict]
 //	         [-workers N]
 //	         [-serve addr | -connect addr] [-worker-name id] [-lease-ttl 5s]
+//	         [-tls-cert cert.pem] [-tls-key key.pem] [-tls-ca ca.pem]
+//	         [-auth-token secret] [-spot-check 0.05]
 //	         [-trace out.json] [-log-level info] [-metrics-addr :9090]
 //	         [-watch] [-ledger run.jsonl]
 //
@@ -21,11 +23,30 @@
 // grid into lease-bound chunks across every connected worker, reassigns
 // chunks whose leases expire, and merges results in grid order — the
 // merged result is bit-identical to a local run at any worker count.
-// Workers (`faultsim -connect host:7000 -strategy H1`) must be launched
-// with the same spec/trials/seed/model flags: the handshake compares
-// campaign fingerprints and rejects any divergence. -checkpoint composes
-// with -serve (the coordinator persists its merge frontier and resumes
-// crash-safe); workers hold no durable state. See docs/fabric/protocol.md.
+// Workers (`faultsim -connect host:7000 -strategy H1`) launched with the
+// same spec/trials/seed/model flags are cross-checked by fingerprint;
+// workers launched with no -strategy at all are flagless — they adopt the
+// campaign spec the coordinator ships and verify it against its claimed
+// fingerprint before computing. -checkpoint composes with -serve (the
+// coordinator persists its merge frontier and resumes crash-safe);
+// workers hold no durable state. See docs/fabric/protocol.md.
+//
+// The fabric hardens against untrusted networks and workers:
+// -tls-cert/-tls-key/-tls-ca wrap every connection in TLS 1.3 (the
+// coordinator requires and verifies client certificates when -tls-ca is
+// given; workers verify the coordinator likewise); -auth-token adds an
+// HMAC challenge-response on top, and no campaign material crosses the
+// wire to a peer that has not proven possession of the token.
+// -spot-check makes the coordinator deterministically re-compute that
+// fraction of worker-returned chunks locally; a worker whose bytes
+// diverge is quarantined (its name barred, its chunks recomputed), and if
+// every worker is quarantined the coordinator degrades to pure-local
+// execution — the merged result is bit-identical throughout.
+//
+// -serve -search N shards the adversarial search itself over the fabric:
+// one long-lived worker set evaluates every candidate scenario's campaign
+// (workers must be flagless, since each evaluation is a different
+// campaign), and the SearchResult is bit-identical to the local -search.
 //
 // -resume-strict (default true) fails a resume on a truncated or corrupt
 // checkpoint/journal with a typed diagnosis naming the file and offset;
@@ -109,6 +130,11 @@ func run(args []string, stdout io.Writer) (err error) {
 	connectAddr := fs.String("connect", "", "join a distributed campaign: dial the coordinator at addr")
 	workerName := fs.String("worker-name", "", "worker identity reported to the coordinator (with -connect)")
 	leaseTTL := fs.Duration("lease-ttl", 0, "coordinator lease TTL before an unacknowledged chunk is reassigned (default 5s)")
+	tlsCert := fs.String("tls-cert", "", "PEM certificate presented to fabric peers (requires -tls-key)")
+	tlsKey := fs.String("tls-key", "", "PEM private key for -tls-cert")
+	tlsCA := fs.String("tls-ca", "", "PEM CA bundle: the coordinator requires and verifies client certificates against it; workers verify the coordinator against it")
+	authToken := fs.String("auth-token", "", "shared fabric secret: peers prove possession via an HMAC challenge-response before any campaign material crosses the wire")
+	spotCheck := fs.Float64("spot-check", 0.05, "fraction of fabric chunks the coordinator recomputes locally to catch lying workers (0 disables, with -serve)")
 	workers := cli.RegisterWorkers(fs)
 	timeout := cli.RegisterTimeout(fs)
 	obsFlags := cli.RegisterObsFlags(fs, os.Stderr)
@@ -133,15 +159,18 @@ func run(args []string, stdout io.Writer) (err error) {
 	if *serveAddr != "" && *connectAddr != "" {
 		return fmt.Errorf("-serve and -connect are mutually exclusive")
 	}
-	if *serveAddr != "" || *connectAddr != "" {
-		// The fabric shards exactly one campaign; coordinator and workers
-		// must agree on which, so a single named strategy is required.
-		if *strategyName == "" {
-			return fmt.Errorf("-serve/-connect require -strategy (one campaign per fabric)")
-		}
-		if *search > 0 {
-			return fmt.Errorf("-search does not compose with -serve/-connect")
-		}
+	// The fabric shards exactly one campaign (or one search) at a time,
+	// so the coordinator needs a single named strategy. Workers do not:
+	// -connect without -strategy joins as a flagless worker that
+	// self-configures from the spec the coordinator ships.
+	if *serveAddr != "" && *strategyName == "" {
+		return fmt.Errorf("-serve requires -strategy (one campaign per fabric)")
+	}
+	if *connectAddr != "" && *search > 0 {
+		return fmt.Errorf("-search is coordinator-side; workers just compute the leases they are granted")
+	}
+	if (*tlsCert == "") != (*tlsKey == "") {
+		return fmt.Errorf("-tls-cert and -tls-key must be set together")
 	}
 	if *connectAddr != "" && *ckpt != "" {
 		return fmt.Errorf("-checkpoint is coordinator state; workers hold none")
@@ -185,36 +214,64 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 	}
 
-	// Worker mode: integrate the same system the coordinator did, so the
-	// campaign fingerprint matches, then compute leased chunks until the
-	// fabric completes or drains. No table: results live at the coordinator.
+	// fabricListen/fabricDial pick the transport: plain TCP, or TLS when
+	// cert material is supplied (the trust-domain-crossing deployment).
+	fabricListen := func(addr string) (fabric.Listener, error) {
+		if *tlsCert != "" {
+			return fabric.ListenTLS(addr, *tlsCert, *tlsKey, *tlsCA)
+		}
+		return fabric.ListenTCP(addr)
+	}
+	fabricDial := func(addr string) (fabric.Dialer, error) {
+		if *tlsCert != "" || *tlsCA != "" {
+			return fabric.DialTLS(addr, *tlsCert, *tlsKey, *tlsCA)
+		}
+		return fabric.DialTCP(addr), nil
+	}
+
+	// Worker mode: compute leased chunks until the fabric completes or
+	// drains. No table: results live at the coordinator. With -strategy
+	// the worker integrates the same system the coordinator did and the
+	// handshake cross-checks campaign fingerprints; without it the worker
+	// is flagless — it adopts the spec the coordinator ships (after
+	// verifying it against its claimed fingerprint).
 	if *connectAddr != "" {
-		s := strategies[0]
-		res, err := depint.IntegrateContext(ctx, sys, depint.WithStrategy(s),
-			depint.WithWorkers(*workers), depint.WithObserver(observer),
-			depint.WithLedger(led))
+		dial, err := fabricDial(*connectAddr)
 		if err != nil {
 			return err
 		}
-		campaign := faultsim.Campaign{
-			Graph:             res.Expanded,
-			HWOf:              res.HWOf(),
-			Trials:            *trials,
-			Seed:              *seed,
-			CriticalThreshold: 10,
-			CommFaultFraction: *comm,
-			Model:             model,
-			Label:             s.String(),
-			Ctx:               ctx,
+		wcfg := fabric.WorkerConfig{
+			Dial:      dial,
+			Name:      *workerName,
+			Bus:       obsFlags.Bus(),
+			AuthToken: *authToken,
 		}
-		fmt.Fprintf(stdout, "fabric worker: joining %s  strategy=%s trials=%d fingerprint=%s\n",
-			*connectAddr, s, *trials, campaign.Fingerprint())
-		if err := fabric.RunWorker(ctx, fabric.WorkerConfig{
-			Campaign: campaign,
-			Dial:     fabric.DialTCP(*connectAddr),
-			Name:     *workerName,
-			Bus:      obsFlags.Bus(),
-		}); err != nil {
+		if *strategyName == "" {
+			fmt.Fprintf(stdout, "fabric worker: joining %s flagless (campaign spec ships over the wire)\n",
+				*connectAddr)
+		} else {
+			s := strategies[0]
+			res, err := depint.IntegrateContext(ctx, sys, depint.WithStrategy(s),
+				depint.WithWorkers(*workers), depint.WithObserver(observer),
+				depint.WithLedger(led))
+			if err != nil {
+				return err
+			}
+			wcfg.Campaign = faultsim.Campaign{
+				Graph:             res.Expanded,
+				HWOf:              res.HWOf(),
+				Trials:            *trials,
+				Seed:              *seed,
+				CriticalThreshold: 10,
+				CommFaultFraction: *comm,
+				Model:             model,
+				Label:             s.String(),
+				Ctx:               ctx,
+			}
+			fmt.Fprintf(stdout, "fabric worker: joining %s  strategy=%s trials=%d fingerprint=%s\n",
+				*connectAddr, s, *trials, wcfg.Campaign.Fingerprint())
+		}
+		if err := fabric.RunWorker(ctx, wcfg); err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, "fabric worker: campaign complete")
@@ -233,6 +290,51 @@ func run(args []string, stdout io.Writer) (err error) {
 				return err
 			}
 			fmt.Fprintf(stdout, "%-12s  FAILED: %v\n", s, err)
+			continue
+		}
+		// -serve -search shards the adversarial search itself over the
+		// fabric: each candidate scenario's campaign becomes one epoch on
+		// the shared worker set. The baseline table is skipped — the
+		// search result is the deliverable.
+		if *serveAddr != "" && *search > 0 {
+			ln, lerr := fabricListen(*serveAddr)
+			if lerr != nil {
+				return lerr
+			}
+			fmt.Fprintf(stdout, "fabric search coordinator: %s on %s  max-evals=%d trials=%d\n",
+				s, ln.Addr(), *search, *trials)
+			sspan := observer.StartSpan("adversarial_search",
+				obs.String("strategy", s.String()), obs.Int("max_evals", *search))
+			sr, fstats, serr := fabric.ServeSearch(ctx, fabric.Config{
+				Listener:  ln,
+				LeaseTTL:  *leaseTTL,
+				AuthToken: *authToken,
+				SpotCheck: *spotCheck,
+				Bus:       obsFlags.Bus(),
+				Label:     s.String(),
+			}, faultsim.SearchConfig{
+				Graph:             res.Expanded,
+				HWOf:              res.HWOf(),
+				Trials:            *trials,
+				Seed:              *seed,
+				MaxEvals:          *search,
+				CriticalThreshold: 10,
+				Span:              sspan,
+				Metrics:           observer.Metrics(),
+				Bus:               obsFlags.Bus(),
+				Ledger:            led,
+				Ctx:               ctx,
+			})
+			sspan.End()
+			if serr != nil {
+				return serr
+			}
+			fmt.Fprintf(stdout, "%-12s  worst case: %s  weighted-escape=%.4f  (%d evaluations)\n",
+				s, sr.Best.Scenario, sr.Best.Score, len(sr.Evaluations))
+			fmt.Fprintf(stdout, "  fabric: workers=%d lost=%d quarantined=%d  leases granted=%d expired=%d reassigned=%d duplicates=%d local-chunks=%d\n",
+				fstats.WorkersSeen, fstats.WorkersLost, fstats.Quarantined,
+				fstats.LeasesGranted, fstats.LeasesExpired, fstats.Reassigned,
+				fstats.Duplicates, fstats.LocalChunks)
 			continue
 		}
 		span := observer.StartSpan("campaign",
@@ -262,7 +364,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		var fi faultsim.Result
 		var fstats fabric.Stats
 		if *serveAddr != "" {
-			ln, lerr := fabric.ListenTCP(*serveAddr)
+			ln, lerr := fabricListen(*serveAddr)
 			if lerr != nil {
 				span.End()
 				return lerr
@@ -270,11 +372,13 @@ func run(args []string, stdout io.Writer) (err error) {
 			fmt.Fprintf(stdout, "fabric coordinator: %s on %s  fingerprint=%s\n",
 				s, ln.Addr(), campaign.Fingerprint())
 			fi, fstats, err = fabric.Serve(ctx, fabric.Config{
-				Campaign: campaign,
-				Listener: ln,
-				LeaseTTL: *leaseTTL,
-				Bus:      obsFlags.Bus(),
-				Label:    s.String(),
+				Campaign:  campaign,
+				Listener:  ln,
+				LeaseTTL:  *leaseTTL,
+				AuthToken: *authToken,
+				SpotCheck: *spotCheck,
+				Bus:       obsFlags.Bus(),
+				Label:     s.String(),
 			})
 		} else {
 			fi, err = faultsim.Run(campaign)
@@ -287,9 +391,10 @@ func run(args []string, stdout io.Writer) (err error) {
 			s, fi.EscapeRate(), fi.MeanAffected(), fi.MeanCriticalityLoss(),
 			fi.CrossNodeTransmissions)
 		if *serveAddr != "" {
-			fmt.Fprintf(stdout, "  fabric: workers=%d lost=%d  leases granted=%d expired=%d reassigned=%d duplicates=%d\n",
-				fstats.WorkersSeen, fstats.WorkersLost, fstats.LeasesGranted,
-				fstats.LeasesExpired, fstats.Reassigned, fstats.Duplicates)
+			fmt.Fprintf(stdout, "  fabric: workers=%d lost=%d quarantined=%d  leases granted=%d expired=%d reassigned=%d duplicates=%d local-chunks=%d\n",
+				fstats.WorkersSeen, fstats.WorkersLost, fstats.Quarantined,
+				fstats.LeasesGranted, fstats.LeasesExpired, fstats.Reassigned,
+				fstats.Duplicates, fstats.LocalChunks)
 		}
 		if *search > 0 {
 			span := observer.StartSpan("adversarial_search",

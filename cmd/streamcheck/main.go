@@ -1,8 +1,10 @@
 // Streamcheck is the `make stream-check` gate: it runs the full
 // observability fabric in-process — an Integrate of the paper's worked
-// example, a fault-injection campaign, a distributed fabric campaign, an
-// adversarial search and a small robustness certification, all publishing
-// onto one obs.Bus — and then verifies the streaming contract end to end:
+// example, a fault-injection campaign, a distributed fabric campaign (plus
+// a second one whose lone worker lies, to exercise quarantine and local
+// fallback), an adversarial search and a small robustness certification,
+// all publishing onto one obs.Bus — and then verifies the streaming
+// contract end to end:
 //
 //   - every event, JSON-encoded exactly as /events and -watch emit it,
 //     validates against the committed schema
@@ -203,6 +205,39 @@ func produce(trials int) ([]obs.BusEvent, *obs.Bus, error) {
 	if fabricErr != nil {
 		return nil, nil, fmt.Errorf("fabric: %w", fabricErr)
 	}
+
+	// A second, adversarial fabric run feeds fabric_quarantine: its only
+	// worker corrupts every chunk, so the first spot-check quarantines it
+	// and the coordinator finishes the campaign locally.
+	qc := faultsim.Campaign{
+		Graph: res.Expanded, HWOf: res.HWOf(),
+		Trials: 256, Seed: 13, Label: "fabric-quarantine-check",
+	}
+	pl2 := fabric.NewPipeListener()
+	qDone := make(chan error, 1)
+	go func() {
+		_, _, err := fabric.Serve(context.Background(), fabric.Config{
+			Campaign: qc, Listener: pl2, Bus: bus, SpotCheck: 0.25,
+		})
+		qDone <- err
+	}()
+	qctx, qcancel := context.WithCancel(context.Background())
+	qwDone := make(chan struct{})
+	go func() {
+		defer close(qwDone)
+		_ = fabric.RunWorker(qctx, fabric.WorkerConfig{
+			Campaign: qc, Dial: fabric.CorruptDialer(pl2.Dial(), 13, 1), Name: "liar",
+			HeartbeatEvery: 20 * time.Millisecond,
+			BackoffBase:    2 * time.Millisecond, MaxReconnects: 100,
+		})
+	}()
+	if err := <-qDone; err != nil {
+		qcancel()
+		<-qwDone
+		return nil, nil, fmt.Errorf("quarantine fabric: %w", err)
+	}
+	qcancel()
+	<-qwDone
 
 	if _, err := faultsim.Search(faultsim.SearchConfig{
 		Graph: res.Expanded, HWOf: res.HWOf(),

@@ -1,0 +1,40 @@
+package fabric
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Shared-secret authentication: when both ends are configured with the
+// same token, the handshake runs an HMAC-SHA256 challenge-response in
+// both directions before any campaign material (fingerprint, spec,
+// leases) crosses the wire. The token itself never travels; each side
+// proves possession by MACing the peer's fresh nonce. This is an
+// application-layer identity check, not transport privacy — pair it with
+// the TLS transport (tls.go) on untrusted networks.
+
+// newNonce returns a fresh 128-bit random nonce, hex-encoded.
+func newNonce() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("fabric: nonce: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// signNonce computes HMAC-SHA256(token, nonce), hex-encoded.
+func signNonce(token, nonce string) string {
+	mac := hmac.New(sha256.New, []byte(token))
+	mac.Write([]byte(nonce))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// verifyMAC reports whether mac is a valid signature of nonce under
+// token, in constant time.
+func verifyMAC(token, nonce, mac string) bool {
+	want := signNonce(token, nonce)
+	return hmac.Equal([]byte(want), []byte(mac))
+}

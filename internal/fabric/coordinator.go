@@ -1,7 +1,9 @@
 package fabric
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -16,6 +18,7 @@ type Config struct {
 	// along unchanged: CheckpointPath/Resume give crash-safe coordinator
 	// restart on the v2 frontier format, StopHalfWidth gives Wald early
 	// stopping, Bus/Span/Metrics/Ledger stream and record as in Run.
+	// Used by Serve; ServeSearch runs one campaign per evaluation instead.
 	Campaign faultsim.Campaign
 	// Listener accepts worker connections; the coordinator owns it and
 	// closes it on exit.
@@ -26,9 +29,27 @@ type Config struct {
 	// LeasesPerWorker bounds a worker's outstanding chunks (default 2):
 	// one computing, one queued to hide the round trip.
 	LeasesPerWorker int
+	// AuthToken, when non-empty, requires every worker to pass an
+	// HMAC-SHA256 challenge-response proving it holds the same token
+	// before any campaign material (fingerprint, spec, leases) is sent.
+	// The matching worker setting is WorkerConfig.AuthToken.
+	AuthToken string
+	// SpotCheck is the fraction of returned chunks the coordinator
+	// re-evaluates locally and compares byte-for-byte against the
+	// worker's answer (0 disables). Selection is a pure function of
+	// (SpotSeed, epoch, chunk index) — see SpotChecked — and every
+	// worker's first chunk is always audited, so a worker that always
+	// lies never contributes a byte to the merge. A divergent worker is
+	// quarantined: dropped, its leases reassigned, its name barred from
+	// rejoining, and the audited chunk's trusted local bytes merged.
+	SpotCheck float64
+	// SpotSeed seeds spot-check selection (default Campaign.Seed, or the
+	// per-evaluation campaign seed under ServeSearch).
+	SpotSeed uint64
 	// Bus receives the fabric's own progress events — "fabric_worker"
-	// (join/lost/drain), "fabric_lease" (grant/result/expire/duplicate)
-	// and a final "fabric_done" — alongside whatever Campaign.Bus streams.
+	// (join/lost/drain), "fabric_lease" (grant/result/expire/duplicate),
+	// "fabric_quarantine" (a worker failed a spot-check) and a final
+	// "fabric_done" — alongside whatever Campaign.Bus streams.
 	// Typically the same bus.
 	Bus *obs.Bus
 	// Label names the fabric in streamed events (default Campaign.Label,
@@ -44,8 +65,8 @@ type Stats struct {
 	// connections that died while holding state.
 	WorkersSeen int
 	WorkersLost int
-	// Rejected counts refused handshakes (protocol or fingerprint
-	// mismatch).
+	// Rejected counts refused handshakes (protocol, fingerprint or
+	// authentication failure, or a quarantined worker redialling).
 	Rejected int
 	// LeasesGranted counts every lease handed out, including re-grants of
 	// reassigned chunks. LeasesExpired counts TTL expiries.
@@ -56,6 +77,11 @@ type Stats struct {
 	// (a slow worker finishing a reassigned chunk) and were suppressed.
 	Reassigned int
 	Duplicates int
+	// Quarantined counts workers dropped for failing a spot-check.
+	Quarantined int
+	// LocalChunks counts chunks the coordinator computed itself after the
+	// live worker set emptied (graceful degradation to local execution).
+	LocalChunks int
 }
 
 // lease is one granted chunk.
@@ -71,10 +97,14 @@ type workerConn struct {
 	name    string
 	conn    Conn
 	out     chan *Frame
+	joined  time.Time
 	helloed bool
 	closed  bool
-	leases  map[uint64]*lease
-	chunks  int // results delivered
+	// Challenge-response state while authentication is in flight.
+	authPending bool
+	authNonce   string
+	leases      map[uint64]*lease
+	chunks      int // results delivered over this connection
 }
 
 // inbound is one reader-goroutine message into the coordinator loop.
@@ -84,13 +114,42 @@ type inbound struct {
 	err error
 }
 
-// coordinator is the single-goroutine event loop owning all fabric state.
-type coordinator struct {
-	cfg    Config
-	merger *faultsim.Merger
-	label  string
-	fp     string
-	trials int
+// localResult is one chunk the coordinator computed itself (fallback).
+type localResult struct {
+	seq int
+	out *faultsim.ChunkOutput
+	err error
+}
+
+// maxWorkerName bounds the worker-announced name the coordinator stores
+// and republishes, so a hostile hello cannot inflate event payloads.
+const maxWorkerName = 64
+
+// maxRenewIDs bounds how many lease ids one heartbeat may renew; a
+// legitimate worker holds LeasesPerWorker (default 2).
+const maxRenewIDs = 1024
+
+// Coordinator is a long-lived fabric coordinator: it owns the listener
+// and the connected worker set, and runs campaigns over them one at a
+// time. Serve wraps one campaign in one Coordinator; ServeSearch keeps a
+// Coordinator alive across every evaluation of an adversarial search,
+// bumping the campaign epoch and re-shipping the spec each time.
+//
+// Concurrency contract: Run and Close are caller-driven and must not
+// overlap; all fabric state is owned by the single goroutine inside Run.
+type Coordinator struct {
+	cfg   Config
+	label string
+
+	// Per-epoch campaign state, rebuilt by each Run.
+	merger   *faultsim.Merger
+	runner   *faultsim.ChunkRunner
+	spec     *faultsim.WireCampaign
+	fp       string
+	trials   int
+	epoch    uint64
+	spotSeed uint64
+	runCtx   context.Context
 
 	totalChunks int
 	mergeSeq    int // next chunk index to merge (frontier / ChunkSize)
@@ -101,28 +160,28 @@ type coordinator struct {
 	leased      map[int]*lease
 	leases      map[uint64]*lease
 	leaseID     uint64
+	stopped     bool
 
-	workers map[*workerConn]struct{}
-	writers sync.WaitGroup // per-conn writer goroutines; cleanup waits for their flush
-	stats   Stats
-	stopped bool
+	workers     map[*workerConn]struct{}
+	quarantined map[string]bool
+	writers     sync.WaitGroup // per-conn writer goroutines; Close waits for their flush
+	stats       Stats
 
-	inbox    chan inbound
-	accepted chan Conn
-	done     chan struct{}
-	ttl      time.Duration
-	perWork  int
+	inbox      chan inbound
+	accepted   chan Conn
+	localCh    chan localResult
+	localBusy  bool
+	done       chan struct{}
+	acceptDone chan struct{}
+	closeOnce  sync.Once
+	ttl        time.Duration
+	perWork    int
 }
 
-// Serve runs the coordinator until the campaign completes, the merge
-// fails, or ctx is cancelled (graceful drain: workers get a drain frame,
-// the frontier checkpoint is persisted when configured, and the
-// cancellation error is returned). The returned Result is DeepEqual-
-// identical to faultsim.Run with Workers=1 on the same Campaign, for any
-// number of workers, under any transport chaos, because chunks merge
-// strictly in grid order and a chunk's content is a pure function of
-// (campaign, bounds).
-func Serve(ctx context.Context, cfg Config) (faultsim.Result, Stats, error) {
+// NewCoordinator builds a coordinator over cfg.Listener and starts
+// accepting connections. Callers must eventually Close it; Serve and
+// ServeSearch do this bookkeeping for the two standard lifecycles.
+func NewCoordinator(cfg Config) *Coordinator {
 	label := cfg.Label
 	if label == "" {
 		label = cfg.Campaign.Label
@@ -130,26 +189,21 @@ func Serve(ctx context.Context, cfg Config) (faultsim.Result, Stats, error) {
 	if label == "" {
 		label = "campaign"
 	}
-	merger, err := faultsim.NewMerger(cfg.Campaign, 0)
-	if err != nil {
-		return faultsim.Result{}, Stats{}, err
-	}
-	co := &coordinator{
-		cfg:       cfg,
-		merger:    merger,
-		label:     label,
-		fp:        cfg.Campaign.Fingerprint(),
-		trials:    cfg.Campaign.Trials,
-		completed: map[int]bool{},
-		pending:   map[int]*faultsim.ChunkOutput{},
-		leased:    map[int]*lease{},
-		leases:    map[uint64]*lease{},
-		workers:   map[*workerConn]struct{}{},
-		inbox:     make(chan inbound, 64),
-		accepted:  make(chan Conn),
-		done:      make(chan struct{}),
-		ttl:       cfg.LeaseTTL,
-		perWork:   cfg.LeasesPerWorker,
+	co := &Coordinator{
+		cfg:         cfg,
+		label:       label,
+		completed:   map[int]bool{},
+		pending:     map[int]*faultsim.ChunkOutput{},
+		leased:      map[int]*lease{},
+		leases:      map[uint64]*lease{},
+		workers:     map[*workerConn]struct{}{},
+		quarantined: map[string]bool{},
+		inbox:       make(chan inbound, 64),
+		accepted:    make(chan Conn),
+		done:        make(chan struct{}),
+		acceptDone:  make(chan struct{}),
+		ttl:         cfg.LeaseTTL,
+		perWork:     cfg.LeasesPerWorker,
 	}
 	if co.ttl <= 0 {
 		co.ttl = 5 * time.Second
@@ -157,21 +211,8 @@ func Serve(ctx context.Context, cfg Config) (faultsim.Result, Stats, error) {
 	if co.perWork <= 0 {
 		co.perWork = 2
 	}
-	co.totalChunks = faultsim.NumChunks(co.trials)
-	co.mergeSeq = faultsim.ChunkIndex(merger.Frontier())
-	if merger.Frontier() >= co.trials {
-		co.mergeSeq = co.totalChunks
-	}
-	co.nextSeq = co.mergeSeq
-	return co.run(ctx)
-}
-
-func (co *coordinator) run(ctx context.Context) (faultsim.Result, Stats, error) {
-	// The accept goroutine feeds new connections into the loop; it exits
-	// when the listener closes.
-	acceptDone := make(chan struct{})
 	go func() {
-		defer close(acceptDone)
+		defer close(co.acceptDone)
 		for {
 			c, err := co.cfg.Listener.Accept()
 			if err != nil {
@@ -185,33 +226,141 @@ func (co *coordinator) run(ctx context.Context) (faultsim.Result, Stats, error) 
 			}
 		}
 	}()
-	cleanup := func() {
+	return co
+}
+
+// Stats returns the counters accumulated so far. Call only while no Run
+// is in flight (the loop goroutine owns them during a Run).
+func (co *Coordinator) Stats() Stats { return co.stats }
+
+// Close shuts the listener and every worker connection and waits for the
+// writer goroutines to flush. Call after the final Run returns; it does
+// not send any protocol verdict — use broadcast first for a clean
+// done/drain.
+func (co *Coordinator) Close() error {
+	co.closeOnce.Do(func() {
 		close(co.done)
 		co.cfg.Listener.Close()
 		for w := range co.workers {
 			co.closeWorker(w)
 		}
 		// Wait for every writer to flush its queue and close its conn.
-		// Serve's caller may exit the process immediately on return; an
+		// The caller may exit the process immediately on return; an
 		// unflushed writer would strand the final done/drain verdicts in
 		// memory, leaving TCP workers redialling a coordinator that no
 		// longer exists. Queued frames are small (verdicts, leases), so
 		// the flush cannot block on socket buffers in practice.
 		co.writers.Wait()
-		<-acceptDone
+		<-co.acceptDone
+	})
+	return nil
+}
+
+// broadcast sends a terminal verdict frame to every welcomed worker and
+// publishes the matching liveness state. Call between Run and Close.
+func (co *Coordinator) broadcast(frameType, state string) {
+	for w := range co.workers {
+		co.send(w, &Frame{Type: frameType})
+		co.publishWorker(w, state)
+	}
+}
+
+// Serve runs the coordinator until the campaign completes, the merge
+// fails, or ctx is cancelled (graceful drain: workers get a drain frame,
+// the frontier checkpoint is persisted when configured, and the
+// cancellation error is returned). The returned Result is DeepEqual-
+// identical to faultsim.Run with Workers=1 on the same Campaign, for any
+// number of workers, under any transport chaos and with any subset of
+// workers lying (given SpotCheck > 0), because chunks merge strictly in
+// grid order and a chunk's content is a pure function of
+// (campaign, bounds).
+func Serve(ctx context.Context, cfg Config) (faultsim.Result, Stats, error) {
+	co := NewCoordinator(cfg)
+	res, err := co.Run(ctx, cfg.Campaign)
+	if err == nil {
+		co.broadcast(TypeDone, "done")
+	}
+	co.Close()
+	return res, co.stats, err
+}
+
+// Run shards one campaign over the connected worker set and blocks until
+// it completes, the merge fails, or ctx is cancelled. Each Run is one
+// campaign epoch: the spec is shipped to every connected worker, and
+// leases/results from other epochs are ignored. On success the workers
+// are left connected and idle, ready for the next Run (ServeSearch's
+// loop); the caller broadcasts the final done/drain verdict.
+func (co *Coordinator) Run(ctx context.Context, c faultsim.Campaign) (faultsim.Result, error) {
+	merger, err := faultsim.NewMerger(c, 0)
+	if err != nil {
+		return faultsim.Result{}, err
+	}
+	runner, err := faultsim.NewChunkRunner(c)
+	if err != nil {
+		return faultsim.Result{}, err
+	}
+	spec, err := faultsim.NewWireCampaign(c)
+	if err != nil {
+		return faultsim.Result{}, err
+	}
+	co.epoch++
+	co.merger, co.runner, co.spec = merger, runner, spec
+	co.fp = c.Fingerprint()
+	co.trials = c.Trials
+	co.spotSeed = co.cfg.SpotSeed
+	if co.spotSeed == 0 {
+		co.spotSeed = c.Seed
+	}
+	co.totalChunks = faultsim.NumChunks(co.trials)
+	co.mergeSeq = faultsim.ChunkIndex(merger.Frontier())
+	if merger.Frontier() >= co.trials {
+		co.mergeSeq = co.totalChunks
+	}
+	co.nextSeq = co.mergeSeq
+	co.requeue = nil
+	co.completed = map[int]bool{}
+	co.pending = map[int]*faultsim.ChunkOutput{}
+	co.leased = map[int]*lease{}
+	co.leases = map[uint64]*lease{}
+	co.stopped = false
+	co.localCh = make(chan localResult, 1)
+	co.localBusy = false
+	for w := range co.workers {
+		w.leases = map[uint64]*lease{}
 	}
 
 	// A resumed-complete campaign has nothing to shard.
 	if co.mergeSeq >= co.totalChunks {
-		cleanup()
 		res := co.merger.Finish()
 		co.publishDone(res)
-		return res, co.stats, nil
+		return res, nil
 	}
 
+	// Ship the new epoch to everyone already connected.
+	for w := range co.workers {
+		if w.helloed {
+			co.sendCampaign(w)
+			co.grant(w)
+		}
+	}
+	return co.loop(ctx)
+}
+
+// loop is the single-goroutine event loop owning all fabric state for
+// one campaign epoch.
+func (co *Coordinator) loop(ctx context.Context) (faultsim.Result, error) {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	co.runCtx = runCtx
 	tick := time.NewTicker(co.tickEvery())
 	defer tick.Stop()
 	for {
+		if co.mergeSeq >= co.totalChunks || co.stopped {
+			res := co.merger.Finish()
+			co.publishDone(res)
+			return res, nil
+		}
+		co.maybeLocal()
 		select {
 		case c := <-co.accepted:
 			co.admit(c)
@@ -224,37 +373,34 @@ func (co *coordinator) run(ctx context.Context) (faultsim.Result, Stats, error) 
 				continue
 			}
 			if fatal := co.handle(in.w, in.f); fatal != nil {
-				cleanup()
-				return faultsim.Result{}, co.stats, fatal
+				return faultsim.Result{}, fatal
 			}
-			if co.mergeSeq >= co.totalChunks || co.stopped {
-				// Campaign complete: tell every worker, then shut down.
-				for w := range co.workers {
-					co.send(w, &Frame{Type: TypeDone})
-					co.publishWorker(w, "done")
+		case lr := <-co.localCh:
+			co.localBusy = false
+			if lr.err != nil {
+				if runCtx.Err() != nil {
+					continue // cancelled mid-chunk; ctx.Done() exits the loop
 				}
-				cleanup()
-				res := co.merger.Finish()
-				co.publishDone(res)
-				return res, co.stats, nil
+				return faultsim.Result{}, lr.err
+			}
+			co.stats.LocalChunks++
+			if fatal := co.acceptChunk(nil, 0, lr.seq, lr.out); fatal != nil {
+				return faultsim.Result{}, fatal
 			}
 		case <-tick.C:
 			co.expireLeases()
+			co.sweepHandshakes()
 		case <-ctx.Done():
 			// Graceful drain: notify workers, persist the frontier, exit.
-			for w := range co.workers {
-				co.send(w, &Frame{Type: TypeDrain})
-				co.publishWorker(w, "drain")
-			}
-			cleanup()
-			return faultsim.Result{}, co.stats, co.merger.Abort(ctx.Err())
+			co.broadcast(TypeDrain, "drain")
+			return faultsim.Result{}, co.merger.Abort(ctx.Err())
 		}
 	}
 }
 
 // tickEvery is the lease-expiry scan interval: a quarter TTL, floored so
 // tiny test TTLs do not busy-spin.
-func (co *coordinator) tickEvery() time.Duration {
+func (co *Coordinator) tickEvery() time.Duration {
 	t := co.ttl / 4
 	if t < 5*time.Millisecond {
 		t = 5 * time.Millisecond
@@ -262,10 +408,25 @@ func (co *coordinator) tickEvery() time.Duration {
 	return t
 }
 
+// handshakeWindow is how long an accepted connection may sit without
+// completing its handshake before it is cut off — the read deadline that
+// keeps a stalled or hostile dialer from holding coordinator state.
+func (co *Coordinator) handshakeWindow() time.Duration {
+	if co.ttl > time.Second {
+		return co.ttl
+	}
+	return time.Second
+}
+
 // admit starts the reader/writer goroutines of a fresh connection. The
-// worker holds no state until its hello passes.
-func (co *coordinator) admit(c Conn) {
-	w := &workerConn{conn: c, out: make(chan *Frame, 64), leases: map[uint64]*lease{}}
+// worker holds no state until its handshake passes, its inbound frames
+// are size-capped, and sweepHandshakes cuts it off if the handshake
+// stalls.
+func (co *Coordinator) admit(c Conn) {
+	if rl, ok := c.(recvLimiter); ok {
+		rl.SetRecvLimit(preAuthFrameSize)
+	}
+	w := &workerConn{conn: c, out: make(chan *Frame, 64), joined: time.Now(), leases: map[uint64]*lease{}}
 	co.workers[w] = struct{}{}
 	co.writers.Add(1)
 	go func() { // writer: drains out, then closes the conn
@@ -290,9 +451,20 @@ func (co *coordinator) admit(c Conn) {
 	}()
 }
 
+// sweepHandshakes drops connections that have not completed their
+// handshake within the window.
+func (co *Coordinator) sweepHandshakes() {
+	cutoff := time.Now().Add(-co.handshakeWindow())
+	for w := range co.workers {
+		if !w.helloed && w.joined.Before(cutoff) {
+			co.dropWorker(w, "handshake timeout")
+		}
+	}
+}
+
 // send enqueues one frame for w without ever blocking the loop; a worker
 // whose writer queue is jammed is treated as lost.
-func (co *coordinator) send(w *workerConn, f *Frame) {
+func (co *Coordinator) send(w *workerConn, f *Frame) {
 	select {
 	case w.out <- f:
 	default:
@@ -302,7 +474,7 @@ func (co *coordinator) send(w *workerConn, f *Frame) {
 
 // closeWorker shuts the worker's writer (flushing queued frames, then
 // closing the conn). Idempotent.
-func (co *coordinator) closeWorker(w *workerConn) {
+func (co *Coordinator) closeWorker(w *workerConn) {
 	if !w.closed {
 		w.closed = true
 		close(w.out)
@@ -310,7 +482,7 @@ func (co *coordinator) closeWorker(w *workerConn) {
 }
 
 // dropWorker removes w and requeues its leases for reassignment.
-func (co *coordinator) dropWorker(w *workerConn, state string) {
+func (co *Coordinator) dropWorker(w *workerConn, state string) {
 	if _, live := co.workers[w]; !live {
 		return
 	}
@@ -332,33 +504,75 @@ func (co *coordinator) dropWorker(w *workerConn, state string) {
 }
 
 // handle processes one frame; a non-nil return is a fatal merge error.
-func (co *coordinator) handle(w *workerConn, f *Frame) error {
+func (co *Coordinator) handle(w *workerConn, f *Frame) error {
 	switch f.Type {
 	case TypeHello:
-		if w.helloed {
-			return nil // duplicated hello frame (chaos): already welcomed
+		if w.helloed || w.authPending {
+			return nil // duplicated hello frame (chaos): already in progress
 		}
 		if f.Proto != Proto {
 			co.reject(w, fmt.Sprintf("protocol version %d, want %d", f.Proto, Proto))
 			return nil
 		}
-		if f.Fingerprint != co.fp {
-			co.reject(w, fmt.Sprintf("campaign fingerprint %s, want %s", f.Fingerprint, co.fp))
+		name := f.Worker
+		if len(name) > maxWorkerName {
+			name = name[:maxWorkerName]
+		}
+		if name == "" {
+			name = fmt.Sprintf("w%d", co.stats.WorkersSeen+1)
+		}
+		if co.quarantined[name] {
+			co.reject(w, "worker quarantined")
 			return nil
 		}
-		w.helloed = true
-		w.name = f.Worker
-		if w.name == "" {
-			w.name = fmt.Sprintf("w%d", co.stats.WorkersSeen+1)
+		if co.cfg.AuthToken != "" {
+			// Authenticated handshake: challenge first; the campaign
+			// fingerprint is deferred to the worker's auth frame, so a
+			// peer that cannot answer learns nothing about the campaign.
+			nonce, err := newNonce()
+			if err != nil {
+				co.reject(w, "authentication unavailable")
+				return nil
+			}
+			w.authPending = true
+			w.authNonce = nonce
+			w.name = name
+			co.send(w, &Frame{Type: TypeChallenge, Nonce: nonce, MAC: signNonce(co.cfg.AuthToken, f.Nonce)})
+			return nil
 		}
-		co.stats.WorkersSeen++
-		co.send(w, &Frame{Type: TypeWelcome, Trials: co.trials, Worker: w.name})
-		co.publishWorker(w, "join")
-		co.grant(w)
+		if bad, reason := co.fingerprintMismatch(f.Fingerprint); bad {
+			co.reject(w, reason)
+			return nil
+		}
+		co.welcome(w, name)
+	case TypeAuth:
+		if !w.authPending || w.helloed {
+			return nil // stray or duplicated auth frame
+		}
+		if !verifyMAC(co.cfg.AuthToken, w.authNonce, f.MAC) {
+			co.reject(w, "authentication failed")
+			return nil
+		}
+		w.authPending = false
+		if bad, reason := co.fingerprintMismatch(f.Fingerprint); bad {
+			co.reject(w, reason)
+			return nil
+		}
+		co.welcome(w, w.name)
+	case TypeNeedCampaign:
+		if w.helloed && co.merger != nil {
+			co.sendCampaign(w)
+		}
 	case TypeHeartbeat:
 		co.renew(w, f.Leases)
 	case TypeResult:
+		if !w.helloed {
+			return nil
+		}
 		co.renew(w, f.Leases)
+		if f.Epoch != co.epoch {
+			return nil // stale epoch: result of a previous Run
+		}
 		if err := co.result(w, f); err != nil {
 			return err
 		}
@@ -367,8 +581,46 @@ func (co *coordinator) handle(w *workerConn, f *Frame) error {
 	return nil
 }
 
+// fingerprintMismatch checks a worker-announced campaign fingerprint
+// against the current epoch's. An empty announcement is a flagless
+// worker — it configures from the shipped spec, nothing to compare.
+func (co *Coordinator) fingerprintMismatch(fp string) (bool, string) {
+	if fp == "" || co.merger == nil || fp == co.fp {
+		return false, ""
+	}
+	return true, fmt.Sprintf("campaign fingerprint %s, want %s", fp, co.fp)
+}
+
+// welcome completes a handshake: the worker becomes eligible for leases
+// and, in the same breath, receives the current campaign spec.
+func (co *Coordinator) welcome(w *workerConn, name string) {
+	w.helloed = true
+	w.name = name
+	co.stats.WorkersSeen++
+	if rl, ok := w.conn.(recvLimiter); ok {
+		rl.SetRecvLimit(maxFrameSize)
+	}
+	co.send(w, &Frame{Type: TypeWelcome, Trials: co.trials, Worker: w.name})
+	co.publishWorker(w, "join")
+	if co.merger != nil {
+		co.sendCampaign(w)
+		co.grant(w)
+	}
+}
+
+// sendCampaign ships the current epoch's encoded campaign spec.
+func (co *Coordinator) sendCampaign(w *workerConn) {
+	co.send(w, &Frame{
+		Type:        TypeCampaign,
+		Epoch:       co.epoch,
+		Fingerprint: co.fp,
+		Trials:      co.trials,
+		Spec:        co.spec,
+	})
+}
+
 // reject refuses a handshake and discards the connection.
-func (co *coordinator) reject(w *workerConn, reason string) {
+func (co *Coordinator) reject(w *workerConn, reason string) {
 	co.stats.Rejected++
 	co.send(w, &Frame{Type: TypeReject, Reason: reason})
 	delete(co.workers, w)
@@ -379,8 +631,13 @@ func (co *coordinator) reject(w *workerConn, reason string) {
 // by one TTL. Leases the worker does not list — its grant frame was lost
 // in transit — are left to expire on schedule so they get reassigned;
 // renewing blindly on any sign of life would keep a lost grant alive for
-// as long as the worker heartbeats.
-func (co *coordinator) renew(w *workerConn, ids []uint64) {
+// as long as the worker heartbeats. The list is capped: a legitimate
+// worker holds LeasesPerWorker leases, so anything past maxRenewIDs is a
+// hostile payload, not a renewal.
+func (co *Coordinator) renew(w *workerConn, ids []uint64) {
+	if len(ids) > maxRenewIDs {
+		ids = ids[:maxRenewIDs]
+	}
 	deadline := time.Now().Add(co.ttl)
 	for _, id := range ids {
 		if l, ok := w.leases[id]; ok {
@@ -391,7 +648,7 @@ func (co *coordinator) renew(w *workerConn, ids []uint64) {
 
 // grant hands w chunks until it holds LeasesPerWorker, preferring
 // reassigned chunks over fresh ones.
-func (co *coordinator) grant(w *workerConn) {
+func (co *Coordinator) grant(w *workerConn) {
 	for !co.stopped && w.helloed && !w.closed && len(w.leases) < co.perWork {
 		seq, ok := co.nextChunk()
 		if !ok {
@@ -404,18 +661,18 @@ func (co *coordinator) grant(w *workerConn) {
 		w.leases[l.id] = l
 		begin, end := faultsim.ChunkBounds(seq, co.trials)
 		co.stats.LeasesGranted++
-		co.send(w, &Frame{Type: TypeLease, Lease: l.id, Begin: begin, End: end})
+		co.send(w, &Frame{Type: TypeLease, Lease: l.id, Epoch: co.epoch, Begin: begin, End: end})
 		co.publishLease(l, "grant")
 	}
 }
 
 // nextChunk picks the next chunk needing an owner: reassignments first
 // (skipping any that completed while queued), then the fresh frontier.
-func (co *coordinator) nextChunk() (int, bool) {
+func (co *Coordinator) nextChunk() (int, bool) {
 	for len(co.requeue) > 0 {
 		seq := co.requeue[0]
 		co.requeue = co.requeue[1:]
-		if !co.completed[seq] && co.leased[seq] == nil {
+		if !co.completed[seq] && seq >= co.mergeSeq && co.leased[seq] == nil {
 			return seq, true
 		}
 	}
@@ -427,11 +684,48 @@ func (co *coordinator) nextChunk() (int, bool) {
 	return 0, false
 }
 
+// liveWorkers counts welcomed, still-connected workers.
+func (co *Coordinator) liveWorkers() int {
+	n := 0
+	for w := range co.workers {
+		if w.helloed {
+			n++
+		}
+	}
+	return n
+}
+
+// maybeLocal starts one local chunk computation when the fabric has
+// degraded to zero live workers (all lost or quarantined) while work
+// remains — the graceful-degradation path: the campaign completes as a
+// plain local run instead of stalling. One chunk at a time keeps the
+// loop responsive to workers rejoining.
+func (co *Coordinator) maybeLocal() {
+	if co.localBusy || co.stopped || co.merger == nil {
+		return
+	}
+	if co.stats.WorkersSeen == 0 || co.liveWorkers() > 0 {
+		return
+	}
+	seq, ok := co.nextChunk()
+	if !ok {
+		return
+	}
+	co.localBusy = true
+	begin, end := faultsim.ChunkBounds(seq, co.trials)
+	co.publishLease(&lease{seq: seq}, "local")
+	runner, ctx, ch := co.runner, co.runCtx, co.localCh
+	go func() {
+		out, err := runner.Run(ctx, begin, end)
+		ch <- localResult{seq: seq, out: out, err: err} // buffered; never blocks
+	}()
+}
+
 // expireLeases reassigns chunks whose lease outlived its TTL. The slow
 // worker stays connected — if its result still arrives first it is
 // accepted (the content is deterministic), and if it arrives after the
 // reassigned copy it is suppressed as a duplicate.
-func (co *coordinator) expireLeases() {
+func (co *Coordinator) expireLeases() {
 	now := time.Now()
 	for id, l := range co.leases {
 		if now.Before(l.deadline) {
@@ -451,8 +745,9 @@ func (co *coordinator) expireLeases() {
 }
 
 // result accepts one chunk result: validates its bounds, suppresses
-// duplicates, then merges every contiguous pending chunk in grid order.
-func (co *coordinator) result(w *workerConn, f *Frame) error {
+// duplicates, audits it when spot-check selection says so, then merges
+// every contiguous pending chunk in grid order.
+func (co *Coordinator) result(w *workerConn, f *Frame) error {
 	if f.Chunk == nil {
 		return nil
 	}
@@ -466,6 +761,31 @@ func (co *coordinator) result(w *workerConn, f *Frame) error {
 		co.publishLease(&lease{seq: seq, worker: w}, "duplicate")
 		return nil
 	}
+	if co.cfg.SpotCheck > 0 && (w.chunks == 0 || SpotChecked(co.spotSeed, co.epoch, seq, co.cfg.SpotCheck)) {
+		local, err := co.runner.Run(co.runCtx, wantB, wantE)
+		if err != nil {
+			if co.runCtx.Err() != nil {
+				return nil // cancelled mid-audit; ctx.Done() exits the loop
+			}
+			return err
+		}
+		if !chunkEqual(local, f.Chunk) {
+			// The worker lied. Quarantine it (dropWorker requeues its
+			// leases, including this chunk's) and merge the trusted
+			// locally-computed bytes instead — the audit already paid for
+			// them.
+			co.quarantine(w, wantB, wantE)
+			return co.acceptChunk(nil, 0, seq, local)
+		}
+	}
+	w.chunks++
+	return co.acceptChunk(w, f.Lease, seq, f.Chunk)
+}
+
+// acceptChunk records one trusted chunk (from a worker, a spot-check
+// re-evaluation, or the local fallback) and merges every contiguous
+// pending chunk in grid order.
+func (co *Coordinator) acceptChunk(w *workerConn, leaseID uint64, seq int, out *faultsim.ChunkOutput) error {
 	// Release whichever lease covers the chunk — possibly another
 	// worker's, when the chunk was reassigned and the first owner won.
 	if l := co.leased[seq]; l != nil {
@@ -473,14 +793,15 @@ func (co *coordinator) result(w *workerConn, f *Frame) error {
 		delete(l.worker.leases, l.id)
 		delete(co.leased, seq)
 	}
-	if l, ok := w.leases[f.Lease]; ok && l.seq == seq {
-		delete(co.leases, l.id)
-		delete(w.leases, l.id)
+	if w != nil {
+		if l, ok := w.leases[leaseID]; ok && l.seq == seq {
+			delete(co.leases, l.id)
+			delete(w.leases, l.id)
+		}
 	}
 	co.completed[seq] = true
-	co.pending[seq] = f.Chunk
-	w.chunks++
-	co.publishLease(&lease{id: f.Lease, seq: seq, worker: w}, "result")
+	co.pending[seq] = out
+	co.publishLease(&lease{id: leaseID, seq: seq, worker: w}, "result")
 	for !co.stopped {
 		out, ok := co.pending[co.mergeSeq]
 		if !ok {
@@ -492,6 +813,11 @@ func (co *coordinator) result(w *workerConn, f *Frame) error {
 			return err
 		}
 		co.mergeSeq++
+		// The dup-suppression set only needs entries at or above the merge
+		// frontier (anything below is caught by the seq < mergeSeq test);
+		// pruning as the frontier advances keeps it bounded by the
+		// in-flight window instead of the campaign size.
+		delete(co.completed, co.mergeSeq-1)
 		if stop {
 			// Early stopping: discard speculative chunks beyond the
 			// stopping frontier, exactly as the in-process pool does.
@@ -502,8 +828,31 @@ func (co *coordinator) result(w *workerConn, f *Frame) error {
 	return nil
 }
 
+// quarantine drops a worker whose chunk bytes diverged from the local
+// re-evaluation and bars its name from rejoining this coordinator.
+func (co *Coordinator) quarantine(w *workerConn, begin, end int) {
+	co.stats.Quarantined++
+	co.quarantined[w.name] = true
+	if co.cfg.Bus != nil {
+		co.cfg.Bus.Publish("fabric_quarantine", w.name,
+			obs.String("campaign", co.label),
+			obs.Int("begin", begin),
+			obs.Int("end", end),
+			obs.Int("chunks_done", w.chunks))
+	}
+	co.dropWorker(w, "quarantined")
+}
+
+// chunkEqual compares two chunk outputs byte-for-byte via their
+// canonical JSON encoding — the same bytes the merge consumes.
+func chunkEqual(a, b *faultsim.ChunkOutput) bool {
+	ab, aerr := json.Marshal(a)
+	bb, berr := json.Marshal(b)
+	return aerr == nil && berr == nil && bytes.Equal(ab, bb)
+}
+
 // publishWorker emits a "fabric_worker" liveness event.
-func (co *coordinator) publishWorker(w *workerConn, state string) {
+func (co *Coordinator) publishWorker(w *workerConn, state string) {
 	if co.cfg.Bus == nil {
 		return
 	}
@@ -515,7 +864,7 @@ func (co *coordinator) publishWorker(w *workerConn, state string) {
 }
 
 // publishLease emits a "fabric_lease" churn event.
-func (co *coordinator) publishLease(l *lease, state string) {
+func (co *Coordinator) publishLease(l *lease, state string) {
 	if co.cfg.Bus == nil {
 		return
 	}
@@ -533,7 +882,7 @@ func (co *coordinator) publishLease(l *lease, state string) {
 }
 
 // publishDone emits the terminal "fabric_done" event.
-func (co *coordinator) publishDone(res faultsim.Result) {
+func (co *Coordinator) publishDone(res faultsim.Result) {
 	if co.cfg.Bus == nil {
 		return
 	}
@@ -545,5 +894,7 @@ func (co *coordinator) publishDone(res faultsim.Result) {
 		obs.Int("leases_expired", co.stats.LeasesExpired),
 		obs.Int("reassigned", co.stats.Reassigned),
 		obs.Int("duplicates", co.stats.Duplicates),
+		obs.Int("quarantined", co.stats.Quarantined),
+		obs.Int("local_chunks", co.stats.LocalChunks),
 		obs.Bool("early_stopped", res.EarlyStopped))
 }

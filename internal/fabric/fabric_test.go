@@ -296,12 +296,13 @@ func TestFabricDuplicateResultsSuppressed(t *testing.T) {
 		}
 		switch f.Type {
 		case TypeWelcome:
+		case TypeCampaign: // v2 ships the spec; this worker is flag-configured
 		case TypeLease:
 			out, err := runner.Run(context.Background(), f.Begin, f.End)
 			if err != nil {
 				t.Fatal(err)
 			}
-			res := &Frame{Type: TypeResult, Lease: f.Lease, Begin: f.Begin, End: f.End, Chunk: out}
+			res := &Frame{Type: TypeResult, Lease: f.Lease, Epoch: f.Epoch, Begin: f.Begin, End: f.End, Chunk: out}
 			if err := conn.Send(res); err != nil {
 				t.Fatal(err)
 			}

@@ -32,13 +32,17 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/faultsim"
 )
 
 // Proto is the fabric wire-protocol version. A hello carrying any other
-// version is rejected before fingerprints are even compared.
-const Proto = 1
+// version is rejected before fingerprints are even compared. v2 added
+// campaign shipping (self-configuring workers), HMAC challenge-response
+// authentication, per-campaign epochs and quarantine; v1 peers are
+// rejected at hello.
+const Proto = 2
 
 // Frame types. The zero value of unused fields is elided on the wire.
 const (
@@ -67,6 +71,25 @@ const (
 	// TypeDone tells the worker the campaign completed; the worker exits
 	// cleanly.
 	TypeDone = "done"
+	// TypeChallenge is the coordinator's authentication challenge when a
+	// shared token is configured: it carries a fresh nonce the worker must
+	// MAC, plus the coordinator's own MAC over the hello nonce (mutual
+	// authentication). Sent instead of welcome; nothing campaign-related
+	// crosses the wire until the worker's auth frame verifies.
+	TypeChallenge = "challenge"
+	// TypeAuth answers a challenge: MAC is HMAC-SHA256(token, nonce) over
+	// the challenge nonce, and Fingerprint carries the (deferred) campaign
+	// fingerprint the hello would otherwise have sent in the clear.
+	TypeAuth = "auth"
+	// TypeCampaign ships the full encoded campaign spec (self-configuring
+	// workers): Spec is the wire campaign, Fingerprint its claimed
+	// fingerprint (the worker re-derives and compares), Epoch the
+	// coordinator's campaign epoch that scopes every lease and result.
+	TypeCampaign = "campaign"
+	// TypeNeedCampaign asks the coordinator to (re)send the campaign frame
+	// — the worker saw a lease for an epoch it has no spec for (the
+	// campaign frame was lost in transit).
+	TypeNeedCampaign = "need_campaign"
 )
 
 // Frame is one protocol message. All frame types share the struct; the
@@ -79,6 +102,18 @@ type Frame struct {
 	Worker      string `json:"worker,omitempty"`
 	Reason      string `json:"reason,omitempty"`
 	Trials      int    `json:"trials,omitempty"`
+	// Hello / Challenge / Auth: authentication material. Nonce is a fresh
+	// random hex string from the frame's sender; MAC is HMAC-SHA256 keyed
+	// by the shared token over the peer's nonce.
+	Nonce string `json:"nonce,omitempty"`
+	MAC   string `json:"mac,omitempty"`
+	// Campaign / Lease / Result: Epoch scopes leases and results to one
+	// campaign run on a long-lived coordinator (the fabric-sharded search
+	// runs many campaigns over one worker set). Epochs start at 1; a
+	// worker at epoch 0 is unconfigured.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Campaign: the full encoded spec a flagless worker configures from.
+	Spec *faultsim.WireCampaign `json:"spec,omitempty"`
 	// Lease / Result.
 	Lease uint64                `json:"lease,omitempty"`
 	Begin int                   `json:"begin,omitempty"`
@@ -98,9 +133,23 @@ type Frame struct {
 // codec allocate unboundedly.
 const maxFrameSize = 64 << 20
 
+// preAuthFrameSize is the receive bound the coordinator imposes on a
+// connection before it completes the handshake: hello and auth frames are
+// a few hundred bytes, so an unauthenticated dialer announcing a large
+// length prefix is cut off without a large allocation.
+const preAuthFrameSize = 1 << 20
+
 // ErrFrameTooLarge is returned by the codec for a frame exceeding
 // maxFrameSize in either direction.
 var ErrFrameTooLarge = errors.New("fabric: frame exceeds size limit")
+
+// recvLimiter is implemented by codec connections whose inbound frame
+// size bound can be tightened (pre-handshake) and restored (post-welcome).
+// The in-process pipe transport does not implement it — its frames never
+// serialise, so there is nothing to bound.
+type recvLimiter interface {
+	SetRecvLimit(n int)
+}
 
 // codecConn frames JSON documents with a 4-byte big-endian length prefix
 // over any io.ReadWriteCloser — the TCP wire format. Sends are serialised
@@ -109,12 +158,21 @@ var ErrFrameTooLarge = errors.New("fabric: frame exceeds size limit")
 type codecConn struct {
 	rw io.ReadWriteCloser
 
-	sendMu sync.Mutex
-	closed sync.Once
+	recvLimit atomic.Int64
+	sendMu    sync.Mutex
+	closed    sync.Once
 }
 
 // NewCodecConn wraps rw in the length-prefixed JSON frame codec.
-func NewCodecConn(rw io.ReadWriteCloser) Conn { return &codecConn{rw: rw} }
+func NewCodecConn(rw io.ReadWriteCloser) Conn {
+	c := &codecConn{rw: rw}
+	c.recvLimit.Store(maxFrameSize)
+	return c
+}
+
+// SetRecvLimit bounds the next inbound frames to n bytes. Safe to call
+// concurrently with Recv; the new bound applies from the next frame.
+func (c *codecConn) SetRecvLimit(n int) { c.recvLimit.Store(int64(n)) }
 
 func (c *codecConn) Send(f *Frame) error {
 	payload, err := json.Marshal(f)
@@ -139,7 +197,7 @@ func (c *codecConn) Recv() (*Frame, error) {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrameSize {
+	if int64(n) > c.recvLimit.Load() {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
 	payload := make([]byte, n)

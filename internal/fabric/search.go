@@ -1,0 +1,44 @@
+package fabric
+
+import (
+	"context"
+
+	"repro/internal/faultsim"
+)
+
+// ServeSearch runs an adversarial scenario search whose candidate
+// evaluations are sharded over the fabric: one long-lived Coordinator
+// holds the worker set, and every evaluation's campaign becomes one
+// campaign epoch — the encoded spec is shipped to the connected workers
+// (which must therefore be flagless; a flag-configured worker refuses
+// the per-evaluation fingerprints), its chunks leased out, and the
+// merged Result handed back to the climb.
+//
+// Everything the local Search guarantees carries over unchanged: the
+// evaluation journal, memoization and kill/resume semantics live in
+// faultsim.Search and never see the fabric, and because the
+// coordinator's merge is bit-identical to a local run for every
+// campaign, the returned SearchResult is reflect.DeepEqual-identical to
+// Search with the same SearchConfig at any worker count — including
+// zero, via the coordinator's local fallback, once at least one worker
+// was seen (or the fabric simply waits for the first worker).
+//
+// scfg.Runner is overwritten. scfg.Workers is ignored by the fabric
+// (sharding is by chunk grid, not the local pool) and, like Runner, is
+// excluded from the search fingerprint — a checkpointed local search can
+// resume over the fabric and vice versa.
+func ServeSearch(ctx context.Context, cfg Config, scfg faultsim.SearchConfig) (faultsim.SearchResult, Stats, error) {
+	co := NewCoordinator(cfg)
+	scfg.Runner = func(c faultsim.Campaign) (faultsim.Result, error) {
+		return co.Run(ctx, c)
+	}
+	if scfg.Ctx == nil {
+		scfg.Ctx = ctx
+	}
+	res, err := faultsim.Search(scfg)
+	if err == nil {
+		co.broadcast(TypeDone, "done")
+	}
+	co.Close()
+	return res, co.stats, err
+}

@@ -1,0 +1,88 @@
+package fabric
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+)
+
+// TLS transport: the same length-prefixed JSON frame codec as the plain
+// TCP transport, carried over TLS 1.3. The coordinator presents a server
+// certificate; when a CA bundle is configured it additionally demands and
+// verifies a client certificate (mutual TLS). TLS gives the wire privacy
+// and endpoint identity; the in-protocol HMAC handshake (auth.go) stays
+// on top of it, so a peer holding a valid certificate but the wrong token
+// is still rejected before any campaign material flows.
+
+// ListenTLS opens a TLS fabric listener on addr with the PEM-encoded
+// certificate/key pair. A non-empty caFile turns on mutual TLS: client
+// certificates are required and verified against that bundle.
+func ListenTLS(addr, certFile, keyFile, caFile string) (Listener, error) {
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: tls listen: load key pair: %w", err)
+	}
+	cfg := &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS13,
+	}
+	if caFile != "" {
+		pool, err := loadCertPool(caFile)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: tls listen: %w", err)
+		}
+		cfg.ClientCAs = pool
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+	}
+	ln, err := tls.Listen("tcp", addr, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: tls listen %s: %w", addr, err)
+	}
+	return &tcpListener{ln: ln}, nil
+}
+
+// DialTLS returns a Dialer connecting to the coordinator at addr over
+// TLS. caFile, when non-empty, pins the roots the coordinator's
+// certificate must chain to (otherwise the system pool is used); a
+// certFile/keyFile pair, when non-empty, is presented for mutual TLS.
+func DialTLS(addr, certFile, keyFile, caFile string) (Dialer, error) {
+	cfg := &tls.Config{MinVersion: tls.VersionTLS13}
+	if caFile != "" {
+		pool, err := loadCertPool(caFile)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: tls dial: %w", err)
+		}
+		cfg.RootCAs = pool
+	}
+	if certFile != "" || keyFile != "" {
+		cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: tls dial: load key pair: %w", err)
+		}
+		cfg.Certificates = []tls.Certificate{cert}
+	}
+	return func(ctx context.Context) (Conn, error) {
+		d := &tls.Dialer{NetDialer: &net.Dialer{}, Config: cfg}
+		c, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return NewCodecConn(c), nil
+	}, nil
+}
+
+func loadCertPool(caFile string) (*x509.CertPool, error) {
+	pem, err := os.ReadFile(caFile)
+	if err != nil {
+		return nil, fmt.Errorf("read CA bundle: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, errors.New("CA bundle contains no usable certificates")
+	}
+	return pool, nil
+}

@@ -1,0 +1,132 @@
+package fabric
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// TestCerts names the PEM files of an ephemeral loopback TLS chain:
+// a throwaway CA plus server and client leaves for 127.0.0.1/::1/
+// localhost. Produced by WriteEphemeralCerts for the test suites, the
+// fabriccheck gate and local TLS experiments; production deployments
+// bring their own PKI.
+type TestCerts struct {
+	CAFile         string
+	ServerCertFile string
+	ServerKeyFile  string
+	ClientCertFile string
+	ClientKeyFile  string
+}
+
+// WriteEphemeralCerts generates a fresh ECDSA P-256 CA and loopback
+// server/client certificates (valid ±1h around now) into dir.
+func WriteEphemeralCerts(dir string) (TestCerts, error) {
+	caKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return TestCerts{}, fmt.Errorf("fabric: ephemeral CA key: %w", err)
+	}
+	now := time.Now()
+	caTmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "fabric ephemeral CA"},
+		NotBefore:             now.Add(-time.Hour),
+		NotAfter:              now.Add(time.Hour),
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+	}
+	caDER, err := x509.CreateCertificate(rand.Reader, caTmpl, caTmpl, &caKey.PublicKey, caKey)
+	if err != nil {
+		return TestCerts{}, fmt.Errorf("fabric: ephemeral CA cert: %w", err)
+	}
+	caCert, err := x509.ParseCertificate(caDER)
+	if err != nil {
+		return TestCerts{}, fmt.Errorf("fabric: ephemeral CA cert: %w", err)
+	}
+
+	leaf := func(name string, serial int64, usage x509.ExtKeyUsage) ([]byte, *ecdsa.PrivateKey, error) {
+		key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+		if err != nil {
+			return nil, nil, err
+		}
+		tmpl := &x509.Certificate{
+			SerialNumber: big.NewInt(serial),
+			Subject:      pkix.Name{CommonName: name},
+			NotBefore:    now.Add(-time.Hour),
+			NotAfter:     now.Add(time.Hour),
+			KeyUsage:     x509.KeyUsageDigitalSignature,
+			ExtKeyUsage:  []x509.ExtKeyUsage{usage},
+			DNSNames:     []string{"localhost"},
+			IPAddresses:  []net.IP{net.ParseIP("127.0.0.1"), net.ParseIP("::1")},
+		}
+		der, err := x509.CreateCertificate(rand.Reader, tmpl, caCert, &key.PublicKey, caKey)
+		if err != nil {
+			return nil, nil, err
+		}
+		return der, key, nil
+	}
+	serverDER, serverKey, err := leaf("fabric coordinator", 2, x509.ExtKeyUsageServerAuth)
+	if err != nil {
+		return TestCerts{}, fmt.Errorf("fabric: ephemeral server cert: %w", err)
+	}
+	clientDER, clientKey, err := leaf("fabric worker", 3, x509.ExtKeyUsageClientAuth)
+	if err != nil {
+		return TestCerts{}, fmt.Errorf("fabric: ephemeral client cert: %w", err)
+	}
+
+	tc := TestCerts{
+		CAFile:         filepath.Join(dir, "ca.pem"),
+		ServerCertFile: filepath.Join(dir, "server.pem"),
+		ServerKeyFile:  filepath.Join(dir, "server.key"),
+		ClientCertFile: filepath.Join(dir, "client.pem"),
+		ClientKeyFile:  filepath.Join(dir, "client.key"),
+	}
+	writeCert := func(path string, der []byte) error {
+		return writePEM(path, "CERTIFICATE", der, 0o644)
+	}
+	writeKey := func(path string, key *ecdsa.PrivateKey) error {
+		der, err := x509.MarshalECPrivateKey(key)
+		if err != nil {
+			return err
+		}
+		return writePEM(path, "EC PRIVATE KEY", der, 0o600)
+	}
+	if err := writeCert(tc.CAFile, caDER); err != nil {
+		return TestCerts{}, fmt.Errorf("fabric: write CA: %w", err)
+	}
+	if err := writeCert(tc.ServerCertFile, serverDER); err != nil {
+		return TestCerts{}, fmt.Errorf("fabric: write server cert: %w", err)
+	}
+	if err := writeKey(tc.ServerKeyFile, serverKey); err != nil {
+		return TestCerts{}, fmt.Errorf("fabric: write server key: %w", err)
+	}
+	if err := writeCert(tc.ClientCertFile, clientDER); err != nil {
+		return TestCerts{}, fmt.Errorf("fabric: write client cert: %w", err)
+	}
+	if err := writeKey(tc.ClientKeyFile, clientKey); err != nil {
+		return TestCerts{}, fmt.Errorf("fabric: write client key: %w", err)
+	}
+	return tc, nil
+}
+
+func writePEM(path, blockType string, der []byte, mode os.FileMode) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, mode)
+	if err != nil {
+		return err
+	}
+	if err := pem.Encode(f, &pem.Block{Type: blockType, Bytes: der}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

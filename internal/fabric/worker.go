@@ -17,8 +17,11 @@ import (
 var ErrDrained = errors.New("fabric: coordinator draining")
 
 // ErrRejected reports that the coordinator refused the handshake —
-// protocol or campaign-fingerprint mismatch. Permanent: redialling with
-// the same campaign cannot succeed.
+// protocol, campaign-fingerprint or authentication mismatch, or a
+// quarantine — or that the coordinator itself failed the worker's checks
+// (mutual authentication, a spec that does not match its claimed
+// fingerprint). Permanent: redialling with the same configuration cannot
+// succeed.
 var ErrRejected = errors.New("fabric: handshake rejected")
 
 // ErrUnreachable reports that the reconnect budget was exhausted without
@@ -27,9 +30,15 @@ var ErrUnreachable = errors.New("fabric: coordinator unreachable")
 
 // WorkerConfig configures one campaign worker.
 type WorkerConfig struct {
-	// Campaign must be built from the same specification as the
-	// coordinator's; the handshake compares fingerprints and rejects any
-	// divergence before trials move.
+	// Campaign, when set (Graph non-nil), must be built from the same
+	// specification as the coordinator's; the handshake compares
+	// fingerprints and rejects any divergence before trials move. When
+	// zero, the worker is *flagless*: it announces no fingerprint and
+	// self-configures from the campaign spec the coordinator ships,
+	// verifying the decoded spec against its claimed fingerprint. A
+	// flagless worker also follows epoch switches (the fabric-sharded
+	// search runs a new campaign per evaluation); a flag-configured
+	// worker refuses any campaign but its own.
 	Campaign faultsim.Campaign
 	// Dial opens a connection to the coordinator; it is called on every
 	// (re)connect attempt.
@@ -37,6 +46,10 @@ type WorkerConfig struct {
 	// Name identifies the worker in coordinator events (optional; the
 	// coordinator assigns "wN" otherwise).
 	Name string
+	// AuthToken, when non-empty, answers the coordinator's HMAC
+	// challenge-response and demands the same proof back (mutual
+	// authentication). Must match the coordinator's Config.AuthToken.
+	AuthToken string
 	// HeartbeatEvery is the lease-renewal interval (default 1s). Keep it
 	// well under the coordinator's LeaseTTL.
 	HeartbeatEvery time.Duration
@@ -66,9 +79,17 @@ type WorkerConfig struct {
 // handshake is rejected (ErrRejected), the reconnect budget runs out
 // (ErrUnreachable), or ctx is cancelled.
 func RunWorker(ctx context.Context, cfg WorkerConfig) error {
-	runner, err := faultsim.NewChunkRunner(cfg.Campaign)
-	if err != nil {
-		return err
+	var runner *faultsim.ChunkRunner
+	cfgFP := ""
+	trials := 0
+	if cfg.Campaign.Graph != nil {
+		var err error
+		runner, err = faultsim.NewChunkRunner(cfg.Campaign)
+		if err != nil {
+			return err
+		}
+		cfgFP = cfg.Campaign.Fingerprint()
+		trials = cfg.Campaign.Trials
 	}
 	if cfg.HeartbeatEvery <= 0 {
 		cfg.HeartbeatEvery = time.Second
@@ -88,7 +109,9 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	w := &worker{
 		cfg:    cfg,
 		runner: runner,
-		fp:     cfg.Campaign.Fingerprint(),
+		fp:     cfgFP,
+		cfgFP:  cfgFP,
+		trials: trials,
 		rng:    rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x6a09e667f3bcc909)),
 	}
 	attempts := 0
@@ -119,16 +142,23 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	}
 }
 
-// worker is the per-RunWorker state shared across reconnects.
+// worker is the per-RunWorker state shared across reconnects. runner,
+// fp, trials and epoch are dynamic: a flagless worker fills them from
+// the shipped campaign spec and replaces them on every epoch switch.
 type worker struct {
 	cfg    WorkerConfig
+	cfgFP  string // flag-configured fingerprint; "" for a flagless worker
 	runner *faultsim.ChunkRunner
 	fp     string
+	trials int
+	epoch  uint64
 	rng    *rand.Rand
 	chunks int
 }
 
-// backoff sleeps a jittered exponential delay, honouring ctx.
+// backoff sleeps a jittered exponential delay, honouring ctx: a
+// cancellation (SIGINT, -timeout) cuts the wait short immediately
+// instead of blocking until the full backoff elapses.
 func (w *worker) backoff(ctx context.Context, attempt int) error {
 	d := w.cfg.BackoffBase << min(attempt-1, 16)
 	if d > w.cfg.BackoffMax {
@@ -150,14 +180,16 @@ func (w *worker) backoff(ctx context.Context, attempt int) error {
 // computeOut is one finished chunk computation.
 type computeOut struct {
 	lease uint64
+	epoch uint64
 	out   *faultsim.ChunkOutput
 	err   error
 }
 
-// session runs one connection's lifetime: handshake, then the
-// lease/compute/heartbeat loop. handshaked reports whether a welcome was
-// received (resets the reconnect budget); terminal reports that RunWorker
-// should return err instead of redialling.
+// session runs one connection's lifetime: handshake (with optional
+// challenge-response authentication and campaign self-configuration),
+// then the lease/compute/heartbeat loop. handshaked reports whether a
+// welcome was received (resets the reconnect budget); terminal reports
+// that RunWorker should return err instead of redialling.
 func (w *worker) session(ctx context.Context, conn Conn) (handshaked, terminal bool, err error) {
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -191,12 +223,24 @@ func (w *worker) session(ctx context.Context, conn Conn) (handshaked, terminal b
 		}
 	}()
 
-	if err := conn.Send(&Frame{Type: TypeHello, Proto: Proto, Fingerprint: w.fp, Worker: w.cfg.Name}); err != nil {
+	// The hello nonce is what the coordinator MACs back when a token is
+	// configured (mutual authentication). With a token, the campaign
+	// fingerprint is withheld until the coordinator proves itself.
+	nonce, err := newNonce()
+	if err != nil {
+		return false, false, err
+	}
+	helloFP := w.cfgFP
+	if w.cfg.AuthToken != "" {
+		helloFP = ""
+	}
+	if err := conn.Send(&Frame{Type: TypeHello, Proto: Proto, Fingerprint: helloFP, Worker: w.cfg.Name, Nonce: nonce}); err != nil {
 		return false, false, err
 	}
 
-	// Await the welcome. Chaos can reorder a lease ahead of the welcome;
-	// stash such leases rather than dropping them.
+	// Await the welcome. Chaos can reorder a lease (or the campaign
+	// frame) ahead of the welcome; stash leases rather than dropping
+	// them, and apply the campaign whenever it shows up.
 	var leaseQ []*Frame
 	seen := map[uint64]bool{}
 	// held is the set of leases accepted but not yet answered; heartbeats
@@ -210,6 +254,74 @@ func (w *worker) session(ctx context.Context, conn Conn) (handshaked, terminal b
 		}
 		return ids
 	}
+
+	// applyCampaign adopts a shipped campaign spec: verify it against its
+	// claimed fingerprint, build the chunk runner, switch to its epoch and
+	// drop lease state from other epochs. A non-nil return is terminal.
+	applyCampaign := func(f *Frame) error {
+		if f.Spec == nil || f.Epoch == 0 {
+			return nil // malformed campaign frame: ignore
+		}
+		if w.cfgFP != "" && f.Fingerprint != w.cfgFP {
+			return fmt.Errorf("%w: coordinator runs campaign %s, this worker is configured for %s", ErrRejected, f.Fingerprint, w.cfgFP)
+		}
+		if w.runner != nil && f.Epoch == w.epoch && f.Fingerprint == w.fp {
+			return nil // duplicate (chaos or re-request)
+		}
+		if w.runner == nil || w.fp != f.Fingerprint {
+			c, err := f.Spec.Campaign()
+			if err != nil {
+				return fmt.Errorf("%w: shipped campaign spec: %v", ErrRejected, err)
+			}
+			if got := c.Fingerprint(); got != f.Fingerprint {
+				return fmt.Errorf("%w: shipped campaign fingerprints %s but claims %s", ErrRejected, got, f.Fingerprint)
+			}
+			runner, err := faultsim.NewChunkRunner(c)
+			if err != nil {
+				return fmt.Errorf("%w: shipped campaign invalid: %v", ErrRejected, err)
+			}
+			w.runner, w.fp, w.trials = runner, f.Fingerprint, c.Trials
+		}
+		w.epoch = f.Epoch
+		var kept []*Frame
+		newHeld := map[uint64]bool{}
+		for _, lf := range leaseQ {
+			if lf.Epoch == w.epoch {
+				kept = append(kept, lf)
+				newHeld[lf.Lease] = true
+			}
+		}
+		leaseQ = kept
+		held = newHeld
+		return nil
+	}
+
+	// stashLease queues a grant, asking for the campaign spec when the
+	// grant's epoch is ahead of what this worker is configured for (the
+	// campaign frame was lost in transit; heartbeats retry the request).
+	stashLease := func(f *Frame) {
+		if seen[f.Lease] || f.Epoch < w.epoch {
+			return
+		}
+		seen[f.Lease] = true
+		held[f.Lease] = true
+		leaseQ = append(leaseQ, f)
+		if f.Epoch > w.epoch {
+			_ = conn.Send(&Frame{Type: TypeNeedCampaign}) // best-effort; heartbeat retries
+		}
+	}
+	// needSpec reports whether a queued lease is waiting on a campaign
+	// spec this worker does not have yet.
+	needSpec := func() bool {
+		for _, lf := range leaseQ {
+			if lf.Epoch > w.epoch {
+				return true
+			}
+		}
+		return false
+	}
+
+	challenged := false
 	hsTimer := time.NewTimer(w.cfg.HandshakeTimeout)
 	defer hsTimer.Stop()
 handshake:
@@ -218,7 +330,25 @@ handshake:
 		case f := <-incoming:
 			switch f.Type {
 			case TypeWelcome:
+				if w.cfg.AuthToken != "" && !challenged {
+					return false, true, fmt.Errorf("%w: coordinator did not authenticate", ErrRejected)
+				}
 				break handshake
+			case TypeChallenge:
+				if w.cfg.AuthToken == "" {
+					return false, true, fmt.Errorf("%w: coordinator requires an auth token", ErrRejected)
+				}
+				if !verifyMAC(w.cfg.AuthToken, nonce, f.MAC) {
+					return false, true, fmt.Errorf("%w: coordinator failed mutual authentication", ErrRejected)
+				}
+				challenged = true
+				if err := conn.Send(&Frame{Type: TypeAuth, MAC: signNonce(w.cfg.AuthToken, f.Nonce), Fingerprint: w.cfgFP}); err != nil {
+					return false, false, err
+				}
+			case TypeCampaign:
+				if err := applyCampaign(f); err != nil {
+					return false, true, err
+				}
 			case TypeReject:
 				return false, true, fmt.Errorf("%w: %s", ErrRejected, f.Reason)
 			case TypeDrain:
@@ -228,11 +358,7 @@ handshake:
 				w.publish("done")
 				return false, true, nil
 			case TypeLease:
-				if !seen[f.Lease] {
-					seen[f.Lease] = true
-					held[f.Lease] = true
-					leaseQ = append(leaseQ, f)
-				}
+				stashLease(f)
 			}
 		case e := <-rerr:
 			// The conn died, but the reader delivers in order before its
@@ -315,31 +441,55 @@ handshake:
 		}
 	}
 
+	// pickLease returns the next computable lease: the first queued grant
+	// of the current epoch. Grants from older epochs are dropped (their
+	// campaign is gone); grants from future epochs stay queued until the
+	// campaign spec arrives.
+	pickLease := func() *Frame {
+		var rest []*Frame
+		var pick *Frame
+		for _, lf := range leaseQ {
+			switch {
+			case pick == nil && lf.Epoch == w.epoch:
+				pick = lf
+			case lf.Epoch < w.epoch:
+				delete(held, lf.Lease)
+			default:
+				rest = append(rest, lf)
+			}
+		}
+		leaseQ = rest
+		return pick
+	}
+
 	// Main loop: compute one chunk at a time off the lease queue, send
-	// results, heartbeat, and obey done/drain.
+	// results, heartbeat, and obey done/drain and epoch switches.
 	computing := false
 	results := make(chan computeOut, 1)
 	hb := time.NewTicker(w.cfg.HeartbeatEvery)
 	defer hb.Stop()
 	for {
-		if !computing && len(leaseQ) > 0 {
-			lf := leaseQ[0]
-			leaseQ = leaseQ[1:]
-			computing = true
-			go func(lf *Frame) {
-				out, err := w.runner.Run(sctx, lf.Begin, lf.End)
-				results <- computeOut{lease: lf.Lease, out: out, err: err}
-			}(lf)
+		if !computing && w.runner != nil {
+			if lf := pickLease(); lf != nil {
+				computing = true
+				go func(lf *Frame, runner *faultsim.ChunkRunner, epoch uint64) {
+					out, err := runner.Run(sctx, lf.Begin, lf.End)
+					results <- computeOut{lease: lf.Lease, epoch: epoch, out: out, err: err}
+				}(lf, w.runner, w.epoch)
+			}
 		}
 		select {
 		case f := <-incoming:
 			if err, ok := terminalFrame(f); ok {
 				return true, true, err
 			}
-			if f.Type == TypeLease && !seen[f.Lease] { // chaos-duplicated grants
-				seen[f.Lease] = true
-				held[f.Lease] = true
-				leaseQ = append(leaseQ, f)
+			switch f.Type {
+			case TypeLease: // chaos-duplicated or next-epoch grants
+				stashLease(f)
+			case TypeCampaign:
+				if err := applyCampaign(f); err != nil {
+					return true, true, err
+				}
 			}
 		case r := <-results:
 			computing = false
@@ -349,10 +499,13 @@ handshake:
 				}
 				return true, true, r.err
 			}
+			if r.epoch != w.epoch {
+				continue // epoch switched mid-compute: the result is stale
+			}
 			w.chunks++
 			delete(held, r.lease)
 			if err := conn.Send(&Frame{
-				Type: TypeResult, Lease: r.lease,
+				Type: TypeResult, Lease: r.lease, Epoch: r.epoch,
 				Begin: r.out.Begin, End: r.out.End, Chunk: r.out,
 				Leases: heldIDs(),
 			}); err != nil {
@@ -361,6 +514,11 @@ handshake:
 		case <-hb.C:
 			if err := conn.Send(&Frame{Type: TypeHeartbeat, Leases: heldIDs()}); err != nil {
 				return failover(err, false)
+			}
+			if needSpec() {
+				if err := conn.Send(&Frame{Type: TypeNeedCampaign}); err != nil {
+					return failover(err, false)
+				}
 			}
 		case e := <-rerr:
 			return failover(e, true)

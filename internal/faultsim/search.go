@@ -124,6 +124,13 @@ type SearchConfig struct {
 	// of failing with ErrCheckpointCorrupt. Journals from a different
 	// search configuration are still rejected.
 	LaxResume bool
+	// Runner, when non-nil, executes each scenario's campaign in place of
+	// Run — the hook the distributed fabric uses to shard evaluations
+	// across workers. A Runner MUST be bit-identical to Run for the same
+	// campaign (the fabric coordinator is, by its merge contract); like
+	// Workers, it is excluded from the search fingerprint, so a resumed
+	// search may switch between local and fabric execution freely.
+	Runner func(Campaign) (Result, error)
 }
 
 // searchCheckpoint is the on-disk evaluation history of a search in
@@ -408,7 +415,11 @@ func (s *searcher) run(sc Scenario) (Evaluation, error) {
 	}
 	h := fnv.New64a()
 	h.Write([]byte(sc.key()))
-	res, err := Run(Campaign{
+	exec := Run
+	if s.cfg.Runner != nil {
+		exec = s.cfg.Runner
+	}
+	res, err := exec(Campaign{
 		Graph:             s.cfg.Graph,
 		HWOf:              s.cfg.HWOf,
 		Trials:            s.cfg.Trials,

@@ -1,0 +1,161 @@
+package faultsim
+
+import (
+	"fmt"
+
+	"repro/internal/attrs"
+	"repro/internal/graph"
+)
+
+// This file is the campaign wire codec: a self-contained, JSON-friendly
+// encoding of everything that determines a campaign's deterministic trial
+// sequence, so a distributed-fabric coordinator can ship the campaign to
+// workers instead of requiring every worker to be launched with matching
+// flags. The encoding is deliberately minimal — exactly the fields
+// Campaign.Fingerprint() hashes, no more — so a decoded campaign
+// fingerprints identically to the original and produces bit-identical
+// chunks through ChunkRunner.
+
+// WireNode is one influence-graph node on the wire: its name, criticality
+// attribute and HW placement.
+type WireNode struct {
+	Name        string  `json:"name"`
+	Criticality float64 `json:"criticality,omitempty"`
+	HW          string  `json:"hw,omitempty"`
+}
+
+// WireEdge is one directed influence edge on the wire. Replica edges
+// (weight-0 markers) are shipped too: they are excluded from propagation,
+// but they participate in the campaign fingerprint.
+type WireEdge struct {
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	Weight  float64 `json:"weight,omitempty"`
+	Replica bool    `json:"replica,omitempty"`
+}
+
+// WireCampaign is the serialisable identity of a campaign: the influence
+// graph, HW mapping, seed, trial budget, fault model and propagation
+// parameters. Local-only concerns — worker pools, telemetry, checkpoint
+// paths — never cross the wire.
+type WireCampaign struct {
+	Nodes             []WireNode         `json:"nodes"`
+	Edges             []WireEdge         `json:"edges,omitempty"`
+	Trials            int                `json:"trials"`
+	Seed              uint64             `json:"seed"`
+	OccurrenceWeights map[string]float64 `json:"occurrence_weights,omitempty"`
+	CriticalThreshold float64            `json:"critical_threshold,omitempty"`
+	MaxHops           int                `json:"max_hops,omitempty"`
+	CommFaultFraction float64            `json:"comm_fault_fraction,omitempty"`
+	// Model identity: name plus the one parameter each model carries.
+	Model   string  `json:"model,omitempty"`
+	Burst   int     `json:"burst,omitempty"`
+	Persist float64 `json:"persist,omitempty"`
+	Label   string  `json:"label,omitempty"`
+}
+
+// NewWireCampaign encodes c for the wire. The graph is flattened into
+// sorted node and edge lists (Graph.Nodes/Edges are already sorted), so
+// two equal campaigns encode byte-identically.
+func NewWireCampaign(c Campaign) (*WireCampaign, error) {
+	if c.Graph == nil {
+		return nil, ErrNoNodes
+	}
+	w := &WireCampaign{
+		Trials:            c.Trials,
+		Seed:              c.Seed,
+		CriticalThreshold: c.CriticalThreshold,
+		MaxHops:           c.MaxHops,
+		CommFaultFraction: c.CommFaultFraction,
+		Label:             c.Label,
+	}
+	for _, n := range c.Graph.Nodes() {
+		w.Nodes = append(w.Nodes, WireNode{
+			Name:        n,
+			Criticality: c.Graph.Attrs(n).Value(attrs.Criticality),
+			HW:          c.HWOf[n],
+		})
+	}
+	for _, e := range c.Graph.Edges() {
+		w.Edges = append(w.Edges, WireEdge{From: e.From, To: e.To, Weight: e.Weight, Replica: e.Replica})
+	}
+	if len(c.OccurrenceWeights) > 0 {
+		w.OccurrenceWeights = make(map[string]float64, len(c.OccurrenceWeights))
+		for k, v := range c.OccurrenceWeights {
+			w.OccurrenceWeights[k] = v
+		}
+	}
+	switch m := c.model().(type) {
+	case singleModel:
+		w.Model = "single"
+	case correlatedModel:
+		w.Model = "correlated"
+	case burstModel:
+		w.Model = "burst"
+		w.Burst = m.k
+	case transientModel:
+		w.Model = "transient"
+		w.Persist = m.persistProb
+	default:
+		return nil, fmt.Errorf("%w: model %q is not wire-encodable", ErrBadModel, c.model().Name())
+	}
+	return w, nil
+}
+
+// Campaign reconstructs the campaign a WireCampaign describes. The rebuilt
+// graph enumerates nodes and edges in the same sorted order as the
+// original, so the reconstruction fingerprints identically and its
+// ChunkRunner produces bit-identical chunk outputs. Validation of the
+// probability fields happens where it always does — NewChunkRunner /
+// NewMerger — not here.
+func (w *WireCampaign) Campaign() (Campaign, error) {
+	g := graph.New()
+	hwOf := map[string]string{}
+	for _, n := range w.Nodes {
+		if err := g.AddNode(n.Name, attrs.New(map[attrs.Kind]float64{attrs.Criticality: n.Criticality})); err != nil {
+			return Campaign{}, fmt.Errorf("faultsim: wire campaign node %q: %w", n.Name, err)
+		}
+		if n.HW != "" {
+			hwOf[n.Name] = n.HW
+		}
+	}
+	for _, e := range w.Edges {
+		if e.Replica {
+			// AddReplicaEdge installs both directions; the wire carries
+			// both, so the reverse insert is an idempotent re-add.
+			if err := g.AddReplicaEdge(e.From, e.To); err != nil {
+				return Campaign{}, fmt.Errorf("faultsim: wire campaign replica edge %s->%s: %w", e.From, e.To, err)
+			}
+			continue
+		}
+		if err := g.SetEdge(e.From, e.To, e.Weight); err != nil {
+			return Campaign{}, fmt.Errorf("faultsim: wire campaign edge %s->%s: %w", e.From, e.To, err)
+		}
+	}
+	model, err := ModelByName(w.Model, w.Burst, w.Persist)
+	if err != nil {
+		return Campaign{}, err
+	}
+	if len(hwOf) == 0 {
+		hwOf = nil
+	}
+	var occ map[string]float64
+	if len(w.OccurrenceWeights) > 0 {
+		occ = make(map[string]float64, len(w.OccurrenceWeights))
+		for k, v := range w.OccurrenceWeights {
+			occ[k] = v
+		}
+	}
+	return Campaign{
+		Graph:             g,
+		HWOf:              hwOf,
+		Trials:            w.Trials,
+		Seed:              w.Seed,
+		OccurrenceWeights: occ,
+		CriticalThreshold: w.CriticalThreshold,
+		MaxHops:           w.MaxHops,
+		CommFaultFraction: w.CommFaultFraction,
+		Model:             model,
+		Label:             w.Label,
+	}, nil
+}

@@ -1,0 +1,152 @@
+package faultsim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/attrs"
+	"repro/internal/graph"
+)
+
+func wireTestCampaign(t *testing.T, model FaultModel) Campaign {
+	t.Helper()
+	g := graph.New()
+	for _, n := range []struct {
+		name string
+		crit float64
+	}{{"a", 12}, {"b", 3}, {"c", 7}, {"d", 1}} {
+		if err := g.AddNode(n.name, attrs.New(map[attrs.Kind]float64{attrs.Criticality: n.crit})); err != nil {
+			t.Fatalf("AddNode(%s): %v", n.name, err)
+		}
+	}
+	for _, e := range []struct {
+		from, to string
+		w        float64
+	}{{"a", "b", 0.9}, {"b", "c", 0.5}, {"c", "d", 0.7}, {"a", "c", 0.2}} {
+		if err := g.SetEdge(e.from, e.to, e.w); err != nil {
+			t.Fatalf("SetEdge(%s->%s): %v", e.from, e.to, err)
+		}
+	}
+	if err := g.AddReplicaEdge("b", "d"); err != nil {
+		t.Fatalf("AddReplicaEdge: %v", err)
+	}
+	return Campaign{
+		Graph:             g,
+		HWOf:              map[string]string{"a": "h1", "b": "h1", "c": "h2", "d": "h2"},
+		Trials:            192,
+		Seed:              1998,
+		OccurrenceWeights: map[string]float64{"a": 2, "c": 1},
+		CriticalThreshold: 10,
+		MaxHops:           3,
+		CommFaultFraction: 0.3,
+		Model:             model,
+		Label:             "wire-test",
+	}
+}
+
+// TestWireCampaignRoundTrip is the self-configuration contract: a campaign
+// encoded for the wire, serialised through JSON (as the fabric frames do),
+// and decoded on the far side must fingerprint identically to the original
+// and produce bit-identical results — that is what lets a flagless worker
+// trust a shipped spec after checking only the fingerprint.
+func TestWireCampaignRoundTrip(t *testing.T) {
+	models := map[string]FaultModel{
+		"single":     nil, // default model
+		"correlated": Correlated(),
+		"burst":      Burst(3),
+		"transient":  Transient(0.4),
+	}
+	for name, model := range models {
+		t.Run(name, func(t *testing.T) {
+			c := wireTestCampaign(t, model)
+			w, err := NewWireCampaign(c)
+			if err != nil {
+				t.Fatalf("NewWireCampaign: %v", err)
+			}
+			data, err := json.Marshal(w)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var back WireCampaign
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			dec, err := back.Campaign()
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if got, want := dec.Fingerprint(), c.Fingerprint(); got != want {
+				t.Fatalf("decoded fingerprint %s != original %s", got, want)
+			}
+			want, err := Run(c)
+			if err != nil {
+				t.Fatalf("Run(original): %v", err)
+			}
+			got, err := Run(dec)
+			if err != nil {
+				t.Fatalf("Run(decoded): %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("decoded campaign result diverged:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestWireCampaignRejectsBadSpec pins the decode-side validation: a spec
+// whose graph cannot be rebuilt (hostile weight) or whose model name is
+// unknown fails loudly instead of silently running something else.
+func TestWireCampaignRejectsBadSpec(t *testing.T) {
+	c := wireTestCampaign(t, nil)
+	w, err := NewWireCampaign(c)
+	if err != nil {
+		t.Fatalf("NewWireCampaign: %v", err)
+	}
+	bad := *w
+	bad.Edges = append([]WireEdge(nil), w.Edges...)
+	bad.Edges[0].Weight = 7 // outside [0,1]
+	if _, err := bad.Campaign(); err == nil {
+		t.Fatal("hostile edge weight decoded without error")
+	}
+	bad = *w
+	bad.Model = "definitely-not-a-model"
+	if _, err := bad.Campaign(); err == nil {
+		t.Fatal("unknown model decoded without error")
+	}
+}
+
+// TestSearchRunnerHook pins the dispatch seam the fabric uses: a Runner
+// that delegates to Run must yield a SearchResult bit-identical to the
+// local search, and must have been consulted for every evaluation.
+func TestSearchRunnerHook(t *testing.T) {
+	c := wireTestCampaign(t, nil)
+	base := SearchConfig{
+		Graph:             c.Graph,
+		HWOf:              c.HWOf,
+		Trials:            64,
+		Seed:              7,
+		MaxEvals:          6,
+		CriticalThreshold: 10,
+	}
+	want, err := Search(base)
+	if err != nil {
+		t.Fatalf("Search(local): %v", err)
+	}
+	hooked := base
+	calls := 0
+	hooked.Runner = func(cc Campaign) (Result, error) {
+		calls++
+		return Run(cc)
+	}
+	got, err := Search(hooked)
+	if err != nil {
+		t.Fatalf("Search(runner): %v", err)
+	}
+	if calls == 0 {
+		t.Fatal("Runner was never consulted")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Runner-dispatched search diverged from local search")
+	}
+}

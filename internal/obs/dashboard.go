@@ -166,6 +166,8 @@ function renderFabric(p) {
   if (f.leases_expired) sum += " · " + f.leases_expired + " expired";
   if (f.reassigned) sum += " · " + f.reassigned + " reassigned";
   if (f.duplicates) sum += " · " + f.duplicates + " duplicates suppressed";
+  if (f.quarantined) sum += " · " + f.quarantined + " quarantined";
+  if (f.local_chunks) sum += " · " + f.local_chunks + " chunks computed locally";
   if (f.done) sum += " · done";
   document.getElementById("fabricsum").textContent = sum;
   var tb = document.getElementById("fabric");
@@ -173,7 +175,8 @@ function renderFabric(p) {
   (f.workers || []).forEach(function (w) {
     var tr = el("tr");
     tr.appendChild(el("td", null, w.name));
-    var cls = w.state === "lost" ? "pending" : (w.state === "done" ? "done" : "running");
+    var cls = w.state === "lost" || w.state === "quarantined" ? "pending"
+      : (w.state === "done" ? "done" : "running");
     tr.appendChild(el("td")).appendChild(el("span", "chip " + cls, w.state));
     tr.appendChild(el("td", null, String(w.leases || 0)));
     tr.appendChild(el("td", null, String(w.chunks_done || 0)));

@@ -75,7 +75,8 @@ type FabricWorkerProgress struct {
 }
 
 // FabricProgress is the live state of the distributed campaign fabric,
-// folded from fabric_worker/fabric_lease/fabric_done events.
+// folded from fabric_worker/fabric_lease/fabric_quarantine/fabric_done
+// events.
 type FabricProgress struct {
 	Label         string                 `json:"label,omitempty"`
 	Workers       []FabricWorkerProgress `json:"workers,omitempty"`
@@ -83,8 +84,13 @@ type FabricProgress struct {
 	LeasesExpired int                    `json:"leases_expired,omitempty"`
 	Reassigned    int                    `json:"reassigned,omitempty"`
 	Duplicates    int                    `json:"duplicates,omitempty"`
-	Done          bool                   `json:"done"`
-	byName        map[string]*FabricWorkerProgress
+	// Quarantined counts workers dropped for failing a spot-check;
+	// LocalChunks counts chunks the coordinator computed itself after the
+	// live worker set emptied.
+	Quarantined int  `json:"quarantined,omitempty"`
+	LocalChunks int  `json:"local_chunks,omitempty"`
+	Done        bool `json:"done"`
+	byName      map[string]*FabricWorkerProgress
 }
 
 // ProgressSnapshot is the /progress JSON document: everything the bus has
@@ -302,6 +308,13 @@ func (t *Tracker) Apply(ev BusEvent) {
 		case "duplicate":
 			f.Duplicates++
 		}
+	case "fabric_quarantine":
+		f := t.fabricState()
+		if label, ok := ev.Attrs["campaign"].(string); ok && f.Label == "" {
+			f.Label = label
+		}
+		f.Quarantined++
+		f.worker(ev.Name).State = "quarantined"
 	case "fabric_done":
 		f := t.fabricState()
 		if f.Label == "" {
@@ -321,6 +334,12 @@ func (t *Tracker) Apply(ev BusEvent) {
 		}
 		if v, ok := toInt(ev.Attrs["duplicates"]); ok {
 			f.Duplicates = v
+		}
+		if v, ok := toInt(ev.Attrs["quarantined"]); ok {
+			f.Quarantined = v
+		}
+		if v, ok := toInt(ev.Attrs["local_chunks"]); ok {
+			f.LocalChunks = v
 		}
 	}
 }

@@ -45,6 +45,7 @@ bench-json:
 	$(GO) test -run NONE -bench '((Campaign|Separation)Parallel|AdversarialSearch)$$' -benchtime 3x -json . > BENCH_parallel.json
 	$(GO) test -run NONE -bench 'BusPublish$$' -benchmem -json ./internal/obs > BENCH_bus.json
 	$(GO) test -run NONE -bench 'FabricCampaign$$' -benchtime 3x -json ./internal/fabric > BENCH_fabric.json
+	$(GO) test -run NONE -bench 'FabricTelemetry' -benchtime 3x -json ./internal/fabric > BENCH_telemetry.json
 	$(GO) test -run NONE -bench '(ScenarioGen|IntegrateGenerated)$$' -benchtime 3x -json . > BENCH_scenarios.json
 
 # scenario-check is the corpus acceptance gate: every committed scenario

@@ -9,6 +9,11 @@
 //     coordinator observed reassigning its chunks;
 //   - a chaos transport dropping, duplicating and delaying frames in
 //     both directions, with a short lease TTL forcing real expiries;
+//   - the federated-telemetry relay on (bus + observer), with a worker
+//     killed mid-campaign: the merge must stay bit-identical, and every
+//     chunk must appear exactly once among the relayed evaluate spans,
+//     each parented by a lease the coordinator actually granted over
+//     that chunk;
 //   - a coordinator drained mid-campaign (graceful ctx cancel) and
 //     restarted from its frontier checkpoint, finishing with strictly
 //     fewer fresh leases than a from-zero run;
@@ -84,6 +89,7 @@ func main() {
 	cleanTopologies(c, want)
 	killedWorker(c, want)
 	chaosTransport(c, want)
+	telemetryTrace(c, want)
 	drainAndResume(c, want)
 	lyingWorkerQuarantine(c, want)
 	authReject(c, want)
@@ -244,6 +250,131 @@ func chaosTransport(c faultsim.Campaign, want faultsim.Result) {
 	}
 	fmt.Printf("fabric-check: chaos transport (drop/dup/delay): bit-identical (%d expired, %d reassigned, %d duplicates suppressed)\n",
 		stats.LeasesExpired, stats.Reassigned, stats.Duplicates)
+}
+
+// telemetryTrace certifies the federated-telemetry leg: with a bus and
+// observer attached, the coordinator propagates trace context on grants
+// and absorbs the phase spans workers relay back on their result frames.
+// Even with a worker killed mid-campaign (its chunks reassigned), the
+// merge must stay bit-identical to Workers=1, every chunk must appear
+// exactly once among the relayed evaluate spans, and every span's parent
+// must be a lease the coordinator actually granted over that chunk.
+func telemetryTrace(c faultsim.Campaign, want faultsim.Result) {
+	bus := obs.NewBus(1 << 13)
+	defer bus.Close()
+	sub := bus.Subscribe(0, 1<<13)
+	defer sub.Close()
+	observer := obs.New(obs.WithBus(bus))
+
+	victimCtx, kill := context.WithCancel(context.Background())
+	defer kill()
+	var once sync.Once
+	watch := bus.Subscribe(0, 256)
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		for {
+			ev, ok := watch.Next(nil)
+			if !ok {
+				return
+			}
+			if ev.Kind == "fabric_lease" && ev.Attrs["worker"] == "victim" && ev.Attrs["state"] == "grant" {
+				once.Do(kill)
+			}
+		}
+	}()
+
+	pl := fabric.NewPipeListener()
+	got, stats, err := runFabric(context.Background(),
+		fabric.Config{Campaign: c, Listener: pl, Bus: bus, Observer: observer, LeaseTTL: 2 * time.Second}, 4,
+		func(i int) fabric.WorkerConfig {
+			name := fmt.Sprintf("w%d", i)
+			if i == 0 {
+				name = "victim"
+			}
+			return workerDefaults(c, pl.Dial(), name, uint64(i))
+		},
+		func(i int) context.Context {
+			if i == 0 {
+				return victimCtx
+			}
+			return context.Background()
+		})
+	watch.Close()
+	<-watcherDone
+	if err != nil {
+		fail("telemetry: %v", err)
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		fail("telemetry: merged result differs from Workers=1 with relay on (stats %+v)", stats)
+	}
+
+	// Granted leases, from the event stream: lease id -> chunk index.
+	leaseChunk := map[uint64]int{}
+	for {
+		ev, ok := sub.TryNext()
+		if !ok {
+			break
+		}
+		if ev.Kind != "fabric_lease" || ev.Attrs["state"] != "grant" {
+			continue
+		}
+		lease, ok1 := attrInt(ev.Attrs["lease"])
+		begin, ok2 := attrInt(ev.Attrs["begin"])
+		if ok1 && ok2 {
+			leaseChunk[uint64(lease)] = faultsim.ChunkIndex(begin)
+		}
+	}
+
+	spans := observer.RemoteSpans()
+	if len(spans) == 0 {
+		fail("telemetry: no remote spans relayed")
+		return
+	}
+	total := faultsim.NumChunks(c.Trials)
+	evalSeen := make(map[int]int, total)
+	ids := map[uint64]bool{}
+	for _, rs := range spans {
+		if rs.ID == 0 || ids[rs.ID] {
+			fail("telemetry: duplicate or zero span id %d (chunk %d, %s)", rs.ID, rs.Chunk, rs.Name)
+			return
+		}
+		ids[rs.ID] = true
+		chunk, granted := leaseChunk[rs.Parent]
+		if !granted {
+			fail("telemetry: span %s/chunk %d has parent %d, which is not a granted lease", rs.Name, rs.Chunk, rs.Parent)
+			return
+		}
+		if chunk != rs.Chunk {
+			fail("telemetry: span parent lease %d was granted chunk %d, span claims chunk %d", rs.Parent, chunk, rs.Chunk)
+			return
+		}
+		if rs.Name == "evaluate" {
+			evalSeen[rs.Chunk]++
+		}
+	}
+	for i := 0; i < total; i++ {
+		if evalSeen[i] != 1 {
+			fail("telemetry: chunk %d appears %d time(s) among evaluate spans, want exactly 1", i, evalSeen[i])
+			return
+		}
+	}
+	fmt.Printf("fabric-check: federated telemetry: bit-identical with relay on, %d remote spans, each of %d chunks traced exactly once (%d reassigned after kill)\n",
+		len(spans), total, stats.Reassigned)
+}
+
+// attrInt coerces the numeric types bus attrs carry in practice.
+func attrInt(v any) (int, bool) {
+	switch n := v.(type) {
+	case int:
+		return n, true
+	case int64:
+		return int(n), true
+	case float64:
+		return int(n), true
+	}
+	return 0, false
 }
 
 // lyingWorkerQuarantine certifies the untrusted-worker defence: one of

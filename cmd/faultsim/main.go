@@ -13,7 +13,7 @@
 //	         [-tls-cert cert.pem] [-tls-key key.pem] [-tls-ca ca.pem]
 //	         [-auth-token secret] [-spot-check 0.05]
 //	         [-trace out.json] [-log-level info] [-metrics-addr :9090]
-//	         [-watch] [-ledger run.jsonl]
+//	         [-watch] [-ledger run.jsonl] [-flight-record dir/]
 //
 // -strategy restricts the run to one condensation strategy by name (for
 // example "H1" or "criticality"); by default every strategy runs.
@@ -76,6 +76,20 @@
 // Combined with -metrics-addr the stream is served over HTTP instead:
 // /events (NDJSON/SSE with replay), /progress (JSON snapshot) and a live
 // /dashboard alongside the usual /metrics.
+//
+// With any telemetry consumer active, a -serve coordinator federates
+// observability across the fabric: grant frames carry the run's trace
+// context, workers relay per-chunk phase spans and liveness events back
+// on the frames they were sending anyway, and the coordinator rebases
+// remote timestamps onto its own clock (RTT-midpoint estimation),
+// attributes chunk latency per worker and flags stragglers. The merged
+// multi-process timeline lands in -trace Chrome-trace output and the
+// /dashboard fabric board. See docs/observability/federation.md.
+//
+// -flight-record dir/ writes a self-contained post-mortem bundle at
+// exit: the trace (local + relayed remote spans), the merged Chrome
+// trace, metrics and progress snapshots, a bounded event tail, build
+// identity, and the decision ledger when -ledger is active.
 //
 // -workers shards each campaign's trials across a worker pool (default
 // GOMAXPROCS). Campaign results — and checkpoints — are bit-identical at
@@ -200,6 +214,9 @@ func run(args []string, stdout io.Writer) (err error) {
 			err = ferr
 		}
 	}()
+	// The ledger lands in the flight bundle too: its Finish (deferred
+	// later, so run first) writes the file before the bundle copies it.
+	obsFlags.FlightFile("ledger.jsonl", ledFlag.Path())
 
 	sys := depint.PaperExample()
 	if *specPath != "" {
@@ -311,6 +328,7 @@ func run(args []string, stdout io.Writer) (err error) {
 				AuthToken: *authToken,
 				SpotCheck: *spotCheck,
 				Bus:       obsFlags.Bus(),
+				Observer:  observer,
 				Label:     s.String(),
 			}, faultsim.SearchConfig{
 				Graph:             res.Expanded,
@@ -378,6 +396,7 @@ func run(args []string, stdout io.Writer) (err error) {
 				AuthToken: *authToken,
 				SpotCheck: *spotCheck,
 				Bus:       obsFlags.Bus(),
+				Observer:  observer,
 				Label:     s.String(),
 			})
 		} else {

@@ -187,6 +187,9 @@ func run(args []string, stdout io.Writer) (err error) {
 			err = ferr
 		}
 	}()
+	// The ledger lands in the flight bundle too: its Finish (deferred
+	// later, so run first) writes the file before the bundle copies it.
+	obsFlags.FlightFile("ledger.jsonl", ledFlag.Path())
 
 	if *compare {
 		compareOpts := []depint.Option{depint.WithApproach(a),

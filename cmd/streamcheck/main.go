@@ -2,9 +2,11 @@
 // observability fabric in-process — an Integrate of the paper's worked
 // example, a fault-injection campaign, a distributed fabric campaign (plus
 // a second one whose lone worker lies, to exercise quarantine and local
-// fallback), an adversarial search and a small robustness certification,
-// all publishing onto one obs.Bus — and then verifies the streaming
-// contract end to end:
+// fallback, and a third with an artificially slow worker, to exercise the
+// federated-telemetry kinds: relayed remote spans, clock estimates and
+// straggler detection), an adversarial search and a small robustness
+// certification, all publishing onto one obs.Bus — and then verifies the
+// streaming contract end to end:
 //
 //   - every event, JSON-encoded exactly as /events and -watch emit it,
 //     validates against the committed schema
@@ -135,6 +137,11 @@ func main() {
 	if !strings.Contains(obs.DashboardHTML, "EventSource") {
 		fail("dashboard lost its /events wiring")
 	}
+	for _, marker := range []string{"straggler", "clock_offset_us", "latency_p50_ms", "latency_p95_ms"} {
+		if !strings.Contains(obs.DashboardHTML, marker) {
+			fail("dashboard lost its fabric telemetry column %q", marker)
+		}
+	}
 	fmt.Println("stream-check: dashboard is self-contained")
 
 	if failures > 0 {
@@ -239,6 +246,53 @@ func produce(trials int) ([]obs.BusEvent, *obs.Bus, error) {
 	qcancel()
 	<-qwDone
 
+	// A third fabric run feeds the federated-telemetry kinds: the
+	// coordinator has both Bus and Observer, so grant frames carry trace
+	// context and workers relay phase spans (fabric_span) and clock echoes
+	// (fabric_clock) back. One worker's transport delays every result by
+	// far more than the fleet's chunk time, so its latency p95 trips the
+	// straggler detector (fabric_straggler) at the lowered thresholds.
+	tc := faultsim.Campaign{
+		Graph: res.Expanded, HWOf: res.HWOf(),
+		Trials: 2048, Seed: 17, Label: "fabric-telemetry-check",
+	}
+	pl3 := fabric.NewPipeListener()
+	tDone := make(chan error, 1)
+	go func() {
+		_, _, err := fabric.Serve(context.Background(), fabric.Config{
+			Campaign: tc, Listener: pl3, Bus: bus, Observer: observer,
+			LeaseTTL:        2 * time.Second,
+			StragglerFactor: 2, StragglerMin: 2,
+		})
+		tDone <- err
+	}()
+	tctx, tcancel := context.WithCancel(context.Background())
+	var twg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		twg.Add(1)
+		go func(i int) {
+			defer twg.Done()
+			dial := pl3.Dial()
+			if i == 0 {
+				dial = slowDialer(dial, 25*time.Millisecond)
+			}
+			_ = fabric.RunWorker(tctx, fabric.WorkerConfig{
+				Campaign: tc, Dial: dial, Name: fmt.Sprintf("tw%d", i),
+				HeartbeatEvery: 20 * time.Millisecond,
+				BackoffBase:    2 * time.Millisecond, MaxReconnects: 100,
+			})
+		}(i)
+	}
+	tErr := <-tDone
+	tcancel()
+	twg.Wait()
+	if tErr != nil {
+		return nil, nil, fmt.Errorf("telemetry fabric: %w", tErr)
+	}
+	if len(observer.RemoteSpans()) == 0 {
+		return nil, nil, fmt.Errorf("telemetry fabric relayed no remote spans")
+	}
+
 	if _, err := faultsim.Search(faultsim.SearchConfig{
 		Graph: res.Expanded, HWOf: res.HWOf(),
 		Trials: 200, Seed: 5, MaxEvals: 4, Bus: bus,
@@ -270,6 +324,32 @@ func produce(trials int) ([]obs.BusEvent, *obs.Bus, error) {
 		return nil, nil, fmt.Errorf("no events produced")
 	}
 	return events, bus, nil
+}
+
+// slowConn delays every result send, inflating the worker's observed
+// chunk latency (leased→resulted on the coordinator clock) without
+// touching protocol correctness.
+type slowConn struct {
+	fabric.Conn
+	delay time.Duration
+}
+
+func (c slowConn) Send(f *fabric.Frame) error {
+	if f.Type == fabric.TypeResult {
+		time.Sleep(c.delay)
+	}
+	return c.Conn.Send(f)
+}
+
+// slowDialer wraps every connection d opens in a slowConn.
+func slowDialer(d fabric.Dialer, delay time.Duration) fabric.Dialer {
+	return func(ctx context.Context) (fabric.Conn, error) {
+		c, err := d(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return slowConn{Conn: c, delay: delay}, nil
+	}
 }
 
 // loadSchema reads and minimally sanity-checks the committed schema.

@@ -27,6 +27,15 @@ func RegisterLedger(fs *flag.FlagSet, tool string) *LedgerFlag {
 // Enabled reports whether -ledger was given.
 func (f *LedgerFlag) Enabled() bool { return f != nil && f.path != "" }
 
+// Path returns the -ledger destination, or "" when the flag was off.
+// Tools use it to attach the written ledger to a flight-recorder bundle.
+func (f *LedgerFlag) Path() string {
+	if f == nil {
+		return ""
+	}
+	return f.path
+}
+
 // Ledger lazily constructs the run ledger, or returns nil when the flag
 // was not given — the nil *Ledger absorbs every recording call.
 func (f *LedgerFlag) Ledger() *ledger.Ledger {

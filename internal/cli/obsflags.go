@@ -13,6 +13,10 @@
 //	-watch              stream NDJSON progress events to stderr (with
 //	                    -metrics-addr the stream is served over HTTP
 //	                    instead, and the dashboard is the front door)
+//	-flight-record <d>  write a self-contained flight-recorder bundle into
+//	                    directory d at exit: trace, merged Chrome trace,
+//	                    metrics, progress, event tail, buildinfo, plus any
+//	                    attached artifacts such as the decision ledger
 //
 // plus the pprof trio -cpuprofile, -memprofile and -profile-dir (the last
 // writes one CPU profile per pipeline stage, keyed to the stage span
@@ -44,6 +48,7 @@ type ObsFlags struct {
 	memProfile  string
 	profileDir  string
 	watch       bool
+	flightDir   string
 
 	errw      io.Writer
 	observer  *obs.Observer
@@ -51,6 +56,7 @@ type ObsFlags struct {
 	profiler  *obs.Profiler
 	bus       *obs.Bus
 	tracker   *obs.Tracker
+	flight    *obs.FlightRecorder
 	watchSub  *obs.Subscriber
 	watchDone chan struct{}
 }
@@ -70,13 +76,15 @@ func RegisterObsFlags(fs *flag.FlagSet, errw io.Writer) *ObsFlags {
 	fs.StringVar(&f.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	fs.StringVar(&f.profileDir, "profile-dir", "", "write one CPU profile per pipeline stage into this directory (excludes -cpuprofile)")
 	fs.BoolVar(&f.watch, "watch", false, "stream NDJSON progress events to stderr (served over HTTP instead when -metrics-addr is set)")
+	fs.StringVar(&f.flightDir, "flight-record", "", "write a self-contained flight-recorder bundle (trace, metrics, progress, event tail, buildinfo) into this directory at exit")
 	return f
 }
 
 // Enabled reports whether any telemetry flag was set.
 func (f *ObsFlags) Enabled() bool {
 	return f != nil && (f.tracePath != "" || f.logLevel != "" || f.metricsAddr != "" ||
-		f.cpuProfile != "" || f.memProfile != "" || f.profileDir != "" || f.watch)
+		f.cpuProfile != "" || f.memProfile != "" || f.profileDir != "" || f.watch ||
+		f.flightDir != "")
 }
 
 // Bus returns the streaming event bus, non-nil once Observer has run with
@@ -120,12 +128,17 @@ func (f *ObsFlags) Observer() (*obs.Observer, error) {
 		f.profiler = p
 		opts = append(opts, obs.WithProfiler(p))
 	}
-	if f.watch || f.metricsAddr != "" {
+	if f.watch || f.metricsAddr != "" || f.flightDir != "" {
+		// -flight-record needs the bus and tracker too: the bundle's
+		// event tail and progress snapshot come from them.
 		f.bus = obs.NewBus(0)
 		f.tracker = obs.NewTracker(f.bus)
 		opts = append(opts, obs.WithBus(f.bus))
 	}
 	f.observer = obs.New(opts...)
+	if f.flightDir != "" {
+		f.flight = obs.NewFlightRecorder(f.observer, f.bus, f.tracker, 0)
+	}
 	if f.metricsAddr != "" {
 		srv, err := obs.Serve(f.metricsAddr, obs.ServerConfig{
 			Registry: f.observer.Metrics(),
@@ -159,6 +172,17 @@ func (f *ObsFlags) Observer() (*obs.Observer, error) {
 		}(f.watchSub, f.errw)
 	}
 	return f.observer, nil
+}
+
+// FlightFile registers an external artifact (e.g. the decision ledger)
+// for inclusion in the flight-recorder bundle under the given name. No-op
+// unless -flight-record is active; call it after the artifact's path is
+// known — the file is read at Finish time.
+func (f *ObsFlags) FlightFile(name, path string) {
+	if f == nil || f.flight == nil || path == "" {
+		return
+	}
+	f.flight.AttachFile(name, path)
 }
 
 // WatchContext ties the metrics server's lifetime to ctx: when the run's
@@ -216,6 +240,18 @@ func (f *ObsFlags) Finish() error {
 			return err
 		}
 		fmt.Fprintf(f.errw, "trace: wrote %s\n", f.tracePath)
+	}
+	if f.flight != nil {
+		man, err := f.flight.Write(f.flightDir)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			fmt.Fprintf(f.errw, "flight: wrote %s (%d files, %d events, %d remote spans)\n",
+				f.flightDir, len(man.Files), man.Events, man.RemoteSpans)
+		}
+		f.flight = nil
 	}
 	return firstErr
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/attrs"
 	"repro/internal/faultsim"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // benchCampaign mirrors testCampaign without a *testing.T so benchmarks
@@ -82,4 +83,65 @@ func BenchmarkFabricCampaign(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFabricTelemetry isolates the federation overhead: the same
+// 2-worker campaign with the relay off (no telemetry consumers — nil
+// *relay on the workers, zero-valued frame fields) and on (bus +
+// observer at the coordinator: trace propagation, span relay, clock
+// samples, latency attribution). The delta is the whole cost of
+// distributed observability; the merged result is identical either way.
+func BenchmarkFabricTelemetry(b *testing.B) {
+	run := func(b *testing.B, bus *obs.Bus, observer *obs.Observer) {
+		c := benchCampaign(6400)
+		for i := 0; i < b.N; i++ {
+			pl := NewPipeListener()
+			done := make(chan error, 1)
+			go func() {
+				_, _, err := Serve(context.Background(), Config{
+					Campaign: c, Listener: pl, Bus: bus, Observer: observer,
+				})
+				done <- err
+			}()
+			wctx, wcancel := context.WithCancel(context.Background())
+			var wg sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					_ = RunWorker(wctx, WorkerConfig{
+						Campaign:       c,
+						Dial:           pl.Dial(),
+						Name:           fmt.Sprintf("w%d", w),
+						HeartbeatEvery: 50 * time.Millisecond,
+						BackoffBase:    time.Millisecond,
+						MaxReconnects:  100,
+						Seed:           uint64(w),
+					})
+				}(w)
+			}
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+			wcancel()
+			wg.Wait()
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil, nil) })
+	b.Run("relay", func(b *testing.B) {
+		bus := obs.NewBus(1 << 12)
+		defer bus.Close()
+		// A draining subscriber keeps the replay ring realistic without
+		// ever applying backpressure (the bus drops, never blocks).
+		sub := bus.Subscribe(0, 1<<12)
+		defer sub.Close()
+		go func() {
+			for {
+				if _, ok := sub.Next(nil); !ok {
+					return
+				}
+			}
+		}()
+		run(b, bus, obs.New(obs.WithBus(bus)))
+	})
 }

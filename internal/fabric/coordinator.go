@@ -55,6 +55,21 @@ type Config struct {
 	// Label names the fabric in streamed events (default Campaign.Label,
 	// then "campaign").
 	Label string
+	// Observer, when set, collects the span records workers relay back
+	// (decode/evaluate/encode per chunk) into its remote-span store, so
+	// its Chrome-trace export renders one merged multi-process timeline —
+	// one lane per worker, timestamps rebased onto the coordinator clock.
+	// Setting Bus or Observer switches telemetry federation on: campaign
+	// frames carry a trace id, grants carry the parent span context, and
+	// workers relay spans/events/metrics on the frames they already send.
+	Observer *obs.Observer
+	// StragglerFactor and StragglerMin tune straggler detection: a worker
+	// whose chunk-latency p95 exceeds Factor × the fleet median of
+	// per-worker p95s — each worker having delivered at least Min chunks,
+	// with at least two workers reporting — is flagged once with a typed
+	// fabric_straggler event. Defaults 3 and 8; zero values keep them.
+	StragglerFactor float64
+	StragglerMin    int
 }
 
 // Stats counts the fabric's fault-tolerance activity during one Serve —
@@ -82,6 +97,9 @@ type Stats struct {
 	// LocalChunks counts chunks the coordinator computed itself after the
 	// live worker set emptied (graceful degradation to local execution).
 	LocalChunks int
+	// Stragglers counts workers flagged by the straggler detector
+	// (telemetry federation on only; see Config.StragglerFactor).
+	Stragglers int
 }
 
 // lease is one granted chunk.
@@ -90,6 +108,9 @@ type lease struct {
 	seq      int // grid chunk index
 	worker   *workerConn
 	deadline time.Time
+	// granted timestamps the grant for leased→resulted latency
+	// attribution (telemetry only; zero when federation is off).
+	granted time.Time
 }
 
 // workerConn is the coordinator's view of one connected worker.
@@ -105,6 +126,18 @@ type workerConn struct {
 	authNonce   string
 	leases      map[uint64]*lease
 	chunks      int // results delivered over this connection
+
+	// Telemetry federation state, loop-owned like everything else here
+	// (see telemetry.go). clockOff/rttBest hold the smallest-RTT clock
+	// sample; lat is the chunk-latency ring feeding straggler detection.
+	clockSet  bool
+	clockSeen bool // first fabric_clock event published
+	clockOff  int64
+	rttBest   int64
+	lat       []float64
+	latPos    int
+	latN      int
+	straggler bool
 }
 
 // inbound is one reader-goroutine message into the coordinator loop.
@@ -150,6 +183,8 @@ type Coordinator struct {
 	epoch    uint64
 	spotSeed uint64
 	runCtx   context.Context
+
+	traceID string // run-scoped trace id ("" with telemetry off)
 
 	totalChunks int
 	mergeSeq    int // next chunk index to merge (frontier / ChunkSize)
@@ -310,6 +345,15 @@ func (co *Coordinator) Run(ctx context.Context, c faultsim.Campaign) (faultsim.R
 	co.spotSeed = co.cfg.SpotSeed
 	if co.spotSeed == 0 {
 		co.spotSeed = c.Seed
+	}
+	co.traceID = ""
+	if co.telemetry() {
+		// Deterministic, run-scoped: campaign fingerprint prefix + epoch.
+		fp := co.fp
+		if len(fp) > 12 {
+			fp = fp[:12]
+		}
+		co.traceID = fmt.Sprintf("%s-e%d", fp, co.epoch)
 	}
 	co.totalChunks = faultsim.NumChunks(co.trials)
 	co.mergeSeq = faultsim.ChunkIndex(merger.Frontier())
@@ -565,11 +609,17 @@ func (co *Coordinator) handle(w *workerConn, f *Frame) error {
 		}
 	case TypeHeartbeat:
 		co.renew(w, f.Leases)
+		co.telemetryIn(w, f)
 	case TypeResult:
 		if !w.helloed {
 			return nil
 		}
 		co.renew(w, f.Leases)
+		// Telemetry rides the result frame and is absorbed before the
+		// result itself: the spans of an accepted chunk land exactly once,
+		// and a duplicate's spans are rejected by the same completed-chunk
+		// test that suppresses the duplicate (see absorbSpans).
+		co.telemetryIn(w, f)
 		if f.Epoch != co.epoch {
 			return nil // stale epoch: result of a previous Run
 		}
@@ -608,15 +658,17 @@ func (co *Coordinator) welcome(w *workerConn, name string) {
 	}
 }
 
-// sendCampaign ships the current epoch's encoded campaign spec.
+// sendCampaign ships the current epoch's encoded campaign spec (plus the
+// trace id and a clock stamp when telemetry federation is on).
 func (co *Coordinator) sendCampaign(w *workerConn) {
-	co.send(w, &Frame{
+	co.send(w, co.stampTS(&Frame{
 		Type:        TypeCampaign,
 		Epoch:       co.epoch,
 		Fingerprint: co.fp,
 		Trials:      co.trials,
 		Spec:        co.spec,
-	})
+		Trace:       co.traceID,
+	}))
 }
 
 // reject refuses a handshake and discards the connection.
@@ -655,13 +707,14 @@ func (co *Coordinator) grant(w *workerConn) {
 			return
 		}
 		co.leaseID++
-		l := &lease{id: co.leaseID, seq: seq, worker: w, deadline: time.Now().Add(co.ttl)}
+		now := time.Now()
+		l := &lease{id: co.leaseID, seq: seq, worker: w, deadline: now.Add(co.ttl), granted: now}
 		co.leases[l.id] = l
 		co.leased[seq] = l
 		w.leases[l.id] = l
 		begin, end := faultsim.ChunkBounds(seq, co.trials)
 		co.stats.LeasesGranted++
-		co.send(w, &Frame{Type: TypeLease, Lease: l.id, Epoch: co.epoch, Begin: begin, End: end})
+		co.send(w, co.stampTS(&Frame{Type: TypeLease, Lease: l.id, Epoch: co.epoch, Begin: begin, End: end}))
 		co.publishLease(l, "grant")
 	}
 }
@@ -786,6 +839,15 @@ func (co *Coordinator) result(w *workerConn, f *Frame) error {
 // re-evaluation, or the local fallback) and merges every contiguous
 // pending chunk in grid order.
 func (co *Coordinator) acceptChunk(w *workerConn, leaseID uint64, seq int, out *faultsim.ChunkOutput) error {
+	// Leased→resulted latency of the delivering worker's own grant,
+	// measured before the release below discards the lease. Feeds the
+	// per-worker histograms and the straggler detector (telemetry only).
+	latMS := -1.0
+	if w != nil && co.telemetry() {
+		if l, ok := w.leases[leaseID]; ok && l.seq == seq && !l.granted.IsZero() {
+			latMS = float64(time.Since(l.granted)) / float64(time.Millisecond)
+		}
+	}
 	// Release whichever lease covers the chunk — possibly another
 	// worker's, when the chunk was reassigned and the first owner won.
 	if l := co.leased[seq]; l != nil {
@@ -801,7 +863,12 @@ func (co *Coordinator) acceptChunk(w *workerConn, leaseID uint64, seq int, out *
 	}
 	co.completed[seq] = true
 	co.pending[seq] = out
-	co.publishLease(&lease{id: leaseID, seq: seq, worker: w}, "result")
+	if latMS >= 0 {
+		co.publishLease(&lease{id: leaseID, seq: seq, worker: w}, "result", obs.Float("latency_ms", latMS))
+		co.observeLatency(w, latMS)
+	} else {
+		co.publishLease(&lease{id: leaseID, seq: seq, worker: w}, "result")
+	}
 	for !co.stopped {
 		out, ok := co.pending[co.mergeSeq]
 		if !ok {
@@ -863,8 +930,9 @@ func (co *Coordinator) publishWorker(w *workerConn, state string) {
 		obs.Int("chunks_done", w.chunks))
 }
 
-// publishLease emits a "fabric_lease" churn event.
-func (co *Coordinator) publishLease(l *lease, state string) {
+// publishLease emits a "fabric_lease" churn event (extra carries
+// state-specific attributes, e.g. latency_ms on results).
+func (co *Coordinator) publishLease(l *lease, state string, extra ...obs.Attr) {
 	if co.cfg.Bus == nil {
 		return
 	}
@@ -873,12 +941,14 @@ func (co *Coordinator) publishLease(l *lease, state string) {
 	if l.worker != nil {
 		name = l.worker.name
 	}
-	co.cfg.Bus.Publish("fabric_lease", co.label,
+	attrs := append([]obs.Attr{
 		obs.String("state", state),
 		obs.String("worker", name),
 		obs.Int("lease", int(l.id)),
 		obs.Int("begin", begin),
-		obs.Int("end", end))
+		obs.Int("end", end),
+	}, extra...)
+	co.cfg.Bus.Publish("fabric_lease", co.label, attrs...)
 }
 
 // publishDone emits the terminal "fabric_done" event.
@@ -896,5 +966,6 @@ func (co *Coordinator) publishDone(res faultsim.Result) {
 		obs.Int("duplicates", co.stats.Duplicates),
 		obs.Int("quarantined", co.stats.Quarantined),
 		obs.Int("local_chunks", co.stats.LocalChunks),
+		obs.Int("stragglers", co.stats.Stragglers),
 		obs.Bool("early_stopped", res.EarlyStopped))
 }

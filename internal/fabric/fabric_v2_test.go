@@ -440,3 +440,133 @@ func TestFabricServeSearchMatchesLocal(t *testing.T) {
 		}
 	}
 }
+
+// TestFabricRelayDeterminism certifies the federation contract: turning
+// the telemetry relay on (bus + observer, including a subscriber that
+// never drains) must not perturb the merged result by a single bit at
+// any worker count, while actually relaying every chunk's phase spans.
+func TestFabricRelayDeterminism(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	c := testCampaign(t, 1600)
+	want := localReference(t, c)
+	for _, n := range []int{1, 4} {
+		bus := obs.NewBus(64)
+		observer := obs.New(obs.WithBus(bus))
+		// A jammed subscriber: tiny ring, never drained. Backpressure must
+		// land on the subscriber's drop counter, never on the protocol.
+		stuck := bus.Subscribe(0, 4)
+		h := &fabricHarness{workers: n, cfg: Config{Bus: bus, Observer: observer}}
+		got, stats := h.run(t, c)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%d workers: relay-on result differs from Workers=1", n)
+		}
+		if stats.Duplicates != 0 || stats.LeasesExpired != 0 {
+			t.Errorf("%d workers: unexpected churn with relay on: %+v", n, stats)
+		}
+		spans := observer.RemoteSpans()
+		if wantSpans := 3 * faultsim.NumChunks(c.Trials); len(spans) != wantSpans {
+			t.Errorf("%d workers: %d remote spans relayed, want %d (3 per chunk)", n, len(spans), wantSpans)
+		}
+		for _, rs := range spans {
+			if rs.Worker == "" || rs.Parent == 0 || rs.ID == 0 || rs.DurUS < 0 {
+				t.Fatalf("%d workers: malformed remote span %+v", n, rs)
+			}
+		}
+		stuck.Close()
+		bus.Close()
+	}
+}
+
+// TestFabricRelayUnderChaos runs the relay over a dropping, duplicating,
+// delaying transport with real lease expiries: the merge must stay
+// bit-identical, and relayed evaluate spans may be lost with their
+// frames but never duplicated — dup suppression covers telemetry too.
+func TestFabricRelayUnderChaos(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	c := testCampaign(t, 1600)
+	want := localReference(t, c)
+	chaos := ChaosConfig{Seed: 7, Drop: 0.05, Dup: 0.08, Delay: 0.15, MaxDelay: 10 * time.Millisecond}
+	pl := NewPipeListener()
+	bus := obs.NewBus(1 << 12)
+	defer bus.Close()
+	observer := obs.New(obs.WithBus(bus))
+	h := &fabricHarness{
+		ln:      ChaosListener(pl, chaos),
+		dial:    ChaosDialer(pl.Dial(), chaos),
+		workers: 3,
+		cfg:     Config{Bus: bus, Observer: observer, LeaseTTL: 150 * time.Millisecond},
+	}
+	got, _ := h.run(t, c)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("chaos + relay: merged result differs from Workers=1")
+	}
+	seen := map[int]int{}
+	for _, rs := range observer.RemoteSpans() {
+		if rs.Name == "evaluate" {
+			if seen[rs.Chunk]++; seen[rs.Chunk] > 1 {
+				t.Fatalf("chunk %d evaluate span relayed twice", rs.Chunk)
+			}
+		}
+	}
+	if len(seen) == 0 {
+		t.Error("chaos + relay: no evaluate spans survived")
+	}
+}
+
+// TestFabricServeSearchRelay certifies that the fabric-sharded search
+// stays bit-identical to the local Search with the relay on, across the
+// per-evaluation epoch rollovers, and that spans are relayed throughout.
+func TestFabricServeSearchRelay(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	g, hw := testGraph(t)
+	scfg := faultsim.SearchConfig{
+		Graph:             g,
+		HWOf:              hw,
+		Trials:            320,
+		Seed:              1998,
+		MaxEvals:          6,
+		CriticalThreshold: 10,
+	}
+	want, err := faultsim.Search(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bus := obs.NewBus(1 << 12)
+	defer bus.Close()
+	observer := obs.New(obs.WithBus(bus))
+	pl := NewPipeListener()
+	type searchOut struct {
+		res faultsim.SearchResult
+		err error
+	}
+	ch := make(chan searchOut, 1)
+	go func() {
+		res, _, err := ServeSearch(context.Background(), Config{
+			Listener: pl, LeaseTTL: 2 * time.Second, Label: "search",
+			Bus: bus, Observer: observer,
+		}, scfg)
+		ch <- searchOut{res, err}
+	}()
+	wctx, wcancel := context.WithCancel(context.Background())
+	var wwg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wwg.Add(1)
+		go func(i int) {
+			defer wwg.Done()
+			_ = RunWorker(wctx, flaglessWorker(pl.Dial(), i))
+		}(i)
+	}
+	out := <-ch
+	wcancel()
+	wwg.Wait()
+	if out.err != nil {
+		t.Fatalf("ServeSearch: %v", out.err)
+	}
+	if !reflect.DeepEqual(out.res, want) {
+		t.Error("relay-on fabric search differs from local Search")
+	}
+	if len(observer.RemoteSpans()) == 0 {
+		t.Error("search relayed no remote spans")
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/faultsim"
+	"repro/internal/obs"
 )
 
 // Proto is the fabric wire-protocol version. A hello carrying any other
@@ -125,7 +126,47 @@ type Frame struct {
 	// expire, which is what reassigns it. Renewing blindly on any sign of
 	// life would keep a lost grant alive forever.
 	Leases []uint64 `json:"leases,omitempty"`
+
+	// Telemetry federation (all optional; every field is elided when the
+	// coordinator runs with telemetry off, so the relay-disabled wire
+	// format is byte-identical to protocol v2 without it).
+	//
+	// Campaign: Trace is the coordinator-assigned run-scoped trace id.
+	// Its presence is what switches a worker's relay on; the per-chunk
+	// span context is the lease id itself (grant frames already carry
+	// it), so child spans need no extra fields.
+	Trace string `json:"trace,omitempty"`
+	// Clock normalisation. Coordinator frames (campaign/lease) carry TS,
+	// the coordinator clock in unix microseconds at send. A worker frame
+	// (heartbeat/result) echoes the most recent TS in EchoTS, along with
+	// HoldUS — the worker-measured microseconds between receiving that
+	// stamp and replying — and WTS, the worker clock at reply, letting
+	// the coordinator estimate the worker's clock offset from the RTT
+	// midpoint (obs.EstimateOffset) and rebase relayed timestamps.
+	TS     int64 `json:"ts,omitempty"`
+	EchoTS int64 `json:"echo_ts,omitempty"`
+	HoldUS int64 `json:"hold_us,omitempty"`
+	WTS    int64 `json:"wts,omitempty"`
+	// Result / Heartbeat: completed remote span records and relayed
+	// worker bus events, bounded per frame (maxFrameSpans /
+	// maxFrameEvents — the coordinator truncates anything larger) and
+	// epoch-tagged; Meter carries a small worker metric snapshot on
+	// heartbeats. All of it is best-effort payload: dropped, never
+	// blocked on, and never consulted by the merge.
+	Spans  []obs.RemoteSpan   `json:"spans,omitempty"`
+	Events []obs.BusEvent     `json:"events,omitempty"`
+	Meter  map[string]float64 `json:"meter,omitempty"`
 }
+
+// maxFrameSpans and maxFrameEvents bound the telemetry payload one frame
+// may carry: a result frame needs three spans (decode/evaluate/encode)
+// for its own chunk, heartbeats drain a small backlog, and a hostile
+// worker cannot balloon coordinator memory past these bounds because the
+// coordinator truncates before absorbing.
+const (
+	maxFrameSpans  = 64
+	maxFrameEvents = 16
+)
 
 // maxFrameSize bounds one frame on the wire (length prefix included
 // payload only). Chunk results over sizeable graphs stay well under this;

@@ -1,0 +1,135 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRelayOffZeroAlloc pins the telemetry-off contract: a nil *relay
+// absorbs every call without allocating and without touching the frame,
+// so workers outside a federated fabric run exactly the protocol-v2 hot
+// path and their frames wire-elide every telemetry field.
+func TestRelayOffZeroAlloc(t *testing.T) {
+	var r *relay
+	f := &Frame{Type: TypeResult}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.reset()
+		r.noteTS(123)
+		r.leaseSeen(7)
+		r.chunkSpans(7, 1, 0, 1, 2)
+		r.event("fabric_worker", "w", nil)
+		r.stamp(f, 3, false)
+		r.stamp(f, 3, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil relay allocated %.1f times per run, want 0", allocs)
+	}
+	if f.WTS != 0 || f.EchoTS != 0 || f.Spans != nil || f.Events != nil || f.Meter != nil {
+		t.Fatalf("nil relay stamped telemetry onto a frame: %+v", f)
+	}
+}
+
+func TestRelayChunkSpansPhases(t *testing.T) {
+	r := &relay{}
+	r.reset()
+	r.leaseSeen(5)
+	start := nowUS() - 100 // compute happened just before now
+	r.chunkSpans(5, 2, 3, start, start+10)
+	if len(r.spans) != 3 {
+		t.Fatalf("chunkSpans buffered %d spans, want 3", len(r.spans))
+	}
+	names := []string{"decode", "evaluate", "encode"}
+	for i, rs := range r.spans {
+		if rs.Name != names[i] || rs.Parent != 5 || rs.Epoch != 2 || rs.Chunk != 3 ||
+			rs.ID != 5*4+uint64(i+1) || rs.DurUS < 0 {
+			t.Fatalf("span %d malformed: %+v", i, rs)
+		}
+	}
+	if _, held := r.leaseRecv[5]; held {
+		t.Fatal("lease receipt time not cleared after the chunk completed")
+	}
+
+	// Grant receipt unseen (reconnect raced the grant): the decode span
+	// collapses to zero width anchored at the compute start.
+	r2 := &relay{}
+	r2.reset()
+	r2.chunkSpans(8, 1, 0, 100, 110)
+	if r2.spans[0].StartUS != 100 || r2.spans[0].DurUS != 0 {
+		t.Fatalf("fallback decode span: %+v", r2.spans[0])
+	}
+}
+
+// TestRelayStampBoundsAndOwnership pins the slice-handoff contract:
+// stamp gives the frame at most maxFrameSpans records in a capacity-
+// capped slice and keeps the remainder in fresh storage, so later relay
+// appends can never scribble into a frame a transport still holds.
+func TestRelayStampBoundsAndOwnership(t *testing.T) {
+	r := &relay{}
+	r.reset()
+	for i := 0; i < maxFrameSpans+3; i++ {
+		r.addSpan(obs.RemoteSpan{ID: uint64(i + 1), Chunk: i})
+	}
+	var f Frame
+	r.stamp(&f, 0, false)
+	if len(f.Spans) != maxFrameSpans {
+		t.Fatalf("frame carries %d spans, want the %d cap", len(f.Spans), maxFrameSpans)
+	}
+	if len(r.spans) != 3 || r.spans[0].ID != uint64(maxFrameSpans+1) {
+		t.Fatalf("relay kept %d spans (first id %d), want the 3-span remainder", len(r.spans), r.spans[0].ID)
+	}
+	for i := 0; i < maxFrameSpans; i++ {
+		r.addSpan(obs.RemoteSpan{ID: uint64(1000 + i)})
+	}
+	for i, rs := range f.Spans {
+		if rs.ID != uint64(i+1) {
+			t.Fatalf("relay append mutated a stamped frame: span %d has id %d", i, rs.ID)
+		}
+	}
+
+	// A fully drained stamp hands over the whole slice and forgets it.
+	r2 := &relay{}
+	r2.reset()
+	r2.addSpan(obs.RemoteSpan{ID: 1})
+	var f2 Frame
+	r2.stamp(&f2, 0, false)
+	if len(f2.Spans) != 1 || r2.spans != nil {
+		t.Fatalf("drained stamp: frame %d spans, relay kept %v", len(f2.Spans), r2.spans)
+	}
+}
+
+func TestRelayEventRingDropsOldest(t *testing.T) {
+	r := &relay{}
+	for i := 0; i < relayEventBuf+5; i++ {
+		r.event("fabric_worker", fmt.Sprintf("e%d", i), nil)
+	}
+	if len(r.events) != relayEventBuf || r.eventsDropped != 5 {
+		t.Fatalf("ring holds %d events with %d dropped, want %d/%d",
+			len(r.events), r.eventsDropped, relayEventBuf, 5)
+	}
+	if r.events[0].Name != "e5" || r.events[len(r.events)-1].Name != fmt.Sprintf("e%d", relayEventBuf+4) {
+		t.Fatalf("ring should drop oldest: kept [%s .. %s]",
+			r.events[0].Name, r.events[len(r.events)-1].Name)
+	}
+}
+
+// TestRelayResetKeepsEvents pins the reconnect semantics: pending spans
+// belong to chunks the coordinator will reassign and are dropped, while
+// buffered liveness events (the retry storm itself) survive to be
+// delivered on the next session.
+func TestRelayResetKeepsEvents(t *testing.T) {
+	r := &relay{}
+	r.reset()
+	r.noteTS(99)
+	r.leaseSeen(1)
+	r.addSpan(obs.RemoteSpan{ID: 1})
+	r.event("fabric_worker", "retry", nil)
+	r.reset()
+	if r.spans != nil || len(r.leaseRecv) != 0 || r.echoTS != 0 {
+		t.Fatalf("reset kept chunk-scoped state: %+v", r)
+	}
+	if len(r.events) != 1 || r.events[0].Name != "retry" {
+		t.Fatalf("reset dropped buffered liveness events: %+v", r.events)
+	}
+}

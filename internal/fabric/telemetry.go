@@ -1,0 +1,243 @@
+package fabric
+
+// Coordinator-side telemetry federation: clock-offset estimation, remote
+// span absorption, relayed worker events, chunk-latency attribution and
+// straggler detection. Everything here is advisory observability riding
+// the existing frame flow — it is called from the coordinator's
+// single-goroutine loop, owns no locks, and never touches the merge
+// path, so the bit-identical-to-Workers=1 contract cannot be perturbed
+// by any of it.
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// maxMeterKeys bounds how many relayed metric entries one heartbeat's
+// Meter map contributes to the fabric_clock event (hostile-input bound,
+// like maxWorkerName).
+const maxMeterKeys = 16
+
+// latRingCap bounds the per-worker chunk-latency window the straggler
+// detector looks at: recent behaviour, not campaign-lifetime averages.
+const latRingCap = 256
+
+// telemetry reports whether federation is on: any telemetry consumer
+// (event bus or observer) makes the coordinator assign a trace id, stamp
+// its clock on outbound frames, and absorb what workers relay back.
+func (co *Coordinator) telemetry() bool {
+	return co.cfg.Bus != nil || co.cfg.Observer != nil
+}
+
+// stampTS fills the coordinator clock field on an outbound frame when
+// federation is on (the relay-off wire format stays byte-identical).
+func (co *Coordinator) stampTS(f *Frame) *Frame {
+	if co.telemetry() {
+		f.TS = time.Now().UnixMicro()
+	}
+	return f
+}
+
+// telemetryIn absorbs the telemetry payload of one worker frame
+// (heartbeat or result): a clock sample, relayed span records, relayed
+// worker events. Post-auth only; everything is bounded and best-effort.
+func (co *Coordinator) telemetryIn(w *workerConn, f *Frame) {
+	if !co.telemetry() || !w.helloed {
+		return
+	}
+	if off, rtt, ok := obs.EstimateOffset(f.EchoTS, f.HoldUS, f.WTS, time.Now().UnixMicro()); ok {
+		// Keep the smallest-RTT sample: its midpoint assumption has the
+		// least room to be wrong (see obs.EstimateOffset).
+		if !w.clockSet || rtt <= w.rttBest {
+			w.clockSet, w.rttBest, w.clockOff = true, rtt, off
+		}
+		// fabric_clock streams at heartbeat cadence (~1/s per worker), not
+		// per result; the first sample is published immediately so even a
+		// campaign shorter than one heartbeat interval gets a reading.
+		if f.Type == TypeHeartbeat || !w.clockSeen {
+			w.clockSeen = true
+			co.publishClock(w, f.Meter)
+		}
+	}
+	co.absorbSpans(w, f.Spans)
+	co.relayEvents(w, f.Events)
+}
+
+// absorbSpans validates, rebases and stores relayed span records.
+// Acceptance mirrors result dup-suppression exactly — current epoch,
+// chunk at or above the merge frontier, not already completed — and runs
+// before result() completes the carrying frame's chunk, so the spans
+// that rode the accepted result are kept and every later duplicate
+// (chaos copy, slow pre-reassignment owner) rejects its spans with it:
+// each merged chunk's phases appear exactly once in the merged trace.
+func (co *Coordinator) absorbSpans(w *workerConn, spans []obs.RemoteSpan) {
+	if len(spans) == 0 {
+		return
+	}
+	if len(spans) > maxFrameSpans {
+		spans = spans[:maxFrameSpans]
+	}
+	accepted := make([]obs.RemoteSpan, 0, len(spans))
+	for i := range spans {
+		rs := spans[i] // copy before rebasing: transports may share the frame
+		if rs.Epoch != co.epoch || rs.Chunk < co.mergeSeq || rs.Chunk >= co.totalChunks || co.completed[rs.Chunk] {
+			continue
+		}
+		rs.Worker = w.name // trusted connection identity, not payload
+		if w.clockSet {
+			rs.StartUS -= w.clockOff
+		}
+		accepted = append(accepted, rs)
+	}
+	if len(accepted) == 0 {
+		return
+	}
+	co.cfg.Observer.AddRemoteSpans(accepted...)
+	if co.cfg.Bus != nil {
+		for _, rs := range accepted {
+			co.cfg.Bus.Publish("fabric_span", rs.Name,
+				obs.String("campaign", co.label),
+				obs.String("worker", rs.Worker),
+				obs.Int("chunk", rs.Chunk),
+				obs.Int64("span", int64(rs.ID)),
+				obs.Int64("parent", int64(rs.Parent)),
+				obs.Int64("start_us", rs.StartUS),
+				obs.Int64("dur_us", rs.DurUS))
+		}
+	}
+}
+
+// relayEvents republishes worker-side liveness events onto the
+// coordinator's bus, tagged with the relaying connection. Only the
+// "fabric_worker" kind crosses — a worker cannot inject arbitrary kinds
+// into the coordinator's schema-validated stream.
+func (co *Coordinator) relayEvents(w *workerConn, evs []obs.BusEvent) {
+	if co.cfg.Bus == nil || len(evs) == 0 {
+		return
+	}
+	if len(evs) > maxFrameEvents {
+		evs = evs[:maxFrameEvents]
+	}
+	for _, ev := range evs {
+		if ev.Kind != "fabric_worker" {
+			continue
+		}
+		name := ev.Name
+		if len(name) > maxWorkerName {
+			name = name[:maxWorkerName]
+		}
+		attrs := make([]obs.Attr, 0, len(ev.Attrs)+1)
+		for k, v := range ev.Attrs {
+			if len(attrs) == maxMeterKeys {
+				break
+			}
+			attrs = append(attrs, obs.Attr{Key: k, Value: v})
+		}
+		attrs = append(attrs, obs.String("relay", w.name))
+		co.cfg.Bus.Publish("fabric_worker", name, attrs...)
+	}
+}
+
+// publishClock emits the worker's current clock estimate plus the metric
+// snapshot its heartbeat carried.
+func (co *Coordinator) publishClock(w *workerConn, meter map[string]float64) {
+	if co.cfg.Bus == nil {
+		return
+	}
+	attrs := []obs.Attr{
+		obs.String("campaign", co.label),
+		obs.Int64("offset_us", w.clockOff),
+		obs.Int64("rtt_us", w.rttBest),
+	}
+	if len(meter) > 0 {
+		keys := make([]string, 0, len(meter))
+		for k := range meter {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if len(keys) > maxMeterKeys {
+			keys = keys[:maxMeterKeys]
+		}
+		for _, k := range keys {
+			attrs = append(attrs, obs.Float(k, meter[k]))
+		}
+	}
+	co.cfg.Bus.Publish("fabric_clock", w.name, attrs...)
+}
+
+// observeLatency folds one leased→resulted chunk latency (coordinator
+// clock, ms) into the worker's ring and re-evaluates the straggler
+// predicate.
+func (co *Coordinator) observeLatency(w *workerConn, ms float64) {
+	if len(w.lat) < latRingCap {
+		w.lat = append(w.lat, ms)
+	} else {
+		w.lat[w.latPos%latRingCap] = ms
+	}
+	w.latPos++
+	w.latN++
+	co.checkStraggler(w)
+}
+
+// latP95 is the nearest-rank 95th percentile of a latency window.
+func latP95(lat []float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), lat...)
+	sort.Float64s(s)
+	idx := (len(s)*95+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// checkStraggler flags w when its chunk-latency p95 exceeds
+// StragglerFactor × the fleet median of per-worker p95s (each worker
+// contributing at least StragglerMin samples, at least two workers
+// reporting, and a small absolute floor so equal-speed fleets with
+// microsecond jitter never trip it). Sticky per connection: one typed
+// fabric_straggler event, then the dashboard badge stays on.
+func (co *Coordinator) checkStraggler(w *workerConn) {
+	if w.straggler {
+		return
+	}
+	factor := co.cfg.StragglerFactor
+	if factor <= 0 {
+		factor = 3
+	}
+	minN := co.cfg.StragglerMin
+	if minN <= 0 {
+		minN = 8
+	}
+	if w.latN < minN {
+		return
+	}
+	p95s := make([]float64, 0, len(co.workers))
+	for peer := range co.workers {
+		if peer.helloed && peer.latN >= minN {
+			p95s = append(p95s, latP95(peer.lat))
+		}
+	}
+	if len(p95s) < 2 {
+		return
+	}
+	sort.Float64s(p95s)
+	median := p95s[len(p95s)/2]
+	mine := latP95(w.lat)
+	if mine <= factor*median || mine <= median+5 {
+		return
+	}
+	w.straggler = true
+	co.stats.Stragglers++
+	if co.cfg.Bus != nil {
+		co.cfg.Bus.Publish("fabric_straggler", w.name,
+			obs.String("campaign", co.label),
+			obs.Float("p95_ms", mine),
+			obs.Float("fleet_p95_ms", median),
+			obs.Int("chunks", w.latN))
+	}
+}

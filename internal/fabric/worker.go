@@ -154,6 +154,10 @@ type worker struct {
 	epoch  uint64
 	rng    *rand.Rand
 	chunks int
+	// rel is the telemetry relay; nil until a campaign frame announces a
+	// trace id (coordinator telemetry on), and nil forever when it never
+	// does — the relay-off hot path is a pointer comparison (see relay.go).
+	rel *relay
 }
 
 // backoff sleeps a jittered exponential delay, honouring ctx: a
@@ -177,12 +181,15 @@ func (w *worker) backoff(ctx context.Context, attempt int) error {
 	}
 }
 
-// computeOut is one finished chunk computation.
+// computeOut is one finished chunk computation. startUS/endUS bracket
+// the evaluate phase on the worker clock (0 when the relay is off).
 type computeOut struct {
-	lease uint64
-	epoch uint64
-	out   *faultsim.ChunkOutput
-	err   error
+	lease   uint64
+	epoch   uint64
+	out     *faultsim.ChunkOutput
+	err     error
+	startUS int64
+	endUS   int64
 }
 
 // session runs one connection's lifetime: handshake (with optional
@@ -193,6 +200,7 @@ type computeOut struct {
 func (w *worker) session(ctx context.Context, conn Conn) (handshaked, terminal bool, err error) {
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	w.rel.reset() // spans pending on a dead conn belong to reassigned chunks
 
 	// Reader goroutine: pumps frames until the conn dies. sessDone stops
 	// it if the session exits while frames are still arriving; the
@@ -262,6 +270,16 @@ func (w *worker) session(ctx context.Context, conn Conn) (handshaked, terminal b
 		if f.Spec == nil || f.Epoch == 0 {
 			return nil // malformed campaign frame: ignore
 		}
+		if f.Trace != "" {
+			// The coordinator runs with telemetry on: switch the relay on
+			// for this and every later epoch of the connection.
+			if w.rel == nil {
+				w.rel = &relay{}
+				w.rel.reset()
+			}
+			w.rel.trace = f.Trace
+			w.rel.noteTS(f.TS)
+		}
 		if w.cfgFP != "" && f.Fingerprint != w.cfgFP {
 			return fmt.Errorf("%w: coordinator runs campaign %s, this worker is configured for %s", ErrRejected, f.Fingerprint, w.cfgFP)
 		}
@@ -305,6 +323,7 @@ func (w *worker) session(ctx context.Context, conn Conn) (handshaked, terminal b
 		}
 		seen[f.Lease] = true
 		held[f.Lease] = true
+		w.rel.leaseSeen(f.Lease) // decode-span start: grant receipt
 		leaseQ = append(leaseQ, f)
 		if f.Epoch > w.epoch {
 			_ = conn.Send(&Frame{Type: TypeNeedCampaign}) // best-effort; heartbeat retries
@@ -328,6 +347,7 @@ handshake:
 	for {
 		select {
 		case f := <-incoming:
+			w.rel.noteTS(f.TS)
 			switch f.Type {
 			case TypeWelcome:
 				if w.cfg.AuthToken != "" && !challenged {
@@ -472,14 +492,26 @@ handshake:
 		if !computing && w.runner != nil {
 			if lf := pickLease(); lf != nil {
 				computing = true
+				// rel is captured by value: the compute goroutine only nil-tests
+				// it, never mutates it, so there is no race with the session
+				// goroutine switching the relay on for a later epoch.
+				rel := w.rel
 				go func(lf *Frame, runner *faultsim.ChunkRunner, epoch uint64) {
+					var start, end int64
+					if rel != nil {
+						start = nowUS()
+					}
 					out, err := runner.Run(sctx, lf.Begin, lf.End)
-					results <- computeOut{lease: lf.Lease, epoch: epoch, out: out, err: err}
+					if rel != nil {
+						end = nowUS()
+					}
+					results <- computeOut{lease: lf.Lease, epoch: epoch, out: out, err: err, startUS: start, endUS: end}
 				}(lf, w.runner, w.epoch)
 			}
 		}
 		select {
 		case f := <-incoming:
+			w.rel.noteTS(f.TS)
 			if err, ok := terminalFrame(f); ok {
 				return true, true, err
 			}
@@ -504,15 +536,22 @@ handshake:
 			}
 			w.chunks++
 			delete(held, r.lease)
-			if err := conn.Send(&Frame{
+			if w.rel != nil && r.startUS != 0 {
+				w.rel.chunkSpans(r.lease, r.epoch, faultsim.ChunkIndex(r.out.Begin), r.startUS, r.endUS)
+			}
+			f := &Frame{
 				Type: TypeResult, Lease: r.lease, Epoch: r.epoch,
 				Begin: r.out.Begin, End: r.out.End, Chunk: r.out,
 				Leases: heldIDs(),
-			}); err != nil {
+			}
+			w.rel.stamp(f, w.chunks, false)
+			if err := conn.Send(f); err != nil {
 				return failover(err, false)
 			}
 		case <-hb.C:
-			if err := conn.Send(&Frame{Type: TypeHeartbeat, Leases: heldIDs()}); err != nil {
+			f := &Frame{Type: TypeHeartbeat, Leases: heldIDs()}
+			w.rel.stamp(f, w.chunks, true)
+			if err := conn.Send(f); err != nil {
 				return failover(err, false)
 			}
 			if needSpec() {
@@ -528,9 +567,11 @@ handshake:
 	}
 }
 
-// publish emits a worker-side liveness event when a bus is configured.
+// publish emits a worker-side liveness event when a bus is configured,
+// and mirrors it into the telemetry relay (if on) so the coordinator's
+// stream sees the worker's own view of connects, retries and drains.
 func (w *worker) publish(state string, extra ...obs.Attr) {
-	if w.cfg.Bus == nil {
+	if w.cfg.Bus == nil && w.rel == nil {
 		return
 	}
 	name := w.cfg.Name
@@ -541,5 +582,14 @@ func (w *worker) publish(state string, extra ...obs.Attr) {
 		obs.String("state", state),
 		obs.Int("chunks_done", w.chunks),
 	}, extra...)
-	w.cfg.Bus.Publish("fabric_worker", name, attrs...)
+	if w.cfg.Bus != nil {
+		w.cfg.Bus.Publish("fabric_worker", name, attrs...)
+	}
+	if w.rel != nil {
+		m := make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			m[a.Key] = a.Value
+		}
+		w.rel.event("fabric_worker", name, m)
+	}
 }

@@ -33,6 +33,7 @@ code { background: #f5f5f5; padding: 0 .2rem; }
 .chip.pending { background: #eee; color: #666; }
 .chip.running { background: #fff3cd; color: #7a5b00; }
 .chip.done { background: #d4edda; color: #1c5c2e; }
+.chip.straggler { background: #f8d7da; color: #842029; }
 .bar { background: #eee; border-radius: .25rem; height: .9rem; overflow: hidden; }
 .bar > div { background: #4a7fb5; height: 100%; transition: width .4s; }
 .grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(16rem, 1fr)); gap: .8rem; }
@@ -58,7 +59,8 @@ canvas { width: 100%; height: 40px; }
 
 <h2 id="fabrichdr" style="display:none">Distributed fabric <span id="fabricsum" class="muted"></span></h2>
 <table id="fabrictbl" style="display:none"><thead>
-<tr><th>worker</th><th>state</th><th>leases</th><th>chunks done</th></tr></thead>
+<tr><th>worker</th><th>state</th><th>leases</th><th>chunks done</th>
+<th>p50</th><th>p95</th><th>clock offset</th></tr></thead>
 <tbody id="fabric"></tbody></table>
 
 <h2>Metrics</h2>
@@ -83,6 +85,13 @@ function fmtDur(ms) {
   if (ms === undefined || ms === null) return "-";
   if (ms < 1000) return ms.toFixed(1) + " ms";
   return (ms / 1000).toFixed(2) + " s";
+}
+function fmtOffset(us, rtt) {
+  if (us === undefined || us === null) return "-";
+  var s = (us >= 0 ? "+" : "") + (Math.abs(us) < 1000 ? us.toFixed(0) + " µs"
+    : (us / 1000).toFixed(1) + " ms");
+  if (rtt) s += " (rtt " + (rtt / 1000).toFixed(1) + " ms)";
+  return s;
 }
 function el(tag, cls, text) {
   var e = document.createElement(tag);
@@ -174,12 +183,19 @@ function renderFabric(p) {
   tb.textContent = "";
   (f.workers || []).forEach(function (w) {
     var tr = el("tr");
-    tr.appendChild(el("td", null, w.name));
+    var name = tr.appendChild(el("td", null, w.name));
+    if (w.straggler) {
+      name.appendChild(document.createTextNode(" "));
+      name.appendChild(el("span", "chip straggler", "straggler"));
+    }
     var cls = w.state === "lost" || w.state === "quarantined" ? "pending"
       : (w.state === "done" ? "done" : "running");
     tr.appendChild(el("td")).appendChild(el("span", "chip " + cls, w.state));
     tr.appendChild(el("td", null, String(w.leases || 0)));
     tr.appendChild(el("td", null, String(w.chunks_done || 0)));
+    tr.appendChild(el("td", null, w.latency_p50_ms ? fmtDur(w.latency_p50_ms) : "-"));
+    tr.appendChild(el("td", null, w.latency_p95_ms ? fmtDur(w.latency_p95_ms) : "-"));
+    tr.appendChild(el("td", null, fmtOffset(w.clock_offset_us, w.rtt_us)));
     tb.appendChild(tr);
   });
 }

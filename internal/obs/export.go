@@ -119,6 +119,11 @@ func (o *Observer) ChromeTrace() []ChromeEvent {
 	for _, root := range o.Roots() {
 		walk(root.Export(), 0)
 	}
+	// Relayed worker spans render as extra process lanes (pid 2+), giving
+	// one merged multi-process timeline. The lane metadata ("M" records)
+	// is emitted only when remote spans exist, so single-process traces
+	// keep exactly one event per span/event as before.
+	out = append(out, o.remoteChromeEvents(epoch.UnixNano()/int64(time.Microsecond))...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
 	return out
 }
@@ -126,7 +131,10 @@ func (o *Observer) ChromeTrace() []ChromeEvent {
 // Trace is the complete export of one observed run: the span trees, the
 // flat Chrome-compatible event list, and a metrics snapshot.
 type Trace struct {
-	Spans        []SpanJSON       `json:"spans"`
+	Spans []SpanJSON `json:"spans"`
+	// RemoteSpans are span records relayed from other processes (fabric
+	// workers), timestamps already rebased onto this process's clock.
+	RemoteSpans  []RemoteSpan     `json:"remote_spans,omitempty"`
 	ChromeEvents []ChromeEvent    `json:"chrome_events,omitempty"`
 	Metrics      RegistrySnapshot `json:"metrics"`
 }
@@ -140,6 +148,7 @@ func (o *Observer) Export() Trace {
 	for _, root := range o.Roots() {
 		t.Spans = append(t.Spans, root.Export())
 	}
+	t.RemoteSpans = o.RemoteSpans()
 	t.ChromeEvents = o.ChromeTrace()
 	t.Metrics = o.Metrics().Snapshot()
 	return t

@@ -86,6 +86,11 @@ type Observer struct {
 	profiler *Profiler
 	bus      *Bus
 	spanCap  int // max retained root spans; 0 = unbounded
+
+	// remote holds span records relayed from other processes (fabric
+	// workers), already rebased onto this process's clock; see remote.go.
+	remote    []RemoteSpan
+	remoteCap int // max retained remote spans; 0 = DefaultRemoteSpanCap
 }
 
 // Option configures New.

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -72,7 +73,25 @@ type FabricWorkerProgress struct {
 	State      string `json:"state"`
 	Leases     int    `json:"leases"`
 	ChunksDone int    `json:"chunks_done"`
+	// Chunk-latency quantiles (leased→resulted on the coordinator clock),
+	// folded from the latency_ms attribute of fabric_lease result events
+	// and computed at Snapshot time over a bounded recent window.
+	LatencyP50MS float64 `json:"latency_p50_ms,omitempty"`
+	LatencyP95MS float64 `json:"latency_p95_ms,omitempty"`
+	// Clock-offset estimate relative to the coordinator (µs, RTT-midpoint
+	// method) and the RTT of the sample it came from, from fabric_clock.
+	ClockOffsetUS float64 `json:"clock_offset_us,omitempty"`
+	RTTUS         float64 `json:"rtt_us,omitempty"`
+	// Straggler marks a worker flagged by the coordinator's straggler
+	// detector (fabric_straggler); sticky for the connection's lifetime.
+	Straggler bool `json:"straggler,omitempty"`
+
+	lat    []float64 // latency ring (workerLatCap)
+	latPos int
 }
+
+// workerLatCap bounds each worker row's latency window.
+const workerLatCap = 64
 
 // FabricProgress is the live state of the distributed campaign fabric,
 // folded from fabric_worker/fabric_lease/fabric_quarantine/fabric_done
@@ -301,6 +320,21 @@ func (t *Tracker) Apply(ev BusEvent) {
 		switch ev.Attrs["state"] {
 		case "grant":
 			f.LeasesGranted++
+		case "result":
+			// Latency attribution: fold the delivering worker's
+			// leased→resulted time into its bounded ring (O(1); the
+			// quantiles are computed at Snapshot time).
+			if name, ok := ev.Attrs["worker"].(string); ok && name != "" {
+				if ms, ok := toFloat(ev.Attrs["latency_ms"]); ok {
+					w := f.worker(name)
+					if len(w.lat) < workerLatCap {
+						w.lat = append(w.lat, ms)
+					} else {
+						w.lat[w.latPos%workerLatCap] = ms
+					}
+					w.latPos++
+				}
+			}
 		case "expire":
 			f.LeasesExpired++
 		case "reassign":
@@ -308,6 +342,27 @@ func (t *Tracker) Apply(ev BusEvent) {
 		case "duplicate":
 			f.Duplicates++
 		}
+	case "fabric_clock":
+		f := t.fabricState()
+		if label, ok := ev.Attrs["campaign"].(string); ok && f.Label == "" {
+			f.Label = label
+		}
+		w := f.worker(ev.Name)
+		if v, ok := toFloat(ev.Attrs["offset_us"]); ok {
+			w.ClockOffsetUS = v
+		}
+		if v, ok := toFloat(ev.Attrs["rtt_us"]); ok {
+			w.RTTUS = v
+		}
+		if v, ok := toInt(ev.Attrs["chunks_done"]); ok && v > w.ChunksDone {
+			w.ChunksDone = v // relayed worker meter; monotone fold
+		}
+	case "fabric_straggler":
+		f := t.fabricState()
+		if label, ok := ev.Attrs["campaign"].(string); ok && f.Label == "" {
+			f.Label = label
+		}
+		f.worker(ev.Name).Straggler = true
 	case "fabric_quarantine":
 		f := t.fabricState()
 		if label, ok := ev.Attrs["campaign"].(string); ok && f.Label == "" {
@@ -428,6 +483,14 @@ func (t *Tracker) Snapshot() ProgressSnapshot {
 		f := *t.fabric
 		f.Workers = append([]FabricWorkerProgress(nil), t.fabric.Workers...)
 		f.byName = nil
+		for i := range f.Workers {
+			w := &f.Workers[i]
+			if len(w.lat) > 0 {
+				w.LatencyP50MS = latQuantile(w.lat, 50)
+				w.LatencyP95MS = latQuantile(w.lat, 95)
+			}
+			w.lat, w.latPos = nil, 0 // quantiles rendered; drop the window
+		}
 		snap.Fabric = &f
 	}
 	snap.Events = t.events
@@ -437,6 +500,20 @@ func (t *Tracker) Snapshot() ProgressSnapshot {
 		snap.UptimeSeconds = t.now().Sub(t.firstSeen).Seconds()
 	}
 	return snap
+}
+
+// latQuantile is the nearest-rank q-th percentile of a latency window.
+func latQuantile(lat []float64, q int) float64 {
+	s := append([]float64(nil), lat...)
+	sort.Float64s(s)
+	idx := (len(s)*q+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
 }
 
 // toInt coerces the numeric types Attr values carry in practice.

@@ -81,10 +81,11 @@ type BuildInfo struct {
 	Settings map[string]string `json:"settings,omitempty"`
 }
 
-// buildinfoHandler reports the binary's identity from the embedded
+// CollectBuildInfo reports the binary's identity from the embedded
 // runtime/debug build info (tests and go-run binaries degrade to the
-// toolchain version alone).
-func buildinfoHandler(w http.ResponseWriter, _ *http.Request) {
+// toolchain version alone). It backs both /buildinfo and the flight
+// recorder's buildinfo.json.
+func CollectBuildInfo() BuildInfo {
 	info := BuildInfo{GoVersion: runtime.Version()}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		info.Path = bi.Path
@@ -97,8 +98,13 @@ func buildinfoHandler(w http.ResponseWriter, _ *http.Request) {
 			}
 		}
 	}
+	return info
+}
+
+// buildinfoHandler serves CollectBuildInfo.
+func buildinfoHandler(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, info)
+	writeJSON(w, CollectBuildInfo())
 }
 
 // progressHandler serves the tracker's live snapshot.
